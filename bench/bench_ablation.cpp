@@ -1,0 +1,173 @@
+// Ablations of the model features DESIGN.md calls out.
+//
+// A1 — the free multi-link send ("at no extra processing cost",
+//      Section 2, validated on PARIS): without it every extra packet
+//      injected by a handler costs P, so high-degree branch points of
+//      the broadcast serialize and the Theorem 2 time bound degrades
+//      by a degree factor.
+// A2 — the dmax path-length restriction: maximum ANR header lengths per
+//      broadcast scheme (layered-BFS needs O(n^2); the rest O(n)).
+// A3 — the election's INOUT-tree return routes versus naive reverse
+//      concatenation (the paper rejects the latter because its length
+//      "may be more than n").
+// A4 — the FIFO requirement of Section 5: with randomized (sub-worst-
+//      case) delays the gather finishes no later than the prediction;
+//      the prediction is exactly the worst case.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "fastnet.hpp"
+
+namespace {
+
+using namespace fastnet;
+using topo::BroadcastScheme;
+
+void ablation_a1() {
+    util::Table t({"topology", "n", "units_free_multisend", "units_serialized",
+                   "slowdown"});
+    auto probe = [&t](const char* name, const graph::Graph& g) {
+        const auto with = topo::run_broadcast(g, BroadcastScheme::kBranchingPaths, 0);
+        node::ClusterConfig cfg;
+        cfg.free_multisend = false;
+        const auto without = topo::run_broadcast(g, BroadcastScheme::kBranchingPaths, 0, cfg);
+        FASTNET_ENSURES(with.all_received && without.all_received);
+        t.add(name, g.node_count(), with.time_units, without.time_units,
+              without.time_units / with.time_units);
+    };
+    probe("star", graph::make_star(256));
+    probe("binary", graph::make_complete_binary_tree(7));
+    probe("path", graph::make_path(256));
+    probe("caterpillar", graph::make_caterpillar(64, 3));
+    Rng rng(4);
+    probe("random", graph::make_random_tree(256, rng));
+    t.print(std::cout,
+            "A1: broadcast time with vs without the free multi-link send — "
+            "high-degree roots serialize without it");
+}
+
+void ablation_a2() {
+    util::Table t({"shape", "n", "scheme", "max_header_len", "len/n"});
+    auto probe = [&t](const char* shape, const graph::Graph& g) {
+        const NodeId n = g.node_count();
+        for (auto scheme : {BroadcastScheme::kBranchingPaths, BroadcastScheme::kDfsToken,
+                            BroadcastScheme::kLayeredBfs, BroadcastScheme::kDirectUnicast}) {
+            const auto out = topo::run_broadcast(g, scheme, 0);
+            const double growth =
+                static_cast<double>(out.cost.max_header_len) / static_cast<double>(n);
+            t.add(shape, n, topo::scheme_name(scheme), out.cost.max_header_len, growth);
+        }
+    };
+    for (NodeId exp : {5u, 7u}) probe("binary", graph::make_complete_binary_tree(exp));
+    // Deep trees are the worst case for layered BFS: the header revisits
+    // every prefix layer — Theta(n^2) labels on a path.
+    for (NodeId n : {32u, 64u, 128u}) probe("path", graph::make_path(n));
+    t.print(std::cout,
+            "A2: maximum ANR header length (labels) — layered-BFS needs "
+            "Theta(n^2) headers on deep trees, hence unbounded dmax; the "
+            "others stay O(n)");
+}
+
+void ablation_a3() {
+    util::Table t({"n", "actual_max_return_anr", "naive_reverse_concat", "naive/n"});
+    for (NodeId n : {64u, 256u, 1024u}) {
+        Rng rng(n + 7);
+        const graph::Graph g = graph::make_random_connected(n, 1, 20, rng);
+        const auto out = elect::run_election(g);
+        FASTNET_ENSURES(out.unique_leader);
+        t.add(n, out.max_return_len, out.max_naive_return_len,
+              static_cast<double>(out.max_naive_return_len) / n);
+    }
+    t.print(std::cout,
+            "A3: election return routes — INOUT-tree splices stay <= 2n while "
+            "naive reverse concatenation keeps growing");
+}
+
+void ablation_a4() {
+    util::Table t({"n", "C", "P", "worst_case_completion", "jittered_completion",
+                   "jittered<=worst"});
+    for (std::uint64_t n : {32ull, 128ull}) {
+        for (auto [c, p] : std::vector<std::pair<Tick, Tick>>{{4, 2}, {8, 4}}) {
+            const auto r = gsf::build_optimal_tree(n, c, p);
+            ModelParams params;
+            params.hop_delay = c;
+            params.ncu_delay = p;
+            const auto worst = gsf::run_tree_gather(r.tree, params);
+            // Re-run with randomized sub-worst-case delays: C' in [0, C],
+            // P' in [1, P]; FIFO still enforced per link.
+            node::ClusterConfig cfg;
+            cfg.params = params;
+            cfg.net.hop_delay_min = 0;
+            cfg.ncu_delay_min = 1;
+            cfg.seed = n * 31 + static_cast<std::uint64_t>(c);
+            auto spec_tree = r.tree;
+            // run via the protocol directly to pass the cluster config
+            auto spec = std::make_shared<gsf::GatherSpec>();
+            spec->tree = spec_tree;
+            spec->combine = gsf::combine_sum();
+            Rng rin(99);
+            spec->inputs.resize(n);
+            for (auto& v : spec->inputs) v = rin.below(1000);
+            node::Cluster cluster(graph::make_complete(static_cast<NodeId>(n)),
+                                  [&spec](NodeId) {
+                                      return std::make_unique<gsf::TreeGatherProtocol>(spec);
+                                  },
+                                  cfg);
+            cluster.start_all(0);
+            cluster.run();
+            const auto& root = cluster.protocol_as<gsf::TreeGatherProtocol>(0);
+            t.add(n, c, p, worst.completion, root.done_time(),
+                  root.done_time() <= worst.completion);
+        }
+    }
+    t.print(std::cout,
+            "A4: the S(t) prediction is a worst case — randomized (smaller) "
+            "delays always finish no later");
+}
+
+void ablation_a6() {
+    util::Table t({"depth", "n", "scheme", "units_infinite_links", "units_spaced",
+                   "thm3_lower_bound"});
+    for (unsigned depth : {4u, 6u, 8u}) {
+        const graph::Graph g = graph::make_complete_binary_tree(depth);
+        for (auto scheme : {BroadcastScheme::kBranchingPaths, BroadcastScheme::kDirectUnicast}) {
+            const auto free = topo::run_broadcast(g, scheme, 0);
+            node::ClusterConfig cfg;
+            cfg.net.link_spacing = 1;
+            const auto spaced = topo::run_broadcast(g, scheme, 0, cfg);
+            t.add(depth, g.node_count(), topo::scheme_name(scheme), free.time_units,
+                  spaced.time_units, topo::one_way_lower_bound(depth));
+        }
+    }
+    t.print(std::cout,
+            "A6: finite link capacity (1 packet/link/unit) — direct unicast's "
+            "1-unit trick evaporates; branching paths, which already sends one "
+            "message per link per wave, is untouched (Theorem 3's implicit "
+            "model)");
+}
+
+void bm_broadcast_serialized_sends(benchmark::State& state) {
+    const graph::Graph g = graph::make_star(static_cast<NodeId>(state.range(0)));
+    node::ClusterConfig cfg;
+    cfg.free_multisend = false;
+    for (auto _ : state) {
+        const auto out = topo::run_broadcast(g, BroadcastScheme::kBranchingPaths, 0, cfg);
+        benchmark::DoNotOptimize(out.elapsed);
+    }
+}
+BENCHMARK(bm_broadcast_serialized_sends)->Range(64, 1024);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    ablation_a1();
+    ablation_a2();
+    ablation_a3();
+    ablation_a4();
+    ablation_a6();
+    std::cout << "\n";
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,150 @@
+// Experiments E4 + E5 (Theorem 1 and the Section 3 example).
+//
+// E4 — the paper's 6-node deadlock scenario: a converged network whose
+//      three pendant links fail simultaneously. The DFS-token scheme
+//      with the paper's adversarial tours never re-converges; the
+//      one-way branching-paths broadcast always does; full-knowledge
+//      payloads rescue even the DFS scheme.
+//
+// E5 — rounds-to-convergence from a cold start: O(d) with local-
+//      topology payloads, O(log d) with full-knowledge payloads
+//      (the comment after Theorem 1).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <memory>
+
+#include "fastnet.hpp"
+
+namespace {
+
+using namespace fastnet;
+using topo::BroadcastScheme;
+using topo::TopologyOptions;
+
+std::unique_ptr<node::Cluster> podc_scenario(TopologyOptions opt) {
+    const graph::Graph g = graph::make_podc_example();
+    opt.dfs_preference = {{1}, {2}, {0}, {}, {}, {}};
+    opt.period = 64;
+    auto c = std::make_unique<node::Cluster>(
+        g, topo::make_topology_maintenance(g.node_count(), opt));
+    c->start_all(0);
+    node::Cluster& cl = *c;
+    cl.simulator().at(300, [&cl] {
+        const graph::Graph& cg = cl.graph();
+        cl.network().fail_link(cg.find_edge(0, 3));
+        cl.network().fail_link(cg.find_edge(1, 4));
+        cl.network().fail_link(cg.find_edge(2, 5));
+    });
+    cl.run();
+    return c;
+}
+
+void experiment_e4() {
+    util::Table t({"scheme", "payload", "rounds_run", "converged", "system_calls"});
+    struct Case {
+        const char* name;
+        BroadcastScheme scheme;
+        bool full;
+    };
+    for (const Case& c : {Case{"dfs-token", BroadcastScheme::kDfsToken, false},
+                          Case{"dfs-token", BroadcastScheme::kDfsToken, true},
+                          Case{"branching-paths", BroadcastScheme::kBranchingPaths, false},
+                          Case{"branching-paths", BroadcastScheme::kBranchingPaths, true}}) {
+        TopologyOptions opt;
+        opt.scheme = c.scheme;
+        opt.full_knowledge = c.full;
+        opt.rounds = 40;
+        auto cl = podc_scenario(opt);
+        t.add(c.name, c.full ? "full-knowledge" : "local-topology", 40u,
+              topo::all_views_converged(*cl),
+              cl->metrics().total_message_system_calls());
+    }
+    t.print(std::cout,
+            "E4: the Section 3 deadlock example — DFS token never converges with "
+            "local payloads; one-way branching paths always does (Theorem 1)");
+}
+
+/// Smallest round budget after which all views converge from cold start.
+unsigned rounds_to_converge(const graph::Graph& g, bool full_knowledge, unsigned max_rounds) {
+    for (unsigned r = 1; r <= max_rounds; ++r) {
+        TopologyOptions opt;
+        opt.rounds = r;
+        opt.full_knowledge = full_knowledge;
+        opt.period = 64;
+        node::Cluster c(g, topo::make_topology_maintenance(g.node_count(), opt));
+        c.start_all(0);
+        c.run();
+        if (topo::all_views_converged(c)) return r;
+    }
+    return max_rounds + 1;
+}
+
+void experiment_e5() {
+    util::Table t({"topology", "n", "diameter", "rounds_local", "rounds_full",
+                   "~d", "~1+log2(d)"});
+    auto probe = [&t](const char* name, const graph::Graph& g) {
+        const unsigned d = graph::diameter(g);
+        const unsigned local = rounds_to_converge(g, false, d + 4);
+        const unsigned full = rounds_to_converge(g, true, d + 4);
+        t.add(name, g.node_count(), d, local, full, d, 1 + ceil_log2(d + 1));
+    };
+    probe("cycle32", graph::make_cycle(32));
+    probe("cycle64", graph::make_cycle(64));
+    probe("path48", graph::make_path(48));
+    probe("grid8x8", graph::make_grid(8, 8));
+    Rng rng(5);
+    probe("random96", graph::make_random_connected(96, 1, 30, rng));
+    t.print(std::cout,
+            "E5: rounds to converge from cold start — O(d) local vs O(log d) "
+            "full-knowledge (comment after Theorem 1)");
+}
+
+void experiment_e5_failures() {
+    util::Table t({"n", "failures", "converged", "final_rounds"});
+    for (unsigned kills : {1u, 3u, 6u}) {
+        Rng rng(kills);
+        const graph::Graph g = graph::make_random_connected(48, 3, 10, rng);
+        TopologyOptions opt;
+        opt.rounds = 16;
+        opt.period = 64;
+        node::Cluster c(g, topo::make_topology_maintenance(g.node_count(), opt));
+        c.start_all(0);
+        Rng chaos(kills * 17 + 1);
+        for (unsigned i = 0; i < kills; ++i) {
+            const EdgeId e = static_cast<EdgeId>(chaos.below(g.edge_count()));
+            c.simulator().at(100 + 40 * i, [&c, e] { c.network().fail_link(e); });
+        }
+        c.run();
+        t.add(g.node_count(), kills, topo::all_views_converged(c), 16u);
+    }
+    t.print(std::cout, "E5b: convergence after failure bursts (then quiescence)");
+}
+
+void bm_maintenance_round(benchmark::State& state) {
+    const NodeId n = static_cast<NodeId>(state.range(0));
+    Rng rng(7);
+    const graph::Graph g = graph::make_random_connected(n, 1, 10, rng);
+    for (auto _ : state) {
+        TopologyOptions opt;
+        opt.rounds = 2;
+        opt.period = 64;
+        node::Cluster c(g, topo::make_topology_maintenance(n, opt));
+        c.start_all(0);
+        c.run();
+        benchmark::DoNotOptimize(c.metrics().total_message_system_calls());
+    }
+}
+BENCHMARK(bm_maintenance_round)->Range(32, 128);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    experiment_e4();
+    experiment_e5();
+    experiment_e5_failures();
+    std::cout << "\n";
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,136 @@
+// Experiments E6 + E7 + E13 (Section 4).
+//
+// E6 — the new election: <= 6n direct messages (system calls), O(n)
+//      time, across topology families and sizes (Theorem 5).
+// E7 — traditional baselines under the system-call measure: Chang-
+//      Roberts (random priorities, expected Theta(n log n)) and
+//      Hirschberg-Sinclair (worst-case Theta(n log n)) versus 6n.
+// E13 — Lemma 6: capture histogram by victim phase (<= n / 2^p).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <iostream>
+
+#include "fastnet.hpp"
+
+namespace {
+
+using namespace fastnet;
+using elect::ElectionOptions;
+
+void experiment_e6() {
+    util::Table t({"topology", "n", "messages", "6n", "within", "time_ticks",
+                   "max_anr_len"});
+    ElectionOptions opt;
+    opt.announce = false;
+    auto probe = [&](const char* name, const graph::Graph& g) {
+        const auto out = elect::run_election(g, opt);
+        FASTNET_ENSURES(out.unique_leader);
+        t.add(name, g.node_count(), out.election_messages, 6ull * g.node_count(),
+              out.election_messages <= 6ull * g.node_count(), out.cost.completion_time,
+              out.cost.max_header_len);
+    };
+    for (NodeId n : {64u, 256u, 1024u}) {
+        Rng rng(n);
+        probe("ring", graph::make_cycle(n));
+        probe("random", graph::make_random_connected(n, 1, 20, rng));
+        probe("tree", graph::make_random_tree(n, rng));
+    }
+    probe("complete128", graph::make_complete(128));
+    probe("grid32x32", graph::make_grid(32, 32));
+    probe("hypercube10", graph::make_hypercube(10));
+    t.print(std::cout, "E6: new election — Theorem 5's 6n message bound and O(n) time");
+}
+
+void experiment_e7() {
+    util::Table t({"n", "ours", "chang_roberts_avg", "hirschberg_sinclair",
+                   "n*log2n", "cr/ours", "hs/ours"});
+    ElectionOptions opt;
+    opt.announce = false;
+    for (NodeId n : {32u, 64u, 128u, 256u, 512u, 1024u}) {
+        const auto ours = elect::run_election(graph::make_cycle(n), opt);
+        // Baseline expected costs: average over priority permutations.
+        std::uint64_t cr_total = 0, hs_total = 0;
+        const int runs = 5;
+        for (int s = 1; s <= runs; ++s) {
+            cr_total += elect::run_chang_roberts(n, {}, s).election_messages;
+            hs_total += elect::run_hirschberg_sinclair(n, {}, s).election_messages;
+        }
+        const std::uint64_t cr = cr_total / runs;
+        const std::uint64_t hs_avg = hs_total / runs;
+        t.add(n, ours.election_messages, cr, hs_avg,
+              static_cast<std::uint64_t>(n * std::log2(n)),
+              static_cast<double>(cr) / static_cast<double>(ours.election_messages),
+              static_cast<double>(hs_avg) /
+                  static_cast<double>(ours.election_messages));
+    }
+    t.print(std::cout,
+            "E7: rings — traditional algorithms pay Theta(n log n) system calls; "
+            "the new algorithm stays <= 6n (crossover grows with n)");
+}
+
+void experiment_e13() {
+    const NodeId n = 2048;
+    Rng rng(13);
+    const graph::Graph g = graph::make_random_connected(n, 1, 100, rng);
+    const auto out = elect::run_election(g);
+    FASTNET_ENSURES(out.unique_leader);
+    util::Table t({"victim_phase", "captures", "lemma6_bound_n/2^p", "within"});
+    for (std::size_t p = 0; p < out.captures_by_phase.size(); ++p)
+        t.add(p, out.captures_by_phase[p], static_cast<std::uint64_t>(n) >> p,
+              out.captures_by_phase[p] <= (static_cast<std::uint64_t>(n) >> p));
+    t.print(std::cout, "E13: Lemma 6 — captured domains per phase (n = 2048)");
+}
+
+void experiment_e6_time() {
+    util::Table t({"n", "completion_ticks", "ticks/n"});
+    for (NodeId n : {128u, 256u, 512u, 1024u, 2048u}) {
+        Rng rng(n + 3);
+        const graph::Graph g = graph::make_random_connected(n, 1, 40, rng);
+        const auto out = elect::run_election(g);
+        t.add(n, out.cost.completion_time,
+              static_cast<double>(out.cost.completion_time) / n);
+    }
+    t.print(std::cout, "E6b: election time grows O(n) (P = 1, C = 0)");
+}
+
+void bm_election_end_to_end(benchmark::State& state) {
+    const NodeId n = static_cast<NodeId>(state.range(0));
+    Rng rng(9);
+    const graph::Graph g = graph::make_random_connected(n, 1, 20, rng);
+    for (auto _ : state) {
+        const auto out = elect::run_election(g);
+        benchmark::DoNotOptimize(out.leader);
+    }
+}
+BENCHMARK(bm_election_end_to_end)->Range(32, 1024);
+
+void bm_inout_absorb(benchmark::State& state) {
+    const NodeId n = static_cast<NodeId>(state.range(0));
+    for (auto _ : state) {
+        state.PauseTiming();
+        elect::InOutTree big(0);
+        big.add_out(1, 0, 1, 1);
+        state.ResumeTiming();
+        for (NodeId v = 1; v < n; ++v) {
+            elect::InOutTree single(v);
+            if (v + 1 < n) single.add_out(v + 1, v, 1, 1);
+            big.absorb(single, v);
+        }
+        benchmark::DoNotOptimize(big.in_count());
+    }
+}
+BENCHMARK(bm_inout_absorb)->Range(64, 512);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    experiment_e6();
+    experiment_e6_time();
+    experiment_e7();
+    experiment_e13();
+    std::cout << "\n";
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

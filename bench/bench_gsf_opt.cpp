@@ -1,0 +1,124 @@
+// Experiments E11 + E12 (Section 5.2).
+//
+// E11 — optimal completion time for n nodes as a function of the C/P
+//       mix, computed over the iP+jC time lattice (the paper's "at most
+//       n^2 points" observation), and how the optimal tree's shape
+//       (root degree / depth) shifts with C/P.
+// E12 — optimal tree versus star and k-ary baselines on the simulated
+//       complete graph: crossovers and the non-degeneracy of the new
+//       model.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "fastnet.hpp"
+
+namespace {
+
+using namespace fastnet;
+
+ModelParams params_of(Tick c, Tick p) {
+    ModelParams m;
+    m.hop_delay = c;
+    m.ncu_delay = p;
+    return m;
+}
+
+void experiment_e11() {
+    util::Table t({"C", "P", "n", "t_opt", "root_degree", "depth"});
+    for (auto [c, p] : std::vector<std::pair<Tick, Tick>>{
+             {0, 1}, {1, 4}, {1, 2}, {1, 1}, {2, 1}, {4, 1}, {16, 1}}) {
+        for (std::uint64_t n : {16ull, 256ull, 4096ull}) {
+            const auto r = gsf::build_optimal_tree(n, c, p);
+            t.add(c, p, n, r.predicted_time, r.tree.children(0).size(), r.tree.height());
+        }
+    }
+    t.print(std::cout,
+            "E11: optimal time and tree shape vs C/P — small C/P favors bushy "
+            "(binomial-like) trees, large C/P favors deeper pipelines");
+}
+
+void experiment_e11_traditional_limit() {
+    util::Table t({"P (C=8)", "t_opt(n=1024)", "root_degree"});
+    for (Tick p : {8, 4, 2, 1}) {
+        const auto r = gsf::build_optimal_tree(1024, 8, p);
+        t.add(p, r.predicted_time, r.tree.children(0).size());
+    }
+    // P = 0 is the traditional model: the star absorbs everything at t = C.
+    t.add(0, gsf::optimal_gather_time(1024, 8, 0), std::size_t{1023});
+    t.print(std::cout,
+            "E11b: as P -> 0 the optimum approaches the traditional model's star");
+}
+
+void experiment_e12() {
+    util::Table t({"C", "P", "n", "optimal", "star", "binary", "8-ary",
+                   "star/optimal"});
+    for (auto [c, p] : std::vector<std::pair<Tick, Tick>>{{0, 1}, {1, 1}, {4, 1}, {1, 2}}) {
+        for (NodeId n : {16u, 64u, 256u}) {
+            const auto r = gsf::build_optimal_tree(n, c, p);
+            const auto opt = gsf::run_tree_gather(r.tree, params_of(c, p));
+            const auto star = gsf::run_tree_gather(gsf::make_star_tree(n), params_of(c, p));
+            const auto bin =
+                gsf::run_tree_gather(gsf::make_kary_gather_tree(n, 2), params_of(c, p));
+            const auto k8 =
+                gsf::run_tree_gather(gsf::make_kary_gather_tree(n, 8), params_of(c, p));
+            FASTNET_ENSURES(opt.correct && star.correct && bin.correct && k8.correct);
+            FASTNET_ENSURES(opt.completion == r.predicted_time);
+            t.add(c, p, n, opt.completion, star.completion, bin.completion,
+                  k8.completion,
+                  static_cast<double>(star.completion) /
+                      static_cast<double>(opt.completion));
+        }
+    }
+    t.print(std::cout,
+            "E12: simulated gather on complete graphs — the optimal tree beats "
+            "star and k-ary baselines; the gap grows with n and with P/C");
+}
+
+void experiment_e12_crossover() {
+    // Where does the star stop being competitive? For tiny n the star IS
+    // the optimal tree; find the first n where it is strictly worse.
+    util::Table t({"C", "P", "first_n_star_suboptimal"});
+    for (auto [c, p] : std::vector<std::pair<Tick, Tick>>{{1, 1}, {4, 1}, {16, 1}, {64, 1}}) {
+        NodeId crossover = 0;
+        for (NodeId n = 2; n <= 512; ++n) {
+            const Tick star = gsf::predicted_completion(gsf::make_star_tree(n), c, p);
+            const Tick opt = gsf::optimal_gather_time(n, c, p);
+            if (star > opt) {
+                crossover = n;
+                break;
+            }
+        }
+        t.add(c, p, crossover);
+    }
+    t.print(std::cout,
+            "E12b: star-vs-optimal crossover — larger C/P keeps the star "
+            "competitive longer (the traditional model is the C/P -> inf limit)");
+}
+
+void bm_optimal_time(benchmark::State& state) {
+    const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(gsf::optimal_gather_time(n, 3, 2));
+}
+BENCHMARK(bm_optimal_time)->Range(256, 1 << 20);
+
+void bm_predicted_completion(benchmark::State& state) {
+    const auto r = gsf::build_optimal_tree(static_cast<std::uint64_t>(state.range(0)), 1, 1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(gsf::predicted_completion(r.tree, 1, 1));
+}
+BENCHMARK(bm_predicted_completion)->Range(256, 65536);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    experiment_e11();
+    experiment_e11_traditional_limit();
+    experiment_e12();
+    experiment_e12_crossover();
+    std::cout << "\n";
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,125 @@
+// Experiments E8 + E9 + E10 (Section 5's worked examples).
+//
+// E8 — C=0, P=1: S(k) = 2^(k-1), binomial trees (eq. 4-6);
+// E9 — C=1, P=1: S(k) = Fibonacci(k), golden-ratio growth (eq. 7-11);
+// E10 — C=1, P=0 (traditional model): the recursion blows up — a star
+//       finishes any n at t = C.
+// Each row cross-checks recursion, closed form, and (for feasible sizes)
+// the completion time of the real simulated gather.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <iostream>
+
+#include "fastnet.hpp"
+
+namespace {
+
+using namespace fastnet;
+
+ModelParams params_of(Tick c, Tick p) {
+    ModelParams m;
+    m.hop_delay = c;
+    m.ncu_delay = p;
+    return m;
+}
+
+void experiment_e8() {
+    gsf::ScheduleSolver solver(0, 1);
+    util::Table t({"k", "S(k)_recursion", "2^(k-1)", "match", "simulated_time"});
+    for (unsigned k = 1; k <= 20; ++k) {
+        const std::uint64_t s = solver.size_at(static_cast<Tick>(k));
+        const std::uint64_t closed = gsf::binomial_size(k);
+        Tick sim = -1;
+        if (s >= 1 && s <= 4096) {
+            const auto r = gsf::build_optimal_tree(s, 0, 1);
+            sim = gsf::run_tree_gather(r.tree, params_of(0, 1)).completion;
+        }
+        t.add(k, s, closed, s == closed, sim);
+    }
+    t.print(std::cout, "E8: C=0,P=1 — binomial trees, S(k) = 2^(k-1) (eq. 6)");
+}
+
+void experiment_e9() {
+    gsf::ScheduleSolver solver(1, 1);
+    util::Table t({"k", "S(k)_recursion", "fibonacci", "golden_ratio_est", "simulated_time"});
+    const double phi = (1 + std::sqrt(5.0)) / 2;
+    for (unsigned k = 1; k <= 25; ++k) {
+        const std::uint64_t s = solver.size_at(static_cast<Tick>(k));
+        const double est = std::pow(phi, k) / std::sqrt(5.0);
+        Tick sim = -1;
+        if (s >= 1 && s <= 4096) {
+            const auto r = gsf::build_optimal_tree(s, 1, 1);
+            sim = gsf::run_tree_gather(r.tree, params_of(1, 1)).completion;
+        }
+        t.add(k, s, gsf::fibonacci_size(k), est, sim);
+    }
+    t.print(std::cout, "E9: C=1,P=1 — Fibonacci trees (eq. 9-11)");
+}
+
+void experiment_e10() {
+    util::Table t({"n", "star_time_P0", "equals_C", "star_time_P1", "optimal_time_P1"});
+    for (NodeId n : {4u, 16u, 64u, 256u}) {
+        const auto trad = gsf::run_tree_gather(gsf::make_star_tree(n), params_of(1, 0));
+        const auto star_p1 = gsf::run_tree_gather(gsf::make_star_tree(n), params_of(1, 1));
+        const Tick opt_p1 = gsf::optimal_gather_time(n, 1, 1);
+        t.add(n, trad.completion, trad.completion == 1, star_p1.completion, opt_p1);
+    }
+    t.print(std::cout,
+            "E10: C=1,P=0 (traditional) — any n finishes at t=C via a star; the "
+            "same star under P=1 degrades to C+nP while the optimal tree stays "
+            "logarithmic: the new model does not degenerate on complete graphs");
+}
+
+void experiment_growth_rates() {
+    // The growth factor per time unit for different C/P mixes.
+    util::Table t({"C", "P", "S(40)", "S(44)", "ratio^(1/4)"});
+    for (auto [c, p] : std::vector<std::pair<Tick, Tick>>{{0, 1}, {1, 1}, {2, 1}, {4, 1}, {1, 2}}) {
+        gsf::ScheduleSolver s(c, p);
+        const double a = static_cast<double>(s.size_at(40));
+        const double b = static_cast<double>(s.size_at(44));
+        t.add(c, p, s.size_at(40), s.size_at(44), std::pow(b / a, 0.25));
+    }
+    t.print(std::cout, "E9b: asymptotic growth rate of S(t) by (C, P)");
+}
+
+void bm_schedule_solver(benchmark::State& state) {
+    const Tick t = state.range(0);
+    for (auto _ : state) {
+        gsf::ScheduleSolver s(3, 2);
+        benchmark::DoNotOptimize(s.size_at(t));
+    }
+}
+BENCHMARK(bm_schedule_solver)->Arg(100)->Arg(1000)->Arg(10000);
+
+void bm_build_optimal_tree(benchmark::State& state) {
+    const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+    for (auto _ : state) {
+        const auto r = gsf::build_optimal_tree(n, 1, 1);
+        benchmark::DoNotOptimize(r.predicted_time);
+    }
+}
+BENCHMARK(bm_build_optimal_tree)->Range(64, 65536);
+
+void bm_simulated_gather(benchmark::State& state) {
+    const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+    const auto r = gsf::build_optimal_tree(n, 1, 1);
+    for (auto _ : state) {
+        const auto out = gsf::run_tree_gather(r.tree, params_of(1, 1));
+        benchmark::DoNotOptimize(out.result);
+    }
+}
+BENCHMARK(bm_simulated_gather)->Range(16, 256);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    experiment_e8();
+    experiment_e9();
+    experiment_e10();
+    experiment_growth_rates();
+    std::cout << "\n";
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

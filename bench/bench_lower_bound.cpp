@@ -1,0 +1,71 @@
+// Experiment E3 (Theorem 3): the Omega(log n) one-way broadcast lower
+// bound on complete binary trees, bracketed by the branching-paths
+// upper bound (= tree depth, measured through the real planner and
+// through full simulation for the smaller instances).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "fastnet.hpp"
+
+namespace {
+
+using namespace fastnet;
+
+void experiment_e3() {
+    util::Table t({"depth", "n", "lower_bound", "branching_paths_units",
+                   "simulated_units", "certificate_ok"});
+    for (unsigned depth = 2; depth <= 14; ++depth) {
+        const std::uint64_t n = (1ull << (depth + 1)) - 1;
+        const unsigned lb = topo::one_way_lower_bound(depth);
+        const unsigned ub = topo::branching_paths_rounds(depth);
+        double sim_units = -1;
+        if (depth <= 12) {
+            const graph::Graph g = graph::make_complete_binary_tree(depth);
+            const auto out =
+                topo::run_broadcast(g, topo::BroadcastScheme::kBranchingPaths, 0);
+            FASTNET_ENSURES(out.all_received);
+            sim_units = out.time_units;
+        }
+        t.add(depth, n, lb, ub, sim_units, topo::lower_bound_certificate_holds(depth));
+    }
+    t.print(std::cout,
+            "E3: one-way broadcast on complete binary trees — Omega(log n) lower "
+            "bound vs branching-paths upper bound (both Theta(log n))");
+}
+
+void experiment_e3_asymptotics() {
+    // lb / log2(n) and ub / log2(n) stay within constant factors.
+    util::Table t({"depth", "log2_n", "lb/log2n", "ub/log2n"});
+    for (unsigned depth = 16; depth <= 56; depth += 10) {
+        const double log2n = depth + 1.0;
+        t.add(depth, log2n, topo::one_way_lower_bound(depth) / log2n,
+              depth / log2n);  // branching-paths takes exactly `depth` units
+    }
+    t.print(std::cout, "E3b: both bounds are Theta(log n)");
+}
+
+void bm_lower_bound_certificate(benchmark::State& state) {
+    const unsigned depth = static_cast<unsigned>(state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(topo::lower_bound_certificate_holds(depth));
+}
+BENCHMARK(bm_lower_bound_certificate)->Arg(16)->Arg(32)->Arg(63);
+
+void bm_branching_paths_on_binary_tree(benchmark::State& state) {
+    const unsigned depth = static_cast<unsigned>(state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(topo::branching_paths_rounds(depth));
+}
+BENCHMARK(bm_branching_paths_on_binary_tree)->Arg(8)->Arg(12)->Arg(16);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    experiment_e3();
+    experiment_e3_asymptotics();
+    std::cout << "\n";
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,57 @@
+// election_campaign — watching the Section 4 election at work.
+//
+// Runs the domains/tours election on a 16x16 grid (a plausible switch
+// fabric), prints the capture histogram per phase (Lemma 6), the
+// Theorem 5 budget, and then re-runs the same problem with the two
+// traditional ring algorithms on a 256-ring for the headline
+// system-call comparison.
+//
+//   $ ./election_campaign
+#include <cmath>
+#include <iostream>
+
+#include "fastnet.hpp"
+
+using namespace fastnet;
+
+int main() {
+    const graph::Graph grid = graph::make_grid(16, 16);
+    const NodeId n = grid.node_count();
+    std::cout << "fabric: 16x16 grid, n=" << n << ", m=" << grid.edge_count() << "\n\n";
+
+    const auto out = elect::run_election(grid);
+    if (!out.unique_leader || !out.all_decided) {
+        std::cout << "election failed!\n";
+        return 1;
+    }
+    std::cout << "leader elected: node " << out.leader << "\n";
+    std::cout << "direct messages (system calls): " << out.election_messages
+              << "   Theorem 5 budget 6n = " << 6 * n << "\n";
+    std::cout << "completion: " << out.cost.completion_time << " ticks (O(n) time)\n";
+    std::cout << "longest ANR header used: " << out.cost.max_header_len
+              << " labels (linear in n = " << n << ")\n\n";
+
+    util::Table phases({"victim_phase", "domains_captured", "lemma6_bound"});
+    for (std::size_t p = 0; p < out.captures_by_phase.size(); ++p)
+        phases.add(p, out.captures_by_phase[p], n >> p);
+    phases.print(std::cout, "capture histogram (Lemma 6: at most n/2^p per phase)");
+
+    std::cout << "\n-- the same job with traditional algorithms (256-ring) --\n";
+    elect::ElectionOptions bare;
+    bare.announce = false;
+    const auto ours_ring = elect::run_election(graph::make_cycle(256), bare);
+    const auto cr = elect::run_chang_roberts(256, {}, /*priority_seed=*/3);
+    const auto hs = elect::run_hirschberg_sinclair(256, {}, /*priority_seed=*/3);
+    util::Table cmp({"algorithm", "system_calls", "vs_ours"});
+    const double base = static_cast<double>(ours_ring.election_messages);
+    cmp.add("new (Section 4)", ours_ring.election_messages, 1.0);
+    cmp.add("Chang-Roberts (avg)", cr.election_messages,
+            static_cast<double>(cr.election_messages) / base);
+    cmp.add("Hirschberg-Sinclair", hs.election_messages,
+            static_cast<double>(hs.election_messages) / base);
+    cmp.print(std::cout, "system-call comparison on a 256-node ring");
+    std::cout << "\nTraditional algorithms relay hop by hop, so every hop is a\n"
+                 "system call; the new algorithm rides the switching hardware\n"
+                 "and pays only at tour endpoints — O(n) vs Omega(n log n).\n";
+    return 0;
+}

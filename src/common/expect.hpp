@@ -1,0 +1,53 @@
+// Contract checking in the spirit of the Core Guidelines' Expects/Ensures.
+//
+// Violations indicate programming errors (broken invariants), not runtime
+// conditions a caller could recover from, so they throw ContractViolation
+// which derives from std::logic_error. Checks stay enabled in release
+// builds: the simulator's value is the exactness of the model, and a
+// silently corrupted run is worse than a slow one.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace fastnet {
+
+/// Thrown when a precondition, postcondition or invariant check fails.
+class ContractViolation : public std::logic_error {
+public:
+    explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void contract_failure(const char* kind, const char* expr, const char* file,
+                                   int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace fastnet
+
+/// Precondition check; use at function entry.
+#define FASTNET_EXPECTS(cond)                                                              \
+    do {                                                                                   \
+        if (!(cond)) ::fastnet::detail::contract_failure("Precondition", #cond, __FILE__,  \
+                                                         __LINE__, {});                    \
+    } while (false)
+
+/// Precondition check with context message.
+#define FASTNET_EXPECTS_MSG(cond, msg)                                                     \
+    do {                                                                                   \
+        if (!(cond)) ::fastnet::detail::contract_failure("Precondition", #cond, __FILE__,  \
+                                                         __LINE__, (msg));                 \
+    } while (false)
+
+/// Invariant / postcondition check; use inside algorithm bodies.
+#define FASTNET_ENSURES(cond)                                                              \
+    do {                                                                                   \
+        if (!(cond)) ::fastnet::detail::contract_failure("Invariant", #cond, __FILE__,     \
+                                                         __LINE__, {});                    \
+    } while (false)
+
+#define FASTNET_ENSURES_MSG(cond, msg)                                                     \
+    do {                                                                                   \
+        if (!(cond)) ::fastnet::detail::contract_failure("Invariant", #cond, __FILE__,     \
+                                                         __LINE__, (msg));                 \
+    } while (false)

@@ -1,0 +1,7 @@
+#include "common/rng.hpp"
+
+// Header-only in practice; this TU pins the vtable-free class into the
+// library so that IWYU-style include checks and ODR stay simple.
+namespace fastnet {
+static_assert(sizeof(Rng) == 32, "xoshiro256++ state is four 64-bit words");
+}  // namespace fastnet

@@ -1,0 +1,104 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic element of the library (random graphs, random delay
+// schedules, failure injection) draws from an explicitly seeded Rng so
+// that any run — test, bench or example — is reproducible bit-for-bit
+// from its seed. We implement xoshiro256++ (public domain, Blackman &
+// Vigna) seeded through splitmix64, rather than <random>'s engines whose
+// distributions are not guaranteed identical across standard libraries.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/expect.hpp"
+
+namespace fastnet {
+
+/// splitmix64 step; used for seeding and cheap hashing of ids into seeds.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/// xoshiro256++ generator with convenience sampling helpers.
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL) {
+        std::uint64_t sm = seed;
+        for (auto& w : state_) w = splitmix64(sm);
+    }
+
+    /// Next raw 64-bit value.
+    std::uint64_t next() {
+        const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Uniform integer in [0, bound). bound must be > 0.
+    std::uint64_t below(std::uint64_t bound) {
+        FASTNET_EXPECTS(bound > 0);
+        // Rejection sampling to avoid modulo bias.
+        const std::uint64_t threshold = (0 - bound) % bound;
+        for (;;) {
+            const std::uint64_t r = next();
+            if (r >= threshold) return r % bound;
+        }
+    }
+
+    /// Uniform integer in [lo, hi] inclusive.
+    std::int64_t range(std::int64_t lo, std::int64_t hi) {
+        FASTNET_EXPECTS(lo <= hi);
+        return lo + static_cast<std::int64_t>(
+                        below(static_cast<std::uint64_t>(hi - lo) + 1));
+    }
+
+    /// Bernoulli trial with probability num/den.
+    bool chance(std::uint64_t num, std::uint64_t den) {
+        FASTNET_EXPECTS(den > 0 && num <= den);
+        return below(den) < num;
+    }
+
+    /// Uniform double in [0, 1). Only for workload shaping, never for the
+    /// cost model itself.
+    double uniform01() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+    /// Fisher-Yates shuffle.
+    template <typename T>
+    void shuffle(std::vector<T>& v) {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            std::size_t j = static_cast<std::size_t>(below(i));
+            using std::swap;
+            swap(v[i - 1], v[j]);
+        }
+    }
+
+    /// A uniformly random permutation of {0, .., n-1}.
+    std::vector<std::uint32_t> permutation(std::uint32_t n) {
+        std::vector<std::uint32_t> p(n);
+        for (std::uint32_t i = 0; i < n; ++i) p[i] = i;
+        shuffle(p);
+        return p;
+    }
+
+    /// Derive an independent child generator (for per-node streams).
+    Rng fork() { return Rng(next() ^ 0xa5a5a5a5a5a5a5a5ULL); }
+
+private:
+    static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+        return (x << k) | (x >> (64 - k));
+    }
+    std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace fastnet

@@ -1,0 +1,66 @@
+// Fundamental vocabulary types shared by every fastnet module.
+//
+// The cost model of Cidon-Gopal-Kutten (PODC'88) is exact: system calls,
+// hops and time units are integers. Everything here is therefore integral
+// and deterministic; there is no floating point anywhere in the model.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace fastnet {
+
+/// Index of a node in the network graph, 0-based and dense.
+using NodeId = std::uint32_t;
+
+/// Index of an undirected edge in the network graph, 0-based and dense.
+using EdgeId = std::uint32_t;
+
+/// Simulated time. One Tick is an arbitrary quantum; the model parameters
+/// C (hardware hop delay) and P (NCU / software delay) are expressed in
+/// Ticks so that all theorem checks stay exact integer arithmetic.
+using Tick = std::int64_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+
+/// Sentinel for "no edge".
+inline constexpr EdgeId kNoEdge = std::numeric_limits<EdgeId>::max();
+
+/// Sentinel for "never" / unset time.
+inline constexpr Tick kNever = std::numeric_limits<Tick>::max();
+
+/// Model parameters of Section 2 / Section 5 of the paper.
+///
+/// `hop_delay`  — C: worst-case hardware delay per hop (link + switch).
+/// `ncu_delay`  — P: worst-case software delay per NCU involvement.
+/// `dmax`       — maximum number of link IDs permitted in an ANR header
+///                (the "path length restriction" of Section 2); 0 means
+///                "unbounded" (useful for the footnote-1 algorithm).
+struct ModelParams {
+    Tick hop_delay = 0;  ///< C. The limiting model of Sections 3-4 uses 0.
+    Tick ncu_delay = 1;  ///< P. The limiting model of Sections 3-4 uses 1.
+    std::size_t dmax = 0;  ///< 0 = unbounded.
+
+    /// The limiting model used in Sections 3 and 4: C = 0, P = 1.
+    static constexpr ModelParams fast_network() { return {0, 1, 0}; }
+    /// The traditional model discussed in Section 5, Example 2: C = 1, P = 0.
+    static constexpr ModelParams traditional() { return {1, 0, 0}; }
+    /// Section 5, Example 3: C = 1, P = 1 (Fibonacci trees).
+    static constexpr ModelParams balanced() { return {1, 1, 0}; }
+};
+
+/// Integer floor(log2(x)) for x >= 1.
+constexpr unsigned floor_log2(std::uint64_t x) {
+    unsigned r = 0;
+    while (x >>= 1) ++r;
+    return r;
+}
+
+/// Integer ceil(log2(x)) for x >= 1.
+constexpr unsigned ceil_log2(std::uint64_t x) {
+    if (x <= 1) return 0;
+    return floor_log2(x - 1) + 1;
+}
+
+}  // namespace fastnet

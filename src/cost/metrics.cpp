@@ -1,0 +1,42 @@
+#include "cost/metrics.hpp"
+
+#include <ostream>
+
+namespace fastnet::cost {
+
+std::uint64_t Metrics::total_message_system_calls() const {
+    std::uint64_t total = 0;
+    for (const NodeCounters& c : nodes_) total += c.message_deliveries;
+    return total;
+}
+
+std::uint64_t Metrics::total_invocations() const {
+    std::uint64_t total = 0;
+    for (const NodeCounters& c : nodes_) total += c.invocations();
+    return total;
+}
+
+void Metrics::reset() {
+    for (NodeCounters& c : nodes_) c = NodeCounters{};
+    net_ = NetCounters{};
+}
+
+CostReport snapshot(const Metrics& m, Tick completion_time) {
+    CostReport r;
+    r.system_calls = m.total_message_system_calls();
+    r.invocations = m.total_invocations();
+    r.direct_messages = m.total_direct_messages();
+    r.hops = m.net().hops;
+    r.max_header_len = m.net().max_header_len;
+    r.completion_time = completion_time;
+    return r;
+}
+
+std::ostream& operator<<(std::ostream& os, const CostReport& r) {
+    return os << "{system_calls=" << r.system_calls << ", invocations=" << r.invocations
+              << ", direct_messages=" << r.direct_messages << ", hops=" << r.hops
+              << ", max_header_len=" << r.max_header_len << ", time=" << r.completion_time
+              << "}";
+}
+
+}  // namespace fastnet::cost

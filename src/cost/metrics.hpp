@@ -1,0 +1,98 @@
+// The paper's cost measures, counted exactly.
+//
+// Two resource costs (Section 2):
+//   * communication complexity — hops traversed by messages (hardware);
+//   * system-call complexity  — number of NCU involvements (software).
+// Time is tracked by the simulator clock; completion times are recorded
+// by the harnesses. Counters are split finely so benches can report both
+// the paper's headline quantities and diagnostic detail.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace fastnet::cost {
+
+/// Per-node NCU accounting.
+struct NodeCounters {
+    std::uint64_t message_deliveries = 0;  ///< Packets handed to this NCU.
+    std::uint64_t starts = 0;              ///< Spontaneous protocol starts.
+    std::uint64_t timer_fires = 0;
+    std::uint64_t link_events = 0;         ///< Data-link state notifications.
+    std::uint64_t sends = 0;               ///< Packets this NCU injected.
+    Tick busy_time = 0;                    ///< Total time the NCU was occupied.
+
+    /// System-call complexity contribution of this node: the number of
+    /// times the NCU was involved. Message deliveries are what Theorems
+    /// 2/3/5 count; starts/timers/link events are tracked separately and
+    /// reported alongside (they are O(n) one-offs in all our protocols).
+    std::uint64_t invocations() const {
+        return message_deliveries + starts + timer_fires + link_events;
+    }
+};
+
+/// Network-wide hardware accounting.
+struct NetCounters {
+    std::uint64_t injections = 0;             ///< send() calls (direct messages).
+    std::uint64_t hops = 0;                   ///< Link traversals.
+    std::uint64_t ncu_deliveries = 0;         ///< Deliveries into any NCU.
+    std::uint64_t drops_inactive_link = 0;    ///< Lost to failed links.
+    std::uint64_t drops_no_match = 0;         ///< Label matched no port.
+    std::uint64_t drops_empty_header = 0;     ///< Header exhausted mid-switch.
+    std::size_t max_header_len = 0;           ///< Longest ANR header injected.
+    /// Total ANR header bits carried across links (labels in flight x
+    /// the network's label width k = O(log m) bits). This is the
+    /// hardware bandwidth consumed by source routing itself — the
+    /// quantity whose growth motivates the dmax restriction.
+    std::uint64_t header_bits = 0;
+};
+
+/// One experiment's ledger; owned by the Cluster, shared by reference.
+class Metrics {
+public:
+    explicit Metrics(NodeId node_count) : nodes_(node_count) {}
+
+    NodeCounters& node(NodeId u) { return nodes_[u]; }
+    const NodeCounters& node(NodeId u) const { return nodes_[u]; }
+    NodeId node_count() const { return static_cast<NodeId>(nodes_.size()); }
+
+    NetCounters& net() { return net_; }
+    const NetCounters& net() const { return net_; }
+
+    /// Sum over nodes of message-delivery system calls — the paper's
+    /// system-call complexity for message-driven algorithms.
+    std::uint64_t total_message_system_calls() const;
+
+    /// Sum over nodes of all NCU involvements.
+    std::uint64_t total_invocations() const;
+
+    /// Total direct messages injected by NCUs.
+    std::uint64_t total_direct_messages() const { return net_.injections; }
+
+    /// Resets all counters (e.g. after a warm-up phase) without
+    /// disturbing the simulation state.
+    void reset();
+
+private:
+    std::vector<NodeCounters> nodes_;
+    NetCounters net_;
+};
+
+/// Snapshot of the headline costs for reporting.
+struct CostReport {
+    std::uint64_t system_calls = 0;      ///< Message deliveries to NCUs.
+    std::uint64_t invocations = 0;       ///< All NCU involvements.
+    std::uint64_t direct_messages = 0;   ///< NCU send() injections.
+    std::uint64_t hops = 0;              ///< Hardware link traversals.
+    std::size_t max_header_len = 0;
+    Tick completion_time = 0;
+};
+
+CostReport snapshot(const Metrics& m, Tick completion_time);
+
+std::ostream& operator<<(std::ostream& os, const CostReport& r);
+
+}  // namespace fastnet::cost

@@ -1,0 +1,211 @@
+#include "election/inout_tree.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+
+namespace fastnet::elect {
+
+InOutTree::InOutTree(NodeId root) : root_(root) {
+    Entry e;
+    e.in_domain = true;
+    entries_.emplace(root, e);
+    in_count_ = 1;
+}
+
+bool InOutTree::is_in(NodeId u) const {
+    const auto it = entries_.find(u);
+    return it != entries_.end() && it->second.in_domain;
+}
+
+bool InOutTree::is_out(NodeId u) const {
+    const auto it = entries_.find(u);
+    return it != entries_.end() && !it->second.in_domain;
+}
+
+const InOutTree::Entry& InOutTree::entry(NodeId u) const {
+    const auto it = entries_.find(u);
+    FASTNET_EXPECTS_MSG(it != entries_.end(), "node not in INOUT tree");
+    return it->second;
+}
+
+NodeId InOutTree::pick_out() const {
+    for (const auto& [id, e] : entries_)
+        if (!e.in_domain) return id;
+    return kNoNode;
+}
+
+std::vector<NodeId> InOutTree::out_nodes() const {
+    std::vector<NodeId> out;
+    for (const auto& [id, e] : entries_)
+        if (!e.in_domain) out.push_back(id);
+    return out;
+}
+
+std::vector<NodeId> InOutTree::in_nodes() const {
+    std::vector<NodeId> in;
+    for (const auto& [id, e] : entries_)
+        if (e.in_domain) in.push_back(id);
+    return in;
+}
+
+void InOutTree::add_out(NodeId u, NodeId parent, hw::PortId port_at_parent,
+                        hw::PortId port_at_u) {
+    if (entries_.count(u)) return;
+    FASTNET_EXPECTS_MSG(is_in(parent), "OUT node must hang under an IN member");
+    Entry e;
+    e.parent = parent;
+    e.port_from_parent = port_at_parent;
+    e.port_to_parent = port_at_u;
+    e.in_domain = false;
+    entries_.emplace(u, e);
+}
+
+std::vector<NodeId> InOutTree::chain_to_root(NodeId x) const {
+    std::vector<NodeId> chain;
+    NodeId v = x;
+    for (;;) {
+        chain.push_back(v);
+        FASTNET_ENSURES_MSG(chain.size() <= entries_.size(), "cycle in INOUT tree");
+        if (v == root_) break;
+        v = entry(v).parent;
+    }
+    return chain;
+}
+
+hw::AnrHeader InOutTree::route_from_root(NodeId x) const {
+    std::vector<NodeId> chain = chain_to_root(x);  // x .. root
+    hw::AnrHeader h;
+    h.reserve(chain.size());
+    // Walk root -> x: hop into chain[k] uses chain[k]'s port_from_parent.
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+        if (*it == root_) continue;
+        h.push_back(hw::AnrLabel::normal(entry(*it).port_from_parent));
+    }
+    h.push_back(hw::AnrLabel::normal(hw::kNcuPort));
+    return h;
+}
+
+hw::AnrHeader InOutTree::route_to_root(NodeId x) const {
+    const std::vector<NodeId> chain = chain_to_root(x);  // x .. root
+    hw::AnrHeader h;
+    h.reserve(chain.size());
+    for (NodeId v : chain) {
+        if (v == root_) break;
+        h.push_back(hw::AnrLabel::normal(entry(v).port_to_parent));
+    }
+    h.push_back(hw::AnrLabel::normal(hw::kNcuPort));
+    return h;
+}
+
+std::vector<NodeId> InOutTree::path_from_root(NodeId x) const {
+    std::vector<NodeId> chain = chain_to_root(x);
+    std::reverse(chain.begin(), chain.end());
+    return chain;
+}
+
+void InOutTree::absorb(const InOutTree& other, NodeId via) {
+    FASTNET_EXPECTS_MSG(is_out(via), "graft point must currently be an OUT node here");
+    FASTNET_EXPECTS_MSG(other.is_in(via), "graft point must be IN the captured domain");
+
+    // Re-root `other` at `via` conceptually: new parent pointers along the
+    // via -> other.root chain are the old child->parent edges flipped.
+    const std::vector<NodeId> flip = other.chain_to_root(via);  // via .. other.root
+
+    // The graft point becomes a domain member but keeps its attachment in
+    // *this* tree ("connecting node o of IN_v to its neighbor in IN_i").
+    entries_[via].in_domain = true;
+    ++in_count_;
+
+    // Insert the re-rooted `other` nodes, walking outward from `via` so
+    // every node's new parent is already present. First the flipped chain:
+    for (std::size_t k = 0; k + 1 < flip.size(); ++k) {
+        const NodeId child = flip[k];        // closer to via
+        const NodeId node = flip[k + 1];     // its old parent, now its child
+        const Entry& old_edge = other.entry(child);  // edge child<->node
+        Entry e;
+        e.parent = child;
+        e.port_from_parent = old_edge.port_to_parent;  // at child, toward node
+        e.port_to_parent = old_edge.port_from_parent;  // at node, toward child
+        e.in_domain = true;  // the whole chain consists of other-IN members
+        const auto it = entries_.find(node);
+        if (it == entries_.end()) {
+            entries_.emplace(node, e);
+            ++in_count_;
+        } else {
+            FASTNET_ENSURES_MSG(!it->second.in_domain, "domains must be disjoint");
+            it->second = e;
+            ++in_count_;
+        }
+    }
+
+    // Then every other node keeps its old parent. BFS order from the
+    // chain guarantees parents precede children.
+    std::vector<NodeId> frontier = flip;
+    std::vector<NodeId> next;
+    std::map<NodeId, std::vector<NodeId>> children_of;
+    for (const auto& [id, e] : other.entries_)
+        if (e.parent != kNoNode) children_of[e.parent].push_back(id);
+    std::map<NodeId, bool> on_chain;
+    for (NodeId v : flip) on_chain[v] = true;
+    while (!frontier.empty()) {
+        next.clear();
+        for (NodeId p : frontier) {
+            const auto cit = children_of.find(p);
+            if (cit == children_of.end()) continue;
+            for (NodeId c : cit->second) {
+                if (on_chain.count(c)) continue;  // already handled (flipped)
+                const Entry& oe = other.entry(c);
+                const auto it = entries_.find(c);
+                if (it == entries_.end()) {
+                    entries_.emplace(c, oe);
+                    if (oe.in_domain) ++in_count_;
+                } else if (!it->second.in_domain && oe.in_domain) {
+                    // Promotion: an OUT leaf here is IN the captured domain.
+                    it->second = oe;
+                    ++in_count_;
+                }
+                // (IN here + OUT there, or OUT both: keep ours.)
+                next.push_back(c);
+            }
+        }
+        frontier = next;
+    }
+    FASTNET_ENSURES(invariants_hold());
+}
+
+graph::RootedTree InOutTree::to_rooted_tree(NodeId capacity) const {
+    FASTNET_EXPECTS(root_ != kNoNode && root_ < capacity);
+    std::vector<NodeId> parents(capacity, kNoNode);
+    for (const auto& [id, e] : entries_) {
+        if (!e.in_domain || id == root_) continue;
+        FASTNET_EXPECTS(id < capacity);
+        parents[id] = e.parent;
+    }
+    return graph::RootedTree(root_, std::move(parents));
+}
+
+bool InOutTree::invariants_hold() const {
+    if (root_ == kNoNode) return entries_.empty();
+    std::size_t in_seen = 0;
+    for (const auto& [id, e] : entries_) {
+        if (e.in_domain) ++in_seen;
+        if (id == root_) {
+            if (e.parent != kNoNode || !e.in_domain) return false;
+            continue;
+        }
+        if (!entries_.count(e.parent)) return false;
+        // OUT nodes hang under IN members; no node hangs under an OUT node.
+        if (!entries_.at(e.parent).in_domain) return false;
+        // Acyclicity via bounded chain walk.
+        std::size_t steps = 0;
+        NodeId v = id;
+        while (v != root_) {
+            v = entries_.at(v).parent;
+            if (++steps > entries_.size()) return false;
+        }
+    }
+    return in_seen == in_count_;
+}
+
+}  // namespace fastnet::elect

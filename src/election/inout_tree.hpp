@@ -1,0 +1,93 @@
+// The INOUT tree of Section 4: the data structure a candidate's origin
+// keeps about its domain.
+//
+// It records IN_i (domain members) and OUT_i (neighbors of members that
+// are outside the domain) as one tree that is a subgraph of the network:
+// every tree edge is a physical link, stored with the port ids of both
+// endpoints. Routes derived from it (root->x, x->root) therefore have
+// length linear in the domain size — the property the paper needs so
+// that "all the ANR field lengths ... are linear in n".
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/rooted_tree.hpp"
+#include "hw/anr.hpp"
+
+namespace fastnet::elect {
+
+class InOutTree {
+public:
+    struct Entry {
+        NodeId parent = kNoNode;                 ///< kNoNode at the root.
+        hw::PortId port_from_parent = hw::kNoPort;  ///< At parent, toward node.
+        hw::PortId port_to_parent = hw::kNoPort;    ///< At node, toward parent.
+        bool in_domain = false;                  ///< IN (true) or OUT (false).
+    };
+
+    InOutTree() = default;
+    /// Creates the singleton domain {root}.
+    explicit InOutTree(NodeId root);
+
+    NodeId root() const { return root_; }
+    bool contains(NodeId u) const { return entries_.count(u) != 0; }
+    bool is_in(NodeId u) const;
+    bool is_out(NodeId u) const;
+    const Entry& entry(NodeId u) const;
+
+    std::size_t in_count() const { return in_count_; }
+    std::size_t out_count() const { return entries_.size() - in_count_; }
+
+    /// Smallest-id OUT node, or kNoNode when the OUT set is empty.
+    /// (Deterministic choice of the paper's "arbitrary node o".)
+    NodeId pick_out() const;
+
+    /// All OUT node ids in ascending order.
+    std::vector<NodeId> out_nodes() const;
+    /// All IN node ids in ascending order.
+    std::vector<NodeId> in_nodes() const;
+
+    /// Adds an OUT leaf `u` attached under IN member `parent` via the
+    /// physical link with the given ports. No-op if `u` is already
+    /// present (IN or OUT).
+    void add_out(NodeId u, NodeId parent, hw::PortId port_at_parent, hw::PortId port_at_u);
+
+    /// ANR from the root's NCU to x's NCU along tree edges.
+    hw::AnrHeader route_from_root(NodeId x) const;
+    /// ANR from x's NCU back to the root's NCU along tree edges.
+    hw::AnrHeader route_to_root(NodeId x) const;
+
+    /// Tree path root -> x as node ids (diagnostics/tests).
+    std::vector<NodeId> path_from_root(NodeId x) const;
+
+    /// Absorbs `other` (a captured domain's tree, rooted at its origin):
+    /// re-roots `other` at `via` (which must be IN `other` and already
+    /// present in *this* as an OUT node) and grafts it there. IN beats
+    /// OUT when both trees know a node. Implements the paper's
+    ///   IN_i  = IN_i  u IN_v
+    ///   OUT_i = OUT_i u OUT_v - IN_i
+    /// "by connecting node o of IN_v to its neighbor in IN_i".
+    void absorb(const InOutTree& other, NodeId via);
+
+    /// Internal consistency (tests): parent links acyclic, IN/OUT counts
+    /// coherent, OUT nodes are leaves.
+    bool invariants_hold() const;
+
+    /// The IN part as a graph::RootedTree over ids 0..capacity-1 (a
+    /// spanning tree of the domain, and — since every tree edge is a
+    /// physical link — a subgraph of the network). After an election the
+    /// leader's domain spans its component, so this is a free spanning
+    /// tree: ready-made input for the Section 3 broadcast machinery.
+    graph::RootedTree to_rooted_tree(NodeId capacity) const;
+
+private:
+    NodeId root_ = kNoNode;
+    std::map<NodeId, Entry> entries_;  // ordered: deterministic iteration
+    std::size_t in_count_ = 0;
+
+    std::vector<NodeId> chain_to_root(NodeId x) const;
+};
+
+}  // namespace fastnet::elect

@@ -1,0 +1,81 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+
+namespace fastnet::graph {
+
+BfsResult bfs(const Graph& g, NodeId source, const EdgeFilter& filter) {
+    FASTNET_EXPECTS(source < g.node_count());
+    BfsResult r;
+    r.parent.assign(g.node_count(), kNoNode);
+    r.dist.assign(g.node_count(), BfsResult::kUnreached);
+    r.dist[source] = 0;
+    std::vector<NodeId> queue{source};
+    for (std::size_t h = 0; h < queue.size(); ++h) {
+        const NodeId u = queue[h];
+        for (const IncidentEdge& ie : g.incident(u)) {
+            if (filter && !filter(ie.edge)) continue;
+            if (r.dist[ie.neighbor] != BfsResult::kUnreached) continue;
+            r.dist[ie.neighbor] = r.dist[u] + 1;
+            r.parent[ie.neighbor] = u;
+            queue.push_back(ie.neighbor);
+        }
+    }
+    return r;
+}
+
+RootedTree min_hop_tree(const Graph& g, NodeId source, const EdgeFilter& filter) {
+    BfsResult r = bfs(g, source, filter);
+    return RootedTree(source, std::move(r.parent));
+}
+
+std::vector<NodeId> connected_components(const Graph& g, const EdgeFilter& filter) {
+    std::vector<NodeId> label(g.node_count(), kNoNode);
+    NodeId next = 0;
+    for (NodeId s = 0; s < g.node_count(); ++s) {
+        if (label[s] != kNoNode) continue;
+        const NodeId comp = next++;
+        std::vector<NodeId> queue{s};
+        label[s] = comp;
+        for (std::size_t h = 0; h < queue.size(); ++h) {
+            for (const IncidentEdge& ie : g.incident(queue[h])) {
+                if (filter && !filter(ie.edge)) continue;
+                if (label[ie.neighbor] == kNoNode) {
+                    label[ie.neighbor] = comp;
+                    queue.push_back(ie.neighbor);
+                }
+            }
+        }
+    }
+    return label;
+}
+
+bool is_connected(const Graph& g, const EdgeFilter& filter) {
+    if (g.node_count() == 0) return true;
+    const auto labels = connected_components(g, filter);
+    return std::all_of(labels.begin(), labels.end(),
+                       [](NodeId l) { return l == 0; });
+}
+
+bool is_tree(const Graph& g) {
+    return g.node_count() >= 1 && g.edge_count() + 1 == g.node_count() && is_connected(g);
+}
+
+unsigned eccentricity(const Graph& g, NodeId u, const EdgeFilter& filter) {
+    const BfsResult r = bfs(g, u, filter);
+    unsigned ecc = 0;
+    for (unsigned d : r.dist) {
+        FASTNET_EXPECTS_MSG(d != BfsResult::kUnreached, "eccentricity needs connectivity");
+        ecc = std::max(ecc, d);
+    }
+    return ecc;
+}
+
+unsigned diameter(const Graph& g) {
+    FASTNET_EXPECTS(g.node_count() >= 1);
+    unsigned d = 0;
+    for (NodeId u = 0; u < g.node_count(); ++u) d = std::max(d, eccentricity(g, u));
+    return d;
+}
+
+}  // namespace fastnet::graph

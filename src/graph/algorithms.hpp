@@ -1,0 +1,53 @@
+// Classic graph algorithms needed as substrates: BFS / min-hop spanning
+// trees (the T_i(t) of Section 3), connectivity and diameter.
+//
+// All algorithms accept an optional edge filter so they can run on the
+// *known* or *active* subgraph (topology maintenance computes trees over
+// the node's possibly stale view G_i(t)).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/graph.hpp"
+#include "graph/rooted_tree.hpp"
+
+namespace fastnet::graph {
+
+/// Predicate deciding whether an edge participates; default: all edges.
+using EdgeFilter = std::function<bool(EdgeId)>;
+
+/// Result of a BFS from a source node.
+struct BfsResult {
+    std::vector<NodeId> parent;    ///< BFS-tree parent, kNoNode at source/unreached.
+    std::vector<unsigned> dist;    ///< Hop distance, kUnreached if unreached.
+    static constexpr unsigned kUnreached = ~0u;
+};
+
+/// Breadth-first search over edges passing `filter`. Neighbors are
+/// explored in adjacency (insertion) order, so the result is deterministic
+/// and ties in the min-hop tree resolve to the lowest-insertion edge.
+BfsResult bfs(const Graph& g, NodeId source, const EdgeFilter& filter = {});
+
+/// Min-hop spanning tree of `source`'s reachable component (the paper's
+/// T_i(t): "a spanning tree (rooted at i) of minimum hop paths").
+RootedTree min_hop_tree(const Graph& g, NodeId source, const EdgeFilter& filter = {});
+
+/// Component label per node (labels are 0-based, ordered by least node).
+std::vector<NodeId> connected_components(const Graph& g, const EdgeFilter& filter = {});
+
+/// True if all nodes are in one component.
+bool is_connected(const Graph& g, const EdgeFilter& filter = {});
+
+/// True if g is a tree (connected, m == n-1).
+bool is_tree(const Graph& g);
+
+/// Exact diameter in hops (max over nodes of BFS eccentricity); O(n(m+n)).
+/// Returns 0 for a single node; requires a connected graph.
+unsigned diameter(const Graph& g);
+
+/// Eccentricity of u (max hop distance to any reachable node).
+unsigned eccentricity(const Graph& g, NodeId u, const EdgeFilter& filter = {});
+
+}  // namespace fastnet::graph

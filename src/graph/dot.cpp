@@ -1,0 +1,57 @@
+#include "graph/dot.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace fastnet::graph {
+namespace {
+
+void emit_node(std::ostream& os, NodeId u, const DotStyle& style) {
+    os << "  n" << u << " [label=\"" << u;
+    if (u < style.node_annotations.size() && !style.node_annotations[u].empty())
+        os << "\\n" << style.node_annotations[u];
+    os << "\"];\n";
+}
+
+bool highlighted(EdgeId e, const DotStyle& style) {
+    return std::find(style.highlighted_edges.begin(), style.highlighted_edges.end(), e) !=
+           style.highlighted_edges.end();
+}
+
+}  // namespace
+
+void write_dot(std::ostream& os, const Graph& g, const DotStyle& style) {
+    os << "graph " << style.graph_name << " {\n";
+    for (NodeId u = 0; u < g.node_count(); ++u) emit_node(os, u, style);
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+        const Edge& ed = g.edge(e);
+        os << "  n" << ed.a << " -- n" << ed.b;
+        if (highlighted(e, style)) os << " [penwidth=3]";
+        os << ";\n";
+    }
+    os << "}\n";
+}
+
+void write_dot(std::ostream& os, const RootedTree& t, const DotStyle& style) {
+    os << "digraph " << style.graph_name << " {\n";
+    for (NodeId u : t.preorder()) emit_node(os, u, style);
+    for (NodeId u : t.preorder()) {
+        for (NodeId c : t.children(u)) os << "  n" << u << " -> n" << c << ";\n";
+    }
+    os << "}\n";
+}
+
+std::string to_dot(const Graph& g, const DotStyle& style) {
+    std::ostringstream os;
+    write_dot(os, g, style);
+    return os.str();
+}
+
+std::string to_dot(const RootedTree& t, const DotStyle& style) {
+    std::ostringstream os;
+    write_dot(os, t, style);
+    return os.str();
+}
+
+}  // namespace fastnet::graph

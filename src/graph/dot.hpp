@@ -1,0 +1,34 @@
+// Graphviz DOT export for graphs and rooted trees — debugging aid and
+// documentation generator (the examples can dump what they build).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/rooted_tree.hpp"
+
+namespace fastnet::graph {
+
+struct DotStyle {
+    std::string graph_name = "fastnet";
+    /// Optional per-node extra label lines (e.g. the Section 3 labels);
+    /// empty vector = ids only.
+    std::vector<std::string> node_annotations;
+    /// Edges to render highlighted (e.g. a spanning tree inside the
+    /// graph), by edge id.
+    std::vector<EdgeId> highlighted_edges;
+};
+
+/// Writes an undirected graph as DOT.
+void write_dot(std::ostream& os, const Graph& g, const DotStyle& style = {});
+
+/// Writes a rooted tree as a directed DOT (edges parent -> child).
+void write_dot(std::ostream& os, const RootedTree& t, const DotStyle& style = {});
+
+/// Convenience: DOT as a string.
+std::string to_dot(const Graph& g, const DotStyle& style = {});
+std::string to_dot(const RootedTree& t, const DotStyle& style = {});
+
+}  // namespace fastnet::graph

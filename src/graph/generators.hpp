@@ -1,0 +1,68 @@
+// Deterministic topology generators for tests, benches and examples.
+//
+// Every generator that uses randomness takes an explicit Rng so runs are
+// reproducible. All generators return connected graphs (the paper's
+// algorithms elect one leader / converge per connected component; the
+// benches exercise the single-component case, and the multi-component
+// behaviour is covered by tests that compose generators).
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "graph/graph.hpp"
+#include "graph/rooted_tree.hpp"
+
+namespace fastnet::graph {
+
+/// Path 0 - 1 - ... - (n-1).
+Graph make_path(NodeId n);
+
+/// Cycle over n >= 3 nodes.
+Graph make_cycle(NodeId n);
+
+/// Star with center 0 and n-1 leaves.
+Graph make_star(NodeId n);
+
+/// Complete graph K_n.
+Graph make_complete(NodeId n);
+
+/// Complete binary tree of the given depth (depth 0 = single node).
+/// Node 0 is the root; node i has children 2i+1 and 2i+2.
+Graph make_complete_binary_tree(unsigned depth);
+
+/// Balanced k-ary tree with n nodes (node i's parent is (i-1)/k).
+Graph make_kary_tree(NodeId n, unsigned k);
+
+/// "Caterpillar": a spine path of `spine` nodes, each with `legs` pendant
+/// leaves. Worst-ish case for naive path decompositions.
+Graph make_caterpillar(NodeId spine, NodeId legs);
+
+/// w x h grid (n = w*h).
+Graph make_grid(NodeId width, NodeId height);
+
+/// Hypercube of dimension d (n = 2^d).
+Graph make_hypercube(unsigned dim);
+
+/// Uniform random labelled tree on n nodes (via a random Pruefer sequence).
+Graph make_random_tree(NodeId n, Rng& rng);
+
+/// Connected Erdos-Renyi-style graph: a random spanning tree plus each
+/// remaining pair independently with probability p_num/p_den.
+Graph make_random_connected(NodeId n, std::uint64_t p_num, std::uint64_t p_den, Rng& rng);
+
+/// The 6-node example graph of Section 3: triangle u,v,w with pendant
+/// nodes u1,v1,w1. Node ids: u=0, v=1, w=2, u1=3, v1=4, w1=5. Edge order:
+/// (u,v), (v,w), (w,u), (u,u1), (v,v1), (w,w1) — matching the paper.
+Graph make_podc_example();
+
+/// A disjoint union of two generated graphs (relabels the second block).
+/// Used by tests of per-component convergence / election.
+Graph disjoint_union(const Graph& a, const Graph& b);
+
+/// Random spanning tree of g, rooted at `root` (uniform over a random
+/// edge-order Kruskal walk; not uniform over all spanning trees, but
+/// deterministic given the Rng). Used by property tests that need tree
+/// diversity beyond BFS trees.
+RootedTree random_spanning_tree(const Graph& g, NodeId root, Rng& rng);
+
+}  // namespace fastnet::graph

@@ -1,0 +1,37 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+namespace fastnet::graph {
+
+EdgeId Graph::add_edge(NodeId a, NodeId b) {
+    FASTNET_EXPECTS(a < node_count() && b < node_count());
+    FASTNET_EXPECTS_MSG(a != b, "self-loops are not part of the model");
+    FASTNET_EXPECTS_MSG(!has_edge(a, b), "parallel edges are not part of the model");
+    const EdgeId id = static_cast<EdgeId>(edges_.size());
+    edges_.push_back(Edge{a, b});
+    adjacency_[a].push_back(IncidentEdge{id, b});
+    adjacency_[b].push_back(IncidentEdge{id, a});
+    return id;
+}
+
+bool Graph::has_edge(NodeId a, NodeId b) const { return find_edge(a, b) != kNoEdge; }
+
+EdgeId Graph::find_edge(NodeId a, NodeId b) const {
+    if (a >= node_count() || b >= node_count()) return kNoEdge;
+    // Scan the smaller adjacency list.
+    const NodeId u = degree(a) <= degree(b) ? a : b;
+    const NodeId v = (u == a) ? b : a;
+    for (const IncidentEdge& ie : adjacency_[u])
+        if (ie.neighbor == v) return ie.edge;
+    return kNoEdge;
+}
+
+std::vector<NodeId> Graph::neighbors(NodeId u) const {
+    std::vector<NodeId> out;
+    out.reserve(degree(u));
+    for (const IncidentEdge& ie : incident(u)) out.push_back(ie.neighbor);
+    return out;
+}
+
+}  // namespace fastnet::graph

@@ -1,0 +1,81 @@
+// Undirected multigraph-free graph with dense node and edge ids.
+//
+// This is the static description of a network: nodes are NCU-equipped
+// switches, edges are bidirectional communication links (Section 2 of the
+// paper). Dynamic state (active / inactive links) lives in hw::Network;
+// the Graph itself is immutable once built, which lets algorithms and the
+// simulator share one instance by const reference.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/expect.hpp"
+#include "common/types.hpp"
+
+namespace fastnet::graph {
+
+/// One endpoint's view of an incident edge.
+struct IncidentEdge {
+    EdgeId edge = kNoEdge;    ///< Dense edge id.
+    NodeId neighbor = kNoNode;  ///< The node on the other side.
+};
+
+/// An undirected edge between two distinct nodes.
+struct Edge {
+    NodeId a = kNoNode;
+    NodeId b = kNoNode;
+
+    /// The endpoint that is not `u`. Precondition: u is an endpoint.
+    NodeId other(NodeId u) const {
+        FASTNET_EXPECTS(u == a || u == b);
+        return u == a ? b : a;
+    }
+};
+
+/// Immutable undirected simple graph.
+class Graph {
+public:
+    Graph() = default;
+    explicit Graph(NodeId node_count) : adjacency_(node_count) {}
+
+    /// Number of nodes, n.
+    NodeId node_count() const { return static_cast<NodeId>(adjacency_.size()); }
+    /// Number of edges, m.
+    EdgeId edge_count() const { return static_cast<EdgeId>(edges_.size()); }
+
+    /// Adds an undirected edge {a, b}. Parallel edges and self-loops are
+    /// rejected (the paper's model assigns unique per-switch link ids,
+    /// which a simple graph always admits).
+    EdgeId add_edge(NodeId a, NodeId b);
+
+    /// True if {a, b} is an edge.
+    bool has_edge(NodeId a, NodeId b) const;
+
+    /// Edge id of {a, b}, or kNoEdge.
+    EdgeId find_edge(NodeId a, NodeId b) const;
+
+    const Edge& edge(EdgeId e) const {
+        FASTNET_EXPECTS(e < edges_.size());
+        return edges_[e];
+    }
+
+    /// All edges incident to u, in insertion order (deterministic).
+    std::span<const IncidentEdge> incident(NodeId u) const {
+        FASTNET_EXPECTS(u < node_count());
+        return adjacency_[u];
+    }
+
+    std::size_t degree(NodeId u) const { return incident(u).size(); }
+
+    /// Neighbor list of u (materialized copy; prefer incident() in loops).
+    std::vector<NodeId> neighbors(NodeId u) const;
+
+    std::span<const Edge> edges() const { return edges_; }
+
+private:
+    std::vector<Edge> edges_;
+    std::vector<std::vector<IncidentEdge>> adjacency_;
+};
+
+}  // namespace fastnet::graph

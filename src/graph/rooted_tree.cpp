@@ -1,0 +1,101 @@
+#include "graph/rooted_tree.hpp"
+
+#include <algorithm>
+
+#include "graph/graph.hpp"
+
+namespace fastnet::graph {
+
+RootedTree::RootedTree(NodeId root, std::vector<NodeId> parent)
+    : root_(root), parent_(std::move(parent)), children_(parent_.size()) {
+    FASTNET_EXPECTS(root < parent_.size());
+    FASTNET_EXPECTS_MSG(parent_[root] == kNoNode, "root must have no parent");
+    for (NodeId u = 0; u < parent_.size(); ++u) {
+        if (u == root_ || parent_[u] == kNoNode) continue;
+        FASTNET_EXPECTS_MSG(parent_[u] < parent_.size(), "parent id out of range");
+        children_[parent_[u]].push_back(u);
+    }
+    // Count present nodes and verify acyclicity / reachability from root.
+    std::vector<NodeId> order = preorder();
+    size_ = static_cast<NodeId>(order.size());
+    NodeId present = 1;  // root
+    for (NodeId u = 0; u < parent_.size(); ++u)
+        if (u != root_ && parent_[u] != kNoNode) ++present;
+    FASTNET_EXPECTS_MSG(present == size_,
+                        "parent vector contains a cycle or a node unreachable from root");
+}
+
+unsigned RootedTree::depth(NodeId u) const {
+    unsigned d = 0;
+    while (u != root_) {
+        u = parent(u);
+        ++d;
+        FASTNET_ENSURES_MSG(d <= parent_.size(), "cycle in tree");
+    }
+    return d;
+}
+
+unsigned RootedTree::height() const {
+    unsigned h = 0;
+    std::vector<std::pair<NodeId, unsigned>> stack{{root_, 0}};
+    while (!stack.empty()) {
+        auto [u, d] = stack.back();
+        stack.pop_back();
+        h = std::max(h, d);
+        for (NodeId c : children(u)) stack.emplace_back(c, d + 1);
+    }
+    return h;
+}
+
+std::vector<NodeId> RootedTree::preorder() const {
+    std::vector<NodeId> out;
+    if (root_ == kNoNode) return out;
+    std::vector<NodeId> stack{root_};
+    while (!stack.empty()) {
+        NodeId u = stack.back();
+        stack.pop_back();
+        out.push_back(u);
+        FASTNET_ENSURES_MSG(out.size() <= parent_.size(), "cycle in tree");
+        // Push children in reverse so the traversal visits them in order.
+        auto cs = children(u);
+        for (auto it = cs.rbegin(); it != cs.rend(); ++it) stack.push_back(*it);
+    }
+    return out;
+}
+
+std::vector<NodeId> RootedTree::postorder() const {
+    std::vector<NodeId> pre = preorder();
+    std::reverse(pre.begin(), pre.end());
+    return pre;  // reverse preorder: every child precedes its parent
+}
+
+std::vector<NodeId> RootedTree::subtree_sizes() const {
+    std::vector<NodeId> sizes(parent_.size(), 0);
+    for (NodeId u : postorder()) {
+        sizes[u] += 1;
+        if (u != root_) sizes[parent_[u]] += sizes[u];
+    }
+    return sizes;
+}
+
+std::vector<NodeId> RootedTree::path_from_root(NodeId u) const {
+    std::vector<NodeId> path;
+    NodeId v = u;
+    while (true) {
+        path.push_back(v);
+        if (v == root_) break;
+        v = parent(v);
+    }
+    std::reverse(path.begin(), path.end());
+    return path;
+}
+
+bool RootedTree::is_subgraph_of(const Graph& g) const {
+    for (NodeId u = 0; u < parent_.size(); ++u) {
+        if (u == root_ || parent_[u] == kNoNode) continue;
+        if (!g.has_edge(u, parent_[u])) return false;
+    }
+    return true;
+}
+
+}  // namespace fastnet::graph

@@ -1,0 +1,77 @@
+#include "gsf/opt_tree.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+
+namespace fastnet::gsf {
+namespace {
+
+/// Recursive OT materialization with a node budget: allocates the root
+/// of OT(t) under `parent`, then its children — which are the roots of
+/// OT(t - C - P), OT(t - P - C - P), ... (the unrolled eq. 2), largest
+/// subtree first. Stops silently when the budget runs out (pruning).
+struct Builder {
+    Tick c;
+    Tick p;
+    std::uint64_t budget;
+    std::vector<NodeId> parents;
+
+    void build(Tick t, NodeId parent) {
+        if (budget == 0 || t < p) return;
+        const NodeId id = static_cast<NodeId>(parents.size());
+        parents.push_back(parent);
+        --budget;
+        for (Tick tau = t; tau >= 2 * p + c; tau -= p) build(tau - c - p, id);
+    }
+};
+
+}  // namespace
+
+OptimalTreeResult build_optimal_tree(std::uint64_t n, Tick hop_delay, Tick ncu_delay) {
+    FASTNET_EXPECTS(n >= 1);
+    FASTNET_EXPECTS_MSG(ncu_delay > 0,
+                        "P = 0 is the traditional model; use make_star_tree");
+    ScheduleSolver solver(hop_delay, ncu_delay);
+    const Tick t_opt = solver.optimal_time(n);
+
+    Builder b{hop_delay, ncu_delay, n, {}};
+    b.build(t_opt, kNoNode);
+    FASTNET_ENSURES_MSG(b.parents.size() == n, "OT(t_opt) smaller than n");
+    OptimalTreeResult out{graph::RootedTree(0, std::move(b.parents)), t_opt};
+    return out;
+}
+
+graph::RootedTree make_star_tree(NodeId n) {
+    FASTNET_EXPECTS(n >= 1);
+    std::vector<NodeId> parents(n, 0);
+    parents[0] = kNoNode;
+    return graph::RootedTree(0, std::move(parents));
+}
+
+graph::RootedTree make_kary_gather_tree(NodeId n, unsigned k) {
+    FASTNET_EXPECTS(n >= 1 && k >= 1);
+    std::vector<NodeId> parents(n, kNoNode);
+    for (NodeId i = 1; i < n; ++i) parents[i] = (i - 1) / k;
+    return graph::RootedTree(0, std::move(parents));
+}
+
+Tick predicted_completion(const graph::RootedTree& tree, Tick hop_delay, Tick ncu_delay) {
+    // ready[v]: the time v's partial result leaves v (equivalently, when
+    // v's last NCU step for the gather completes). Every NCU spends
+    // [0, P] on its start step first; children results arrive ready+C
+    // and are served FIFO at P each.
+    std::vector<Tick> ready(tree.node_capacity(), 0);
+    for (NodeId v : tree.postorder()) {
+        std::vector<Tick> arrivals;
+        arrivals.reserve(tree.children(v).size());
+        for (NodeId ch : tree.children(v)) arrivals.push_back(ready[ch] + hop_delay);
+        std::sort(arrivals.begin(), arrivals.end());
+        Tick busy = ncu_delay;  // the start step
+        for (Tick a : arrivals) busy = std::max(busy, a) + ncu_delay;
+        ready[v] = busy;
+    }
+    return ready[tree.root()];
+}
+
+}  // namespace fastnet::gsf

@@ -1,0 +1,42 @@
+// Materialization of the optimal gather trees OT(t) of Section 5:
+//
+//   OT(t) = OT(t - P)  <-u  OT(t - C - P)        (eq. 2)
+//
+// (the second tree's root becomes one more child of the first's root).
+// build_optimal_tree(n, C, P) returns an n-node rooted tree achieving
+// the optimal worst-case completion time optimal_time(n): OT(t_opt) is
+// materialized and, when S(t_opt) > n, pruned — removing subtrees never
+// delays the schedule, and no n-node tree beats t_opt (Theorem 6).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "graph/rooted_tree.hpp"
+#include "gsf/schedule.hpp"
+
+namespace fastnet::gsf {
+
+struct OptimalTreeResult {
+    graph::RootedTree tree;    ///< Exactly n nodes, ids 0..n-1, root 0.
+    Tick predicted_time = 0;   ///< optimal_time(n; C, P).
+};
+
+/// Builds the pruned OT(optimal_time(n)) with exactly `n` nodes.
+/// Requires P > 0 (with P = 0 any star is optimal; see make_star_tree).
+OptimalTreeResult build_optimal_tree(std::uint64_t n, Tick hop_delay, Tick ncu_delay);
+
+/// Baselines for the Section 5 comparison benches.
+/// Star: root 0, all others direct children (optimal when P = 0; serial
+/// bottleneck C + nP when P > 0).
+graph::RootedTree make_star_tree(NodeId n);
+/// Balanced k-ary tree (the "obvious" parallel baseline).
+graph::RootedTree make_kary_gather_tree(NodeId n, unsigned k);
+
+/// Predicted worst-case completion of the tree-based algorithm on an
+/// arbitrary tree: leaves start sending at P (their own NCU step),
+/// every message costs C, and a parent processes arrivals serially at P
+/// each (FIFO). Matches the simulator's accounting exactly.
+Tick predicted_completion(const graph::RootedTree& tree, Tick hop_delay, Tick ncu_delay);
+
+}  // namespace fastnet::gsf

@@ -1,0 +1,111 @@
+#include "gsf/schedule.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+
+namespace fastnet::gsf {
+namespace {
+
+constexpr std::uint64_t kSaturate = kUnboundedSize - 1;
+
+std::uint64_t sat_add(std::uint64_t a, std::uint64_t b) {
+    if (a == kUnboundedSize || b == kUnboundedSize) return kUnboundedSize;
+    if (a >= kSaturate - b) return kSaturate;
+    return a + b;
+}
+
+}  // namespace
+
+ScheduleSolver::ScheduleSolver(Tick hop_delay, Tick ncu_delay)
+    : c_(hop_delay), p_(ncu_delay) {
+    FASTNET_EXPECTS(c_ >= 0 && p_ >= 0);
+    FASTNET_EXPECTS_MSG(c_ > 0 || p_ > 0, "C = P = 0 has no time scale");
+}
+
+std::uint64_t ScheduleSolver::compute(Tick t) {
+    if (p_ == 0) {
+        // Example 2 (traditional model): a star finishes any size by C.
+        if (t < 0) return 0;
+        return t >= c_ ? kUnboundedSize : 1;
+    }
+    if (t < p_) return 0;
+    if (t < 2 * p_ + c_) return 1;
+    // Both arguments are smaller and already memoized (ascending fill).
+    return sat_add(memo_[static_cast<std::size_t>(t - p_)],
+                   memo_[static_cast<std::size_t>(t - c_ - p_)]);
+}
+
+std::uint64_t ScheduleSolver::size_at(Tick t) {
+    if (t < 0) return 0;
+    if (p_ == 0) return compute(t);
+    const auto need = static_cast<std::size_t>(t) + 1;
+    while (memo_.size() < need)
+        memo_.push_back(compute(static_cast<Tick>(memo_.size())));
+    return memo_[static_cast<std::size_t>(t)];
+}
+
+Tick ScheduleSolver::optimal_time(std::uint64_t n) {
+    FASTNET_EXPECTS(n >= 1);
+    if (n == 1) return p_;  // the root's own computation
+    if (p_ == 0) return c_;
+    // S is non-decreasing and eventually exponential; scan upward. The
+    // answer is at most (C + 2P) * ceil(log2 n) + P (repeated doubling).
+    const Tick limit = (c_ + 2 * p_) * static_cast<Tick>(ceil_log2(n) + 2) + p_;
+    for (Tick t = p_; t <= limit; ++t)
+        if (size_at(t) >= n) return t;
+    FASTNET_ENSURES_MSG(false, "optimal_time scan limit too small");
+    return limit;
+}
+
+std::uint64_t tree_size_within(Tick t, Tick hop_delay, Tick ncu_delay) {
+    ScheduleSolver s(hop_delay, ncu_delay);
+    return s.size_at(t);
+}
+
+Tick optimal_gather_time(std::uint64_t n, Tick hop_delay, Tick ncu_delay) {
+    ScheduleSolver s(hop_delay, ncu_delay);
+    return s.optimal_time(n);
+}
+
+std::uint64_t binomial_size(unsigned k) {
+    if (k == 0) return 0;
+    if (k - 1 >= 63) return kSaturate;
+    return std::uint64_t{1} << (k - 1);
+}
+
+std::vector<Tick> time_lattice(std::uint64_t n, Tick hop_delay, Tick ncu_delay,
+                               Tick horizon) {
+    FASTNET_EXPECTS(hop_delay >= 0 && ncu_delay >= 0 && horizon >= 0);
+    std::vector<Tick> points;
+    const Tick i_max = static_cast<Tick>(n);
+    for (Tick i = 0; i <= i_max; ++i) {
+        const Tick base = i * ncu_delay;
+        if (base > horizon) break;
+        if (hop_delay == 0) {
+            points.push_back(base);
+            continue;
+        }
+        for (Tick j = 0; j <= i_max; ++j) {
+            const Tick t = base + j * hop_delay;
+            if (t > horizon) break;
+            points.push_back(t);
+        }
+    }
+    std::sort(points.begin(), points.end());
+    points.erase(std::unique(points.begin(), points.end()), points.end());
+    return points;
+}
+
+std::uint64_t fibonacci_size(unsigned k) {
+    if (k == 0) return 0;
+    std::uint64_t a = 1, b = 1;  // S(1), S(2)
+    for (unsigned i = 2; i < k; ++i) {
+        const std::uint64_t next = sat_add(a, b);
+        a = b;
+        b = next;
+    }
+    return k == 1 ? a : b;
+}
+
+}  // namespace fastnet::gsf

@@ -1,0 +1,72 @@
+// Section 5: the size recursion S(t) for optimal tree-based computation
+// of globally sensitive functions under hop delay C and NCU delay P.
+//
+//   S(t) = 0                          t < P
+//   S(t) = 1                          P <= t < 2P + C
+//   S(t) = S(t - P) + S(t - C - P)    t >= 2P + C          (eq. 3)
+//
+// S(t) is the maximum number of nodes over which a tree-based algorithm
+// can compute any associative-commutative globally sensitive function
+// within worst-case time t. Special cases reproduced exactly:
+//   * C=0, P=1  — S(k) = 2^(k-1)  (binomial trees, eq. 6);
+//   * C=1, P=1  — S(k) = Fibonacci(k)  (eq. 9-11);
+//   * C>0, P=0  — the traditional model: the recursion "blows up", any
+//     number of nodes finishes by t = C (star), S(t >= C) = unbounded.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace fastnet::gsf {
+
+/// Marker for the P = 0 blow-up (Section 5, Example 2).
+inline constexpr std::uint64_t kUnboundedSize = ~std::uint64_t{0};
+
+/// Memoizing solver for one (C, P) pair. All arithmetic saturates at
+/// kUnboundedSize - 1 so huge trees never overflow.
+class ScheduleSolver {
+public:
+    ScheduleSolver(Tick hop_delay, Tick ncu_delay);
+
+    Tick C() const { return c_; }
+    Tick P() const { return p_; }
+
+    /// S(t): maximum tree size finishing within t. kUnboundedSize when
+    /// P == 0 and t >= C (the traditional model's star).
+    std::uint64_t size_at(Tick t);
+
+    /// Smallest t with S(t) >= n — the optimal worst-case completion
+    /// time for n nodes (Theorem 6 + the Section 5.2 computation). The
+    /// answer always lies on the iP + jC lattice.
+    Tick optimal_time(std::uint64_t n);
+
+private:
+    std::uint64_t compute(Tick t);
+
+    Tick c_;
+    Tick p_;
+    std::vector<std::uint64_t> memo_;  ///< memo_[t] = S(t), grown on demand.
+};
+
+/// Convenience one-shot wrappers.
+std::uint64_t tree_size_within(Tick t, Tick hop_delay, Tick ncu_delay);
+Tick optimal_gather_time(std::uint64_t n, Tick hop_delay, Tick ncu_delay);
+
+/// Closed forms for the paper's worked examples (tests compare these
+/// against the recursion):
+/// 2^(k-1) with saturation (C=0, P=1).
+std::uint64_t binomial_size(unsigned k);
+/// Fibonacci with S(1) = S(2) = 1 (C=1, P=1).
+std::uint64_t fibonacci_size(unsigned k);
+
+/// The Section 5.2 observation made executable: every time at which
+/// S changes value has the form iP + jC with 0 <= i, j <= n (at most
+/// n^2 lattice points need be examined). Returns the sorted distinct
+/// lattice times <= `horizon`; tests verify optimal_time(n) always lies
+/// on the lattice of its own n.
+std::vector<Tick> time_lattice(std::uint64_t n, Tick hop_delay, Tick ncu_delay,
+                               Tick horizon);
+
+}  // namespace fastnet::gsf

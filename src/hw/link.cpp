@@ -1,0 +1,5 @@
+#include "hw/link.hpp"
+
+namespace fastnet::hw {
+static_assert(sizeof(LinkState) <= 56);
+}  // namespace fastnet::hw

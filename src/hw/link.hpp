@@ -1,0 +1,55 @@
+// Dynamic per-link state: activity, failure epochs and FIFO discipline.
+//
+// The model (Section 2, "Changing topology"): an active link delivers
+// every message in finite but unbounded time, FIFO; an inactive link
+// delivers nothing. We stamp each transmission with the link's epoch —
+// any state flip increments it — so packets in flight across a failure
+// (or a fail+restore pair) are dropped rather than resurrected.
+#pragma once
+
+#include <array>
+
+#include "common/types.hpp"
+
+namespace fastnet::hw {
+
+class LinkState {
+public:
+    bool active() const { return active_; }
+    std::uint64_t epoch() const { return epoch_; }
+
+    /// Returns true if the state actually changed.
+    bool set_active(bool a) {
+        if (a == active_) return false;
+        active_ = a;
+        ++epoch_;
+        return true;
+    }
+
+    /// FIFO discipline per direction (0: a->b, 1: b->a): the arrival time
+    /// of a new transmission may never precede an earlier one's.
+    Tick fifo_arrival(int direction, Tick proposed) {
+        Tick& last = last_arrival_[direction];
+        if (proposed < last) proposed = last;
+        last = proposed;
+        return proposed;
+    }
+
+    /// Finite link capacity: consecutive arrivals in one direction are at
+    /// least `spacing` apart. Call after fifo_arrival with its result.
+    Tick spaced_arrival(int direction, Tick proposed, Tick spacing) {
+        Tick& prev = last_spaced_[direction];
+        if (prev != kNever && proposed < prev + spacing) proposed = prev + spacing;
+        prev = proposed;
+        last_arrival_[direction] = proposed;
+        return proposed;
+    }
+
+private:
+    bool active_ = true;
+    std::uint64_t epoch_ = 0;
+    std::array<Tick, 2> last_arrival_{0, 0};
+    std::array<Tick, 2> last_spaced_{kNever, kNever};
+};
+
+}  // namespace fastnet::hw

@@ -1,0 +1,205 @@
+#include "hw/network.hpp"
+
+#include <algorithm>
+
+#include "hw/switch.hpp"
+
+namespace fastnet::hw {
+
+Network::Network(sim::Simulator& sim, const graph::Graph& g, ModelParams params,
+                 cost::Metrics& metrics, NetworkConfig config)
+    : sim_(sim),
+      graph_(g),
+      params_(params),
+      metrics_(metrics),
+      config_(config),
+      rng_(config.seed),
+      ports_(g.node_count()),
+      links_(g.edge_count()),
+      ncu_sinks_(g.node_count()) {
+    FASTNET_EXPECTS(metrics.node_count() == g.node_count());
+    std::size_t max_degree = 0;
+    for (NodeId u = 0; u < g.node_count(); ++u) {
+        auto& table = ports_[u].port_to_edge;
+        table.push_back(kNoEdge);  // port 0 = NCU
+        for (const graph::IncidentEdge& ie : g.incident(u)) table.push_back(ie.edge);
+        max_degree = std::max(max_degree, g.degree(u));
+    }
+    // k bits per label: port ids 0..max_degree plus the copy flag.
+    label_bits_ = ceil_log2(max_degree + 1) + 1;
+}
+
+void Network::set_ncu_sink(NodeId node, NcuSink sink) {
+    FASTNET_EXPECTS(node < graph_.node_count());
+    ncu_sinks_[node] = std::move(sink);
+}
+
+void Network::set_link_sink(LinkSink sink) { link_sink_ = std::move(sink); }
+
+PortId Network::port_for_edge(NodeId node, EdgeId e) const {
+    FASTNET_EXPECTS(node < graph_.node_count());
+    const auto& table = ports_[node].port_to_edge;
+    for (PortId p = 1; p < table.size(); ++p)
+        if (table[p] == e) return p;
+    return kNoPort;
+}
+
+EdgeId Network::edge_at_port(NodeId node, PortId p) const {
+    FASTNET_EXPECTS(node < graph_.node_count());
+    const auto& table = ports_[node].port_to_edge;
+    FASTNET_EXPECTS_MSG(p >= 1 && p < table.size(), "not a link port");
+    return table[p];
+}
+
+PortId Network::port_to_neighbor(NodeId node, NodeId v) const {
+    const EdgeId e = graph_.find_edge(node, v);
+    return e == kNoEdge ? kNoPort : port_for_edge(node, e);
+}
+
+PortMap Network::omniscient_ports() const {
+    return [this](NodeId u, NodeId v) { return port_to_neighbor(u, v); };
+}
+
+AnrHeader Network::route(std::span<const NodeId> path, CopyMode mode) const {
+    return route_for_path(path, omniscient_ports(), mode);
+}
+
+std::uint64_t Network::send(NodeId from, AnrHeader header,
+                            std::shared_ptr<const Payload> payload) {
+    FASTNET_EXPECTS(from < graph_.node_count());
+    FASTNET_EXPECTS_MSG(!header.empty(), "empty ANR header");
+    if (params_.dmax != 0) {
+        FASTNET_EXPECTS_MSG(header_length(header) <= params_.dmax,
+                            "ANR header exceeds dmax — path length restriction violated");
+    }
+    metrics_.net().injections += 1;
+    if (config_.trace)
+        config_.trace->record(sim_.now(), from, sim::TraceKind::kSend,
+                              "header_len=" + std::to_string(header.size()));
+    metrics_.net().max_header_len =
+        std::max(metrics_.net().max_header_len, header_length(header));
+    metrics_.node(from).sends += 1;
+
+    Packet pkt;
+    pkt.header = std::move(header);
+    pkt.payload = std::move(payload);
+    pkt.origin = from;
+    pkt.id = next_packet_id_++;
+    const std::uint64_t id = pkt.id;
+    // The injecting node's own switch consumes the first label immediately
+    // (switching delay is folded into the per-hop cost C).
+    process_at_switch(from, std::move(pkt));
+    return id;
+}
+
+void Network::process_at_switch(NodeId node, Packet pkt) {
+    if (pkt.header.empty()) {
+        metrics_.net().drops_empty_header += 1;
+        return;
+    }
+    const AnrLabel label = pkt.header.front();
+    pkt.header.erase(pkt.header.begin());
+
+    const SwitchingSubsystem ss(static_cast<PortId>(graph_.degree(node)));
+    const SwitchDecision d = ss.match(label);
+    if (!d.matched()) {
+        metrics_.net().drops_no_match += 1;
+        return;
+    }
+    if (d.to_ncu) {
+        // The hardware copy: the NCU receives the remaining string.
+        Packet copy = pkt;
+        deliver_to_ncu(node, std::move(copy));
+    }
+    if (d.forward_port) {
+        const EdgeId e = edge_at_port(node, *d.forward_port);
+        transmit(node, e, std::move(pkt));
+    }
+}
+
+void Network::transmit(NodeId from, EdgeId e, Packet pkt) {
+    LinkState& link = links_[e];
+    if (!link.active()) {
+        metrics_.net().drops_inactive_link += 1;
+        if (config_.trace)
+            config_.trace->record(sim_.now(), from, sim::TraceKind::kDrop,
+                                  "inactive link " + std::to_string(e));
+        return;
+    }
+    const graph::Edge& edge = graph_.edge(e);
+    const NodeId to = edge.other(from);
+    const int direction = (from == edge.a) ? 0 : 1;
+
+    Tick delay = params_.hop_delay;
+    if (config_.hop_delay_min >= 0 && params_.hop_delay > config_.hop_delay_min)
+        delay = rng_.range(config_.hop_delay_min, params_.hop_delay);
+    Tick arrival = link.fifo_arrival(direction, sim_.now() + delay);
+    if (config_.link_spacing > 0)
+        arrival = link.spaced_arrival(direction, arrival, config_.link_spacing);
+    const std::uint64_t epoch = link.epoch();
+    // Source-routing overhead on the wire: the remaining header rides
+    // this hop.
+    metrics_.net().header_bits +=
+        static_cast<std::uint64_t>(pkt.header.size()) * label_bits_;
+
+    sim_.at(arrival, [this, to, e, epoch, p = std::move(pkt)]() mutable {
+        arrive(to, e, epoch, std::move(p));
+    });
+}
+
+void Network::arrive(NodeId at, EdgeId e, std::uint64_t epoch, Packet pkt) {
+    const LinkState& link = links_[e];
+    if (!link.active() || link.epoch() != epoch) {
+        // The link failed (or flapped) while the packet was in flight.
+        metrics_.net().drops_inactive_link += 1;
+        return;
+    }
+    pkt.hops += 1;
+    metrics_.net().hops += 1;
+    // Accumulate reverse-path information (Section 2 grants the receiver
+    // the ability to reply; we realize it as per-hop reverse labels).
+    pkt.reverse.push_back(AnrLabel::normal(port_for_edge(at, e)));
+    process_at_switch(at, std::move(pkt));
+}
+
+void Network::deliver_to_ncu(NodeId node, Packet pkt) {
+    metrics_.net().ncu_deliveries += 1;
+    FASTNET_EXPECTS_MSG(ncu_sinks_[node] != nullptr, "no NCU sink registered");
+    Delivery d;
+    d.at = node;
+    d.remaining = std::move(pkt.header);
+    // Reverse labels were collected in traversal order; flip them and
+    // terminate at the origin's NCU.
+    d.reverse.reserve(pkt.reverse.size() + 1);
+    d.reverse.assign(pkt.reverse.rbegin(), pkt.reverse.rend());
+    d.reverse.push_back(AnrLabel::normal(kNcuPort));
+    d.payload = std::move(pkt.payload);
+    d.origin = pkt.origin;
+    d.hops = pkt.hops;
+    ncu_sinks_[node](d);
+}
+
+void Network::set_link_active(EdgeId e, bool active) {
+    FASTNET_EXPECTS(e < links_.size());
+    if (!links_[e].set_active(active)) return;
+    const std::uint64_t epoch = links_[e].epoch();
+    const graph::Edge& edge = graph_.edge(e);
+    for (NodeId endpoint : {edge.a, edge.b}) {
+        sim_.after(config_.detection_delay, [this, endpoint, e, epoch, active]() {
+            // Suppress stale notifications if the link flapped again before
+            // detection completed (the NCU only learns states that persist).
+            if (links_[e].epoch() != epoch) return;
+            if (link_sink_) link_sink_(endpoint, e, active);
+        });
+    }
+}
+
+void Network::fail_node(NodeId u) {
+    for (const graph::IncidentEdge& ie : graph_.incident(u)) set_link_active(ie.edge, false);
+}
+
+void Network::restore_node(NodeId u) {
+    for (const graph::IncidentEdge& ie : graph_.incident(u)) set_link_active(ie.edge, true);
+}
+
+}  // namespace fastnet::hw

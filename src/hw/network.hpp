@@ -1,0 +1,134 @@
+// The simulated network fabric: switches, links and packet transport.
+//
+// Network wires a graph::Graph into one SwitchingSubsystem per node and
+// one LinkState per edge, and moves packets through them on the event
+// queue. Hardware hops cost `hop_delay` (C) each; NCU processing cost is
+// the node runtime's concern (node/runtime.hpp). Port assignment is
+// deterministic: node u's port p (p >= 1) is its (p-1)-th incident edge
+// in graph insertion order; port 0 is the NCU.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "cost/metrics.hpp"
+#include "graph/graph.hpp"
+#include "hw/anr.hpp"
+#include "hw/link.hpp"
+#include "hw/packet.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace fastnet::hw {
+
+/// Tunables beyond the analytic model parameters.
+struct NetworkConfig {
+    /// If >= 0, hop delays are drawn uniformly from
+    /// [hop_delay_min, params.hop_delay]; otherwise fixed at C.
+    /// FIFO per link direction is preserved regardless.
+    Tick hop_delay_min = -1;
+    /// Delay until an endpoint NCU learns a link state change (the
+    /// data-link protocol of Section 2, "Changing topology").
+    Tick detection_delay = 0;
+    /// Minimum spacing between consecutive packet *arrivals* on one link
+    /// direction (a finite-capacity link can deliver only one distinct
+    /// packet per spacing interval). 0 = infinite capacity. Theorem 3's
+    /// lower bound implicitly assumes ~one message per link per time
+    /// unit; setting this to P makes that constraint physical
+    /// (ablation A6).
+    Tick link_spacing = 0;
+    /// Seed for delay jitter.
+    std::uint64_t seed = 1;
+    /// Optional observational trace (send / drop records).
+    std::shared_ptr<sim::Trace> trace;
+};
+
+class Network {
+public:
+    using NcuSink = std::function<void(const Delivery&)>;
+    /// (node notified, edge, new activity state)
+    using LinkSink = std::function<void(NodeId, EdgeId, bool)>;
+
+    Network(sim::Simulator& sim, const graph::Graph& g, ModelParams params,
+            cost::Metrics& metrics, NetworkConfig config = {});
+
+    Network(const Network&) = delete;
+    Network& operator=(const Network&) = delete;
+
+    const graph::Graph& graph() const { return graph_; }
+    const ModelParams& params() const { return params_; }
+    sim::Simulator& simulator() { return sim_; }
+    cost::Metrics& metrics() { return metrics_; }
+
+    /// Registers where deliveries for `node`'s NCU go. Must be set before
+    /// any packet can be delivered there.
+    void set_ncu_sink(NodeId node, NcuSink sink);
+
+    /// Registers the data-link notification callback (one for the whole
+    /// network; it receives the node to notify).
+    void set_link_sink(LinkSink sink);
+
+    /// Injects a packet from `from`'s NCU. The header's first label is
+    /// matched at `from`'s own switch. Enforces dmax when configured.
+    /// Returns the packet id (diagnostics).
+    std::uint64_t send(NodeId from, AnrHeader header, std::shared_ptr<const Payload> payload);
+
+    // ---- topology dynamics -------------------------------------------
+    void fail_link(EdgeId e) { set_link_active(e, false); }
+    void restore_link(EdgeId e) { set_link_active(e, true); }
+    void set_link_active(EdgeId e, bool active);
+    bool link_active(EdgeId e) const { return links_[e].active(); }
+
+    /// Fails every link incident to `u` (the paper models an inactive
+    /// node as a node all of whose links are inactive).
+    void fail_node(NodeId u);
+    void restore_node(NodeId u);
+
+    // ---- port geometry (static, known to each local NCU) -------------
+    /// Port at `node` for incident edge `e`; kNoPort if not incident.
+    PortId port_for_edge(NodeId node, EdgeId e) const;
+    /// Edge behind link port `p` at `node`.
+    EdgeId edge_at_port(NodeId node, PortId p) const;
+    /// Port at `node` leading to adjacent node `v`; kNoPort if not adjacent.
+    PortId port_to_neighbor(NodeId node, NodeId v) const;
+
+    /// Omniscient port map for tests/benches and for protocols whose
+    /// stated knowledge covers it (Section 5's complete graph).
+    PortMap omniscient_ports() const;
+
+    /// Omniscient route builder along a node path (see route_for_path).
+    AnrHeader route(std::span<const NodeId> path, CopyMode mode = CopyMode::kNone) const;
+
+    /// Width of one ANR label in bits: enough for every port id in the
+    /// network plus the copy bit — the paper's k = O(log m).
+    unsigned label_bits() const { return label_bits_; }
+
+private:
+    struct PortTable {
+        std::vector<EdgeId> port_to_edge;  // index 0 unused (NCU)
+    };
+
+    void process_at_switch(NodeId node, Packet pkt);
+    void transmit(NodeId from, EdgeId e, Packet pkt);
+    void arrive(NodeId at, EdgeId e, std::uint64_t epoch, Packet pkt);
+    void deliver_to_ncu(NodeId node, Packet pkt);
+
+    sim::Simulator& sim_;
+    const graph::Graph& graph_;
+    ModelParams params_;
+    cost::Metrics& metrics_;
+    NetworkConfig config_;
+    Rng rng_;
+
+    unsigned label_bits_ = 1;
+    std::vector<PortTable> ports_;
+    std::vector<LinkState> links_;
+    std::vector<NcuSink> ncu_sinks_;
+    LinkSink link_sink_;
+    std::uint64_t next_packet_id_ = 1;
+};
+
+}  // namespace fastnet::hw

@@ -1,0 +1,101 @@
+// Packets and ANR (Automatic Network Routing) labels — the hardware
+// vocabulary of Section 2.
+//
+// A packet is conceptually a bit string xy: the switching subsystem (SS)
+// pops the leading link id x and forwards y over every incident link
+// whose id set contains x. We represent x as an AnrLabel and the sequence
+// of remaining ids as an AnrHeader; the opaque payload that survives to
+// the destination NCU is a shared_ptr to an immutable Payload subclass.
+//
+// Id scheme (one concrete instance of the paper's "normal + copy id"
+// assignment): within a switch, port 0 is the NCU and ports 1..deg are
+// the incident links in graph insertion order. The *normal* id of port p
+// is p itself; the *copy* id of a link port p is p with the copy bit set.
+// The NCU port's id set is {0} plus every copy id — exactly the paper's
+// "the link to the NCU is assigned all the copy ID's of the other links",
+// which is what makes selective copy fall out of plain id matching.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/expect.hpp"
+#include "common/types.hpp"
+
+namespace fastnet::hw {
+
+/// Port index within one switching subsystem. 0 is always the NCU.
+using PortId = std::uint32_t;
+
+inline constexpr PortId kNcuPort = 0;
+
+/// One link id in an ANR header.
+class AnrLabel {
+public:
+    AnrLabel() = default;
+
+    /// Normal id of a port (use kNcuPort for "deliver to NCU here").
+    static AnrLabel normal(PortId port) { return AnrLabel(port); }
+
+    /// Copy id of a link port: forwards over the link AND drops a copy at
+    /// the local NCU. Not defined for the NCU port itself.
+    static AnrLabel copy(PortId port) {
+        FASTNET_EXPECTS_MSG(port != kNcuPort, "the NCU port has no copy id");
+        return AnrLabel(port | kCopyBit);
+    }
+
+    PortId port() const { return raw_ & ~kCopyBit; }
+    bool is_copy() const { return (raw_ & kCopyBit) != 0; }
+
+    std::uint32_t raw() const { return raw_; }
+
+    friend bool operator==(AnrLabel a, AnrLabel b) { return a.raw_ == b.raw_; }
+
+private:
+    explicit AnrLabel(std::uint32_t raw) : raw_(raw) {}
+    static constexpr std::uint32_t kCopyBit = 0x8000'0000u;
+    std::uint32_t raw_ = 0;
+};
+
+/// The source route: a sequence of link ids consumed front-to-back.
+using AnrHeader = std::vector<AnrLabel>;
+
+/// Base class for message payloads. Payloads are immutable once sent
+/// (shared by every copy the hardware makes), mirroring how a copied
+/// packet carries identical bits to every NCU on the path.
+struct Payload {
+    virtual ~Payload() = default;
+};
+
+/// A packet in flight.
+struct Packet {
+    AnrHeader header;                         ///< Remaining route (consumed per hop).
+    AnrHeader reverse;                        ///< Accumulated reverse route ending at the
+                                              ///< sender's NCU (Section 2's "receiver can
+                                              ///< reply" capability).
+    std::shared_ptr<const Payload> payload;   ///< Opaque content.
+    NodeId origin = kNoNode;                  ///< Injecting node (diagnostics only).
+    std::uint64_t id = 0;                     ///< Unique per injection (diagnostics).
+    unsigned hops = 0;                        ///< Links traversed so far.
+};
+
+/// What an NCU receives.
+struct Delivery {
+    NodeId at = kNoNode;                      ///< Node whose NCU got the packet.
+    AnrHeader remaining;                      ///< Rest of the route (non-empty iff this
+                                              ///< was a selective-copy drop mid-route).
+    AnrHeader reverse;                        ///< Route back to the injecting NCU.
+    std::shared_ptr<const Payload> payload;
+    NodeId origin = kNoNode;                  ///< Diagnostics only — protocols must carry
+                                              ///< sender identity in the payload.
+    unsigned hops = 0;                        ///< Hardware hops travelled.
+};
+
+/// Convenience downcast for payloads; returns nullptr on type mismatch.
+template <typename T>
+const T* payload_as(const Delivery& d) {
+    return dynamic_cast<const T*>(d.payload.get());
+}
+
+}  // namespace fastnet::hw

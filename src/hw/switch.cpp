@@ -1,0 +1,6 @@
+#include "hw/switch.hpp"
+
+// Header-only logic; TU anchors the module in the library.
+namespace fastnet::hw {
+static_assert(sizeof(SwitchingSubsystem) == sizeof(PortId));
+}  // namespace fastnet::hw

@@ -1,0 +1,55 @@
+#include "node/cluster.hpp"
+
+namespace fastnet::node {
+
+Cluster::Cluster(graph::Graph g, ProtocolFactory factory, ClusterConfig config)
+    : graph_(std::move(g)) {
+    FASTNET_EXPECTS(factory != nullptr);
+    metrics_ = std::make_unique<cost::Metrics>(graph_.node_count());
+    hw::NetworkConfig net_cfg = config.net;
+    net_cfg.seed = config.seed ^ 0x9e3779b97f4a7c15ULL;
+    if (config.trace && !net_cfg.trace) net_cfg.trace = config.trace;
+    net_ = std::make_unique<hw::Network>(sim_, graph_, config.params, *metrics_, net_cfg);
+
+    Rng master(config.seed);
+    runtimes_.reserve(graph_.node_count());
+    for (NodeId u = 0; u < graph_.node_count(); ++u) {
+        auto rt = std::make_unique<NodeRuntime>(u, *net_, factory(u), master.fork(),
+                                                config.ncu_delay_min, config.free_multisend);
+        rt->set_trace(config.trace);
+        net_->set_ncu_sink(u, [raw = rt.get()](const hw::Delivery& d) { raw->on_delivery(d); });
+        runtimes_.push_back(std::move(rt));
+    }
+    net_->set_link_sink([this](NodeId at, EdgeId e, bool up) {
+        runtimes_[at]->on_link_notification(e, up);
+    });
+}
+
+void Cluster::start(NodeId u, Tick at) {
+    FASTNET_EXPECTS(u < runtimes_.size());
+    runtimes_[u]->request_start(at);
+}
+
+void Cluster::start_all(Tick at) {
+    for (NodeId u = 0; u < runtimes_.size(); ++u) start(u, at);
+}
+
+Tick Cluster::run() {
+    sim_.run();
+    return sim_.now();
+}
+
+Tick Cluster::run_until(Tick until) {
+    sim_.run_until(until);
+    return sim_.now();
+}
+
+bool Cluster::quiescent() const {
+    if (!sim_.idle()) return false;
+    for (const auto& rt : runtimes_) {
+        if (!rt->ncu_idle()) return false;
+    }
+    return true;
+}
+
+}  // namespace fastnet::node

@@ -1,0 +1,88 @@
+// Cluster: one-stop assembly of simulator + network + node runtimes.
+//
+// This is the main entry point of the public API: construct a Cluster
+// from a graph, a protocol factory and model parameters; start nodes;
+// run; inspect protocols and costs.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cost/metrics.hpp"
+#include "graph/graph.hpp"
+#include "hw/network.hpp"
+#include "node/runtime.hpp"
+#include "sim/simulator.hpp"
+
+namespace fastnet::node {
+
+struct ClusterConfig {
+    ModelParams params = ModelParams::fast_network();
+    hw::NetworkConfig net;
+    /// If >= 0, NCU delays are drawn uniformly from [ncu_delay_min, P]
+    /// per invocation (P stays the analytic worst case).
+    Tick ncu_delay_min = -1;
+    /// The model's "send over multiple outgoing links at no extra
+    /// processing cost" feature (Section 2, validated on PARIS). Turn
+    /// off for ablation A1: each extra send in a handler costs P.
+    bool free_multisend = true;
+    /// Master seed; per-node streams are forked deterministically.
+    std::uint64_t seed = 42;
+    /// Optional observational trace, shared with the network fabric and
+    /// every node runtime (starts, deliveries, timers, link events,
+    /// sends, drops).
+    std::shared_ptr<sim::Trace> trace;
+};
+
+/// Creates the protocol instance for one node.
+using ProtocolFactory = std::function<std::unique_ptr<Protocol>(NodeId)>;
+
+class Cluster {
+public:
+    /// Takes the graph by value: the cluster owns its topology for its
+    /// whole lifetime (callers routinely pass generator temporaries).
+    Cluster(graph::Graph g, ProtocolFactory factory, ClusterConfig config = {});
+
+    Cluster(const Cluster&) = delete;
+    Cluster& operator=(const Cluster&) = delete;
+
+    sim::Simulator& simulator() { return sim_; }
+    hw::Network& network() { return *net_; }
+    cost::Metrics& metrics() { return *metrics_; }
+    const cost::Metrics& metrics() const { return *metrics_; }
+    const graph::Graph& graph() const { return net_->graph(); }
+    NodeId node_count() const { return graph().node_count(); }
+
+    /// Schedules a spontaneous start for one node / all nodes.
+    void start(NodeId u, Tick at = 0);
+    void start_all(Tick at = 0);
+
+    /// Runs to quiescence; returns the simulated completion time.
+    Tick run();
+    /// Runs until simulated `until`; returns the current time afterwards.
+    Tick run_until(Tick until);
+
+    /// Access a node's protocol (tests / harnesses downcast).
+    Protocol& protocol(NodeId u) { return runtimes_[u]->protocol(); }
+    const Protocol& protocol(NodeId u) const { return runtimes_[u]->protocol(); }
+
+    template <typename T>
+    T& protocol_as(NodeId u) {
+        auto* p = dynamic_cast<T*>(&protocol(u));
+        FASTNET_EXPECTS_MSG(p != nullptr, "protocol type mismatch");
+        return *p;
+    }
+
+    /// True when every NCU is idle and no events are pending.
+    bool quiescent() const;
+
+private:
+    sim::Simulator sim_;
+    graph::Graph graph_;
+    std::unique_ptr<cost::Metrics> metrics_;
+    std::unique_ptr<hw::Network> net_;
+    std::vector<std::unique_ptr<NodeRuntime>> runtimes_;
+};
+
+}  // namespace fastnet::node

@@ -1,0 +1,85 @@
+// The programming model for NCU software.
+//
+// A Protocol is the per-node software of a distributed algorithm. Its
+// handlers run inside NCU "system calls": each invocation occupies the
+// node's single processor for P ticks (the software delay of Section 2)
+// and is strictly serialized with every other invocation at that node —
+// which is also what gives the election algorithm its token mutual
+// exclusion for free. Inside one invocation the protocol may inject any
+// number of packets at no extra processing cost (the model's multi-link
+// send feature, validated on PARIS).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "hw/anr.hpp"
+#include "hw/packet.hpp"
+
+namespace fastnet::node {
+
+/// A node's view of one adjacent link — exactly the knowledge the paper
+/// grants an NCU a priori: the link's ids (at both endpoints, exchanged
+/// by the data-link initialization protocol), the neighbor's identity,
+/// and the operational state reported by the data-link layer.
+struct LocalLink {
+    EdgeId edge = kNoEdge;
+    NodeId neighbor = kNoNode;
+    hw::PortId port = hw::kNoPort;         ///< Our side's id.
+    hw::PortId remote_port = hw::kNoPort;  ///< The neighbor's side id.
+    bool active = true;
+};
+
+using TimerId = std::uint64_t;
+
+/// Services available to a protocol during a handler invocation.
+class Context {
+public:
+    virtual ~Context() = default;
+
+    virtual NodeId self() const = 0;
+    virtual Tick now() const = 0;
+    virtual const ModelParams& params() const = 0;
+
+    /// Local topology: adjacent links with locally-known activity state.
+    virtual std::span<const LocalLink> links() const = 0;
+
+    /// Injects a packet with the given source route.
+    virtual void send(hw::AnrHeader header, std::shared_ptr<const hw::Payload> payload) = 0;
+
+    /// Replies to a received packet over its accumulated reverse route.
+    virtual void reply(const hw::Delivery& to, std::shared_ptr<const hw::Payload> payload) = 0;
+
+    /// Schedules on_timer(cookie) after `delay` ticks (>= 0).
+    virtual TimerId set_timer(Tick delay, std::uint64_t cookie) = 0;
+    virtual void cancel_timer(TimerId id) = 0;
+
+    /// Deterministic per-node randomness (workload shaping only).
+    virtual Rng& rng() = 0;
+};
+
+/// Base class for node software. Handlers run serialized per node; each
+/// costs one NCU involvement.
+class Protocol {
+public:
+    virtual ~Protocol() = default;
+
+    /// Spontaneous start (the paper's START message from outside).
+    virtual void on_start(Context&) {}
+
+    /// A packet reached this NCU.
+    virtual void on_message(Context&, const hw::Delivery&) {}
+
+    /// The data-link layer reports a persistent link state change.
+    virtual void on_link_state(Context&, const LocalLink&, bool up) {
+        (void)up;
+    }
+
+    /// A timer set via Context::set_timer fired.
+    virtual void on_timer(Context&, std::uint64_t cookie) { (void)cookie; }
+};
+
+}  // namespace fastnet::node

@@ -1,0 +1,161 @@
+#include "node/runtime.hpp"
+
+#include <algorithm>
+
+namespace fastnet::node {
+
+NodeRuntime::NodeRuntime(NodeId self, hw::Network& net, std::unique_ptr<Protocol> protocol,
+                         Rng rng, Tick ncu_delay_min, bool free_multisend)
+    : self_(self),
+      net_(net),
+      protocol_(std::move(protocol)),
+      rng_(rng),
+      ncu_delay_min_(ncu_delay_min),
+      free_multisend_(free_multisend) {
+    FASTNET_EXPECTS(protocol_ != nullptr);
+    const graph::Graph& g = net_.graph();
+    links_.reserve(g.degree(self));
+    for (const graph::IncidentEdge& ie : g.incident(self)) {
+        LocalLink l;
+        l.edge = ie.edge;
+        l.neighbor = ie.neighbor;
+        l.port = net_.port_for_edge(self, ie.edge);
+        l.remote_port = net_.port_for_edge(ie.neighbor, ie.edge);
+        l.active = net_.link_active(ie.edge);
+        links_.push_back(l);
+    }
+}
+
+Tick NodeRuntime::now() const { return net_.simulator().now(); }
+
+void NodeRuntime::request_start(Tick at) {
+    net_.simulator().at(at, [this] { enqueue(StartWork{}); });
+}
+
+void NodeRuntime::on_delivery(const hw::Delivery& d) { enqueue(d); }
+
+void NodeRuntime::on_link_notification(EdgeId e, bool up) {
+    for (std::size_t i = 0; i < links_.size(); ++i) {
+        if (links_[i].edge == e) {
+            enqueue(LinkWork{i, up});
+            return;
+        }
+    }
+    FASTNET_ENSURES_MSG(false, "link notification for non-incident edge");
+}
+
+void NodeRuntime::enqueue(Work w) {
+    queue_.push_back(std::move(w));
+    begin_next_if_idle();
+}
+
+Tick NodeRuntime::processing_delay() {
+    const Tick p = net_.params().ncu_delay;
+    if (ncu_delay_min_ >= 0 && ncu_delay_min_ < p) return rng_.range(ncu_delay_min_, p);
+    return p;
+}
+
+void NodeRuntime::begin_next_if_idle() {
+    if (busy_ || queue_.empty()) return;
+    busy_ = true;
+    Work w = std::move(queue_.front());
+    queue_.pop_front();
+    const Tick delay = processing_delay();
+    net_.metrics().node(self_).busy_time += delay;
+    net_.simulator().after(delay, [this, w = std::move(w)]() mutable {
+        busy_ = false;
+        sends_this_call_ = 0;
+        extra_busy_ = 0;
+        complete(std::move(w));
+        if (extra_busy_ > 0) {
+            // Ablation A1: serialized sends keep the processor occupied.
+            busy_ = true;
+            net_.metrics().node(self_).busy_time += extra_busy_;
+            net_.simulator().after(extra_busy_, [this] {
+                busy_ = false;
+                begin_next_if_idle();
+            });
+            return;
+        }
+        begin_next_if_idle();
+    });
+}
+
+void NodeRuntime::complete(Work w) {
+    cost::NodeCounters& counters = net_.metrics().node(self_);
+    if (std::holds_alternative<StartWork>(w)) {
+        counters.starts += 1;
+        if (trace_) trace_->record(now(), self_, sim::TraceKind::kStart);
+        protocol_->on_start(*this);
+    } else if (auto* d = std::get_if<hw::Delivery>(&w)) {
+        counters.message_deliveries += 1;
+        if (trace_)
+            trace_->record(now(), self_, sim::TraceKind::kDeliver,
+                           "hops=" + std::to_string(d->hops));
+        protocol_->on_message(*this, *d);
+    } else if (auto* l = std::get_if<LinkWork>(&w)) {
+        counters.link_events += 1;
+        links_[l->link_index].active = l->up;
+        if (trace_)
+            trace_->record(now(), self_, sim::TraceKind::kLinkChange,
+                           "edge=" + std::to_string(links_[l->link_index].edge) +
+                               (l->up ? " up" : " down"));
+        protocol_->on_link_state(*this, links_[l->link_index], l->up);
+    } else if (auto* t = std::get_if<TimerWork>(&w)) {
+        auto it = std::find(cancelled_timers_.begin(), cancelled_timers_.end(), t->id);
+        if (it != cancelled_timers_.end()) {
+            cancelled_timers_.erase(it);
+            return;  // cancelled after the fire event queued the work
+        }
+        counters.timer_fires += 1;
+        if (trace_)
+            trace_->record(now(), self_, sim::TraceKind::kTimer,
+                           "cookie=" + std::to_string(t->cookie));
+        protocol_->on_timer(*this, t->cookie);
+    }
+}
+
+void NodeRuntime::send(hw::AnrHeader header, std::shared_ptr<const hw::Payload> payload) {
+    const unsigned index = sends_this_call_++;
+    if (free_multisend_ || index == 0) {
+        net_.send(self_, std::move(header), std::move(payload));
+        return;
+    }
+    // Without the free multi-link send, each further packet needs its own
+    // processing slot: it leaves index * P later.
+    const Tick wait = static_cast<Tick>(index) * net_.params().ncu_delay;
+    extra_busy_ = std::max(extra_busy_, wait);
+    net_.simulator().after(wait, [this, h = std::move(header), p = std::move(payload)]() mutable {
+        net_.send(self_, std::move(h), std::move(p));
+    });
+}
+
+void NodeRuntime::reply(const hw::Delivery& to, std::shared_ptr<const hw::Payload> payload) {
+    FASTNET_EXPECTS_MSG(!to.reverse.empty(), "delivery has no reverse route");
+    net_.send(self_, to.reverse, std::move(payload));
+}
+
+TimerId NodeRuntime::set_timer(Tick delay, std::uint64_t cookie) {
+    FASTNET_EXPECTS(delay >= 0);
+    const TimerId id = next_timer_++;
+    const sim::EventId ev = net_.simulator().after(delay, [this, id, cookie] {
+        std::erase_if(pending_timers_, [id](const auto& p) { return p.first == id; });
+        enqueue(TimerWork{id, cookie});
+    });
+    pending_timers_.emplace_back(id, ev);
+    return id;
+}
+
+void NodeRuntime::cancel_timer(TimerId id) {
+    auto it = std::find_if(pending_timers_.begin(), pending_timers_.end(),
+                           [id](const auto& p) { return p.first == id; });
+    if (it != pending_timers_.end()) {
+        net_.simulator().cancel(it->second);
+        pending_timers_.erase(it);
+        return;
+    }
+    // The fire event may already have enqueued the work; suppress it.
+    cancelled_timers_.push_back(id);
+}
+
+}  // namespace fastnet::node

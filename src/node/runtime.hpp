@@ -1,0 +1,105 @@
+// Per-node NCU runtime: the serial software processor.
+//
+// Work items (start requests, packet deliveries, link notifications,
+// timer fires) queue at the NCU and are processed one at a time; each
+// occupies the processor for P ticks (optionally jittered downwards —
+// P is a worst-case bound in the model). The protocol handler executes
+// at the *end* of its processing window, so a message received at time t
+// has fully taken effect by t + P, matching the accounting Section 5's
+// recursion relies on ("the last message must be received no later than
+// t - P"). FIFO arrival order is preserved by the queue.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <variant>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "cost/metrics.hpp"
+#include "hw/network.hpp"
+#include "node/protocol.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace fastnet::node {
+
+class NodeRuntime final : public Context {
+public:
+    /// `free_multisend` — the model feature validated on PARIS: all
+    /// packets injected within one handler leave at once at no extra
+    /// processing cost. When false (ablation A1), the i-th send of a
+    /// handler leaves i*P later and the NCU stays busy until the last
+    /// one has left.
+    NodeRuntime(NodeId self, hw::Network& net, std::unique_ptr<Protocol> protocol,
+                Rng rng, Tick ncu_delay_min = -1, bool free_multisend = true);
+
+    NodeRuntime(const NodeRuntime&) = delete;
+    NodeRuntime& operator=(const NodeRuntime&) = delete;
+
+    /// Attaches an observational trace (may be null).
+    void set_trace(std::shared_ptr<sim::Trace> trace) { trace_ = std::move(trace); }
+
+    /// Enqueues a spontaneous start at simulated time `at`.
+    void request_start(Tick at);
+
+    /// Called by the network fabric (registered as the NCU sink).
+    void on_delivery(const hw::Delivery& d);
+
+    /// Called by the network fabric on data-link notifications.
+    void on_link_notification(EdgeId e, bool up);
+
+    Protocol& protocol() { return *protocol_; }
+    const Protocol& protocol() const { return *protocol_; }
+
+    /// True when no work is queued or in progress.
+    bool ncu_idle() const { return !busy_ && queue_.empty(); }
+
+    // ---- Context ------------------------------------------------------
+    NodeId self() const override { return self_; }
+    Tick now() const override;
+    const ModelParams& params() const override { return net_.params(); }
+    std::span<const LocalLink> links() const override { return links_; }
+    void send(hw::AnrHeader header, std::shared_ptr<const hw::Payload> payload) override;
+    void reply(const hw::Delivery& to, std::shared_ptr<const hw::Payload> payload) override;
+    TimerId set_timer(Tick delay, std::uint64_t cookie) override;
+    void cancel_timer(TimerId id) override;
+    Rng& rng() override { return rng_; }
+
+private:
+    struct StartWork {};
+    struct TimerWork {
+        TimerId id;
+        std::uint64_t cookie;
+    };
+    struct LinkWork {
+        std::size_t link_index;
+        bool up;
+    };
+    using Work = std::variant<StartWork, hw::Delivery, LinkWork, TimerWork>;
+
+    void enqueue(Work w);
+    void begin_next_if_idle();
+    void complete(Work w);
+    Tick processing_delay();
+
+    NodeId self_;
+    hw::Network& net_;
+    std::unique_ptr<Protocol> protocol_;
+    Rng rng_;
+    Tick ncu_delay_min_;
+    bool free_multisend_;
+    unsigned sends_this_call_ = 0;
+    Tick extra_busy_ = 0;
+    std::shared_ptr<sim::Trace> trace_;
+
+    std::vector<LocalLink> links_;
+    std::deque<Work> queue_;
+    bool busy_ = false;
+    TimerId next_timer_ = 1;
+    std::vector<TimerId> cancelled_timers_;
+    std::vector<std::pair<TimerId, sim::EventId>> pending_timers_;
+};
+
+}  // namespace fastnet::node

@@ -1,0 +1,102 @@
+#include "node/scenario.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/expect.hpp"
+
+namespace fastnet::node {
+
+Scenario& Scenario::fail_link(Tick at, EdgeId e) {
+    actions_.push_back({at, ScenarioAction::Kind::kFailLink, e, kNoNode});
+    return *this;
+}
+
+Scenario& Scenario::restore_link(Tick at, EdgeId e) {
+    actions_.push_back({at, ScenarioAction::Kind::kRestoreLink, e, kNoNode});
+    return *this;
+}
+
+Scenario& Scenario::fail_node(Tick at, NodeId u) {
+    actions_.push_back({at, ScenarioAction::Kind::kFailNode, kNoEdge, u});
+    return *this;
+}
+
+Scenario& Scenario::restore_node(Tick at, NodeId u) {
+    actions_.push_back({at, ScenarioAction::Kind::kRestoreNode, kNoEdge, u});
+    return *this;
+}
+
+Scenario& Scenario::start(Tick at, NodeId u) {
+    actions_.push_back({at, ScenarioAction::Kind::kStart, kNoEdge, u});
+    return *this;
+}
+
+void Scenario::apply(Cluster& cluster) const {
+    for (const ScenarioAction& a : actions_) {
+        switch (a.kind) {
+            case ScenarioAction::Kind::kStart:
+                cluster.start(a.node, a.at);
+                break;
+            case ScenarioAction::Kind::kFailLink:
+                cluster.simulator().at(a.at, [&cluster, e = a.edge] {
+                    cluster.network().fail_link(e);
+                });
+                break;
+            case ScenarioAction::Kind::kRestoreLink:
+                cluster.simulator().at(a.at, [&cluster, e = a.edge] {
+                    cluster.network().restore_link(e);
+                });
+                break;
+            case ScenarioAction::Kind::kFailNode:
+                cluster.simulator().at(a.at, [&cluster, u = a.node] {
+                    cluster.network().fail_node(u);
+                });
+                break;
+            case ScenarioAction::Kind::kRestoreNode:
+                cluster.simulator().at(a.at, [&cluster, u = a.node] {
+                    cluster.network().restore_node(u);
+                });
+                break;
+        }
+    }
+}
+
+Scenario Scenario::random_churn(const graph::Graph& g, unsigned events, Tick from, Tick to,
+                                Rng& rng, const std::vector<EdgeId>& protect) {
+    FASTNET_EXPECTS(from <= to && g.edge_count() > 0);
+    Scenario s;
+    for (unsigned i = 0; i < events; ++i) {
+        EdgeId e;
+        do {
+            e = static_cast<EdgeId>(rng.below(g.edge_count()));
+        } while (std::find(protect.begin(), protect.end(), e) != protect.end());
+        const Tick at = from + static_cast<Tick>(
+                                   rng.below(static_cast<std::uint64_t>(to - from) + 1));
+        if (rng.chance(1, 2))
+            s.fail_link(at, e);
+        else
+            s.restore_link(at, e);
+    }
+    return s;
+}
+
+Scenario& Scenario::heal_all(Tick at) {
+    // "Last action wins" in *simulated time* order (stable on ties, which
+    // matches the event queue's schedule-order tie-breaking).
+    std::vector<ScenarioAction> ordered = actions_;
+    std::stable_sort(ordered.begin(), ordered.end(),
+                     [](const ScenarioAction& a, const ScenarioAction& b) {
+                         return a.at < b.at;
+                     });
+    std::map<EdgeId, bool> last_is_fail;
+    for (const ScenarioAction& a : ordered) {
+        if (a.kind == ScenarioAction::Kind::kFailLink) last_is_fail[a.edge] = true;
+        if (a.kind == ScenarioAction::Kind::kRestoreLink) last_is_fail[a.edge] = false;
+    }
+    for (const auto& [e, failed] : last_is_fail)
+        if (failed) restore_link(at, e);
+    return *this;
+}
+
+}  // namespace fastnet::node

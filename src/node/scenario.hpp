@@ -1,0 +1,54 @@
+// Declarative failure/repair scripts for experiments.
+//
+// A Scenario is a list of timed network actions (fail/restore links and
+// nodes, start protocols) applied to a Cluster before running it. Tests,
+// benches and examples share one vocabulary instead of ad-hoc lambdas,
+// and a scenario can be generated randomly from a seed (reproducible
+// chaos testing).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "node/cluster.hpp"
+
+namespace fastnet::node {
+
+struct ScenarioAction {
+    enum class Kind { kFailLink, kRestoreLink, kFailNode, kRestoreNode, kStart };
+    Tick at = 0;
+    Kind kind = Kind::kFailLink;
+    EdgeId edge = kNoEdge;   ///< For link actions.
+    NodeId node = kNoNode;   ///< For node actions / start.
+};
+
+class Scenario {
+public:
+    Scenario& fail_link(Tick at, EdgeId e);
+    Scenario& restore_link(Tick at, EdgeId e);
+    Scenario& fail_node(Tick at, NodeId u);
+    Scenario& restore_node(Tick at, NodeId u);
+    Scenario& start(Tick at, NodeId u);
+
+    const std::vector<ScenarioAction>& actions() const { return actions_; }
+    std::size_t size() const { return actions_.size(); }
+
+    /// Schedules every action on the cluster's simulator (idempotent per
+    /// call; the caller still runs the cluster).
+    void apply(Cluster& cluster) const;
+
+    /// A random fail/restore churn: `events` actions over [from, to),
+    /// never touching edges in `protect` (e.g. bridges you must keep).
+    static Scenario random_churn(const graph::Graph& g, unsigned events, Tick from, Tick to,
+                                 Rng& rng, const std::vector<EdgeId>& protect = {});
+
+    /// Ensures the scenario leaves every link active at the end: appends
+    /// a restore at `at` for every link whose last scripted action (in
+    /// simulated-time order) was a failure.
+    Scenario& heal_all(Tick at);
+
+private:
+    std::vector<ScenarioAction> actions_;
+};
+
+}  // namespace fastnet::node

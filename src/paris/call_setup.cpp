@@ -1,0 +1,379 @@
+#include "paris/call_setup.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+
+namespace fastnet::paris {
+namespace {
+
+/// The single setup packet. Carries the full route specification (node
+/// path plus the per-hop port ids in both directions) so that every
+/// on-path NCU can derive its own routes to either endpoint.
+struct SetupMsg final : hw::Payload {
+    CallId id;
+    NodeId source = kNoNode;
+    NodeId destination = kNoNode;
+    std::uint32_t demand = 0;
+    std::vector<NodeId> path;          ///< path[0] = source, back() = destination.
+    std::vector<hw::PortId> fwd_ports; ///< at path[k] toward path[k+1].
+    std::vector<hw::PortId> rev_ports; ///< at path[k+1] toward path[k].
+    bool selective_copy = true;        ///< Ablation A5 (see options).
+};
+
+struct AcceptMsg final : hw::Payload {
+    CallId id;
+};
+
+struct RejectMsg final : hw::Payload {
+    CallId id;
+    NodeId bottleneck = kNoNode;
+};
+
+struct TeardownMsg final : hw::Payload {
+    CallId id;
+    bool due_to_reject = false;
+    bool relay = false;  ///< Hop-by-hop mode: receiver re-sends onward.
+};
+
+struct DisconnectMsg final : hw::Payload {
+    CallId id;
+};
+
+/// Route from path[i] to the destination; copies at interior nodes so a
+/// teardown/disconnect riding it releases every hop in one message.
+hw::AnrHeader route_to_destination(const SetupMsg& m, std::size_t i, bool copies) {
+    hw::AnrHeader h;
+    for (std::size_t k = i; k + 1 < m.path.size(); ++k) {
+        const bool interior = copies && k > i;
+        h.push_back(interior ? hw::AnrLabel::copy(m.fwd_ports[k])
+                             : hw::AnrLabel::normal(m.fwd_ports[k]));
+    }
+    h.push_back(hw::AnrLabel::normal(hw::kNcuPort));
+    return h;
+}
+
+/// Route from path[i] back to the source, same copy convention.
+hw::AnrHeader route_to_source(const SetupMsg& m, std::size_t i, bool copies) {
+    hw::AnrHeader h;
+    for (std::size_t k = i; k >= 1; --k) {
+        const bool interior = copies && k < i;
+        h.push_back(interior ? hw::AnrLabel::copy(m.rev_ports[k - 1])
+                             : hw::AnrLabel::normal(m.rev_ports[k - 1]));
+    }
+    h.push_back(hw::AnrLabel::normal(hw::kNcuPort));
+    return h;
+}
+
+/// One normal hop from path[i] to path[i+1], into the NCU there.
+hw::AnrHeader one_hop_forward(const SetupMsg& m, std::size_t i) {
+    return {hw::AnrLabel::normal(m.fwd_ports[i]), hw::AnrLabel::normal(hw::kNcuPort)};
+}
+
+}  // namespace
+
+const char* call_state_name(CallState s) {
+    switch (s) {
+        case CallState::kIdle: return "idle";
+        case CallState::kSettingUp: return "setting-up";
+        case CallState::kReserved: return "reserved";
+        case CallState::kActive: return "active";
+        case CallState::kRejected: return "rejected";
+        case CallState::kReleased: return "released";
+        case CallState::kFailed: return "failed";
+    }
+    return "?";
+}
+
+CallAgentProtocol::CallAgentProtocol(const graph::Graph& g, CallAgentOptions options)
+    : graph_(g), options_(std::move(options)) {}
+
+CallState CallAgentProtocol::state_of(CallId id) const {
+    const auto it = records_.find(id);
+    return it == records_.end() ? CallState::kIdle : it->second.state;
+}
+
+std::uint32_t CallAgentProtocol::free_capacity(EdgeId edge) const {
+    const auto it = reserved_.find(edge);
+    const std::uint32_t used = it == reserved_.end() ? 0 : it->second;
+    return options_.link_capacity - used;
+}
+
+bool CallAgentProtocol::reserve(EdgeId edge, std::uint32_t demand) {
+    if (free_capacity(edge) < demand) return false;
+    reserved_[edge] += demand;
+    return true;
+}
+
+void CallAgentProtocol::on_start(node::Context& ctx) {
+    for (const CallRequest& req : options_.requests) {
+        const std::uint64_t cookie = next_cookie_++;
+        pending_[cookie] = req;
+        ctx.set_timer(req.at, cookie);
+    }
+}
+
+void CallAgentProtocol::on_timer(node::Context& ctx, std::uint64_t cookie) {
+    if (const auto it = pending_.find(cookie); it != pending_.end()) {
+        const CallRequest req = it->second;
+        pending_.erase(it);
+        place_call(ctx, req);
+        return;
+    }
+    if (const auto it = hold_timers_.find(cookie); it != hold_timers_.end()) {
+        const CallId id = it->second;
+        hold_timers_.erase(it);
+        const auto rec = records_.find(id);
+        if (rec != records_.end() && rec->second.state == CallState::kActive)
+            teardown(ctx, rec->second);
+        return;
+    }
+}
+
+void CallAgentProtocol::place_call(node::Context& ctx, const CallRequest& req) {
+    const NodeId self = ctx.self();
+    FASTNET_EXPECTS_MSG(req.destination != self, "call to self");
+    FASTNET_EXPECTS(req.destination < graph_.node_count());
+
+    auto msg = std::make_shared<SetupMsg>();
+    msg->id = CallId{self, next_seq_++};
+    msg->source = self;
+    msg->destination = req.destination;
+    msg->demand = req.demand;
+    msg->selective_copy = options_.selective_copy;
+
+    // Route from the node's (converged) topology knowledge: min-hop.
+    const graph::BfsResult bfs = graph::bfs(graph_, self);
+    if (bfs.dist[req.destination] == graph::BfsResult::kUnreached) {
+        calls_rejected_ += 1;
+        return;
+    }
+    for (NodeId v = req.destination; v != kNoNode; v = bfs.parent[v])
+        msg->path.push_back(v);
+    std::reverse(msg->path.begin(), msg->path.end());
+    const hw::PortMap ports = hw::canonical_ports(graph_);
+    for (std::size_t k = 0; k + 1 < msg->path.size(); ++k) {
+        msg->fwd_ports.push_back(ports(msg->path[k], msg->path[k + 1]));
+        msg->rev_ports.push_back(ports(msg->path[k + 1], msg->path[k]));
+    }
+
+    CallRecord rec;
+    rec.id = msg->id;
+    rec.source = self;
+    rec.destination = req.destination;
+    rec.demand = req.demand;
+    rec.to_destination = route_to_destination(*msg, 0, options_.selective_copy);
+    rec.to_source = {};  // we are the source
+
+    const EdgeId out = graph_.find_edge(msg->path[0], msg->path[1]);
+    if (!reserve(out, req.demand)) {
+        calls_rejected_ += 1;
+        rec.state = CallState::kRejected;
+        records_[rec.id] = rec;
+        return;
+    }
+    rec.reserved_edge = out;
+    rec.state = CallState::kSettingUp;
+    if (req.hold_time >= 0) {
+        const std::uint64_t cookie = next_cookie_++;
+        hold_timers_[cookie] = rec.id;
+        // Hold time counts from now; generous enough in tests to cover
+        // the setup round-trip.
+        ctx.set_timer(req.hold_time, cookie);
+    }
+    records_[rec.id] = rec;
+    if (options_.selective_copy) {
+        // One packet; copy ids fan it out to every on-path NCU at once.
+        ctx.send(rec.to_destination, msg);
+    } else {
+        // Pre-PARIS software path: forward to the next hop only.
+        ctx.send(one_hop_forward(*msg, 0), msg);
+    }
+}
+
+void CallAgentProtocol::release_local(CallRecord& rec, CallState final_state) {
+    if (rec.reserved_edge != kNoEdge) {
+        auto it = reserved_.find(rec.reserved_edge);
+        FASTNET_ENSURES(it != reserved_.end() && it->second >= rec.demand);
+        it->second -= rec.demand;
+        rec.reserved_edge = kNoEdge;
+    }
+    rec.state = final_state;
+}
+
+void CallAgentProtocol::send_teardown(node::Context& ctx, const CallRecord& rec,
+                                      bool due_to_reject) {
+    auto msg = std::make_shared<TeardownMsg>();
+    msg->id = rec.id;
+    msg->due_to_reject = due_to_reject;
+    msg->relay = !options_.selective_copy;
+    if (options_.selective_copy) {
+        // One copy packet releases every hop at once.
+        ctx.send(rec.to_destination, msg);
+    } else {
+        // Hop-by-hop: next NCU releases, then re-sends onward.
+        ctx.send({rec.to_destination.front(), hw::AnrLabel::normal(hw::kNcuPort)},
+                 msg);
+    }
+}
+
+void CallAgentProtocol::teardown(node::Context& ctx, CallRecord& rec) {
+    send_teardown(ctx, rec, /*due_to_reject=*/false);
+    if (rec.state == CallState::kActive) calls_active_ -= 1;
+    release_local(rec, CallState::kReleased);
+    calls_released_ += 1;
+}
+
+void CallAgentProtocol::on_message(node::Context& ctx, const hw::Delivery& d) {
+    const NodeId self = ctx.self();
+    if (const auto* setup = hw::payload_as<SetupMsg>(d)) {
+        const auto it = std::find(setup->path.begin(), setup->path.end(), self);
+        FASTNET_EXPECTS_MSG(it != setup->path.end(), "setup strayed off its path");
+        const std::size_t i = static_cast<std::size_t>(it - setup->path.begin());
+
+        CallRecord rec;
+        rec.id = setup->id;
+        rec.source = setup->source;
+        rec.destination = setup->destination;
+        rec.demand = setup->demand;
+        rec.to_source = route_to_source(*setup, i, setup->selective_copy);
+        if (self == setup->destination) {
+            rec.state = CallState::kReserved;  // activated by our own ACCEPT
+            records_[rec.id] = rec;
+            auto acc = std::make_shared<AcceptMsg>();
+            acc->id = setup->id;
+            ctx.send(records_[rec.id].to_source, acc);
+            records_[rec.id].state = CallState::kActive;
+            return;
+        }
+        rec.to_destination = route_to_destination(*setup, i, setup->selective_copy);
+        const EdgeId out = graph_.find_edge(setup->path[i], setup->path[i + 1]);
+        if (!reserve(out, setup->demand)) {
+            rec.state = CallState::kRejected;
+            records_[rec.id] = rec;
+            auto rej = std::make_shared<RejectMsg>();
+            rej->id = setup->id;
+            rej->bottleneck = self;
+            ctx.send(records_[rec.id].to_source, rej);
+            return;
+        }
+        rec.reserved_edge = out;
+        rec.state = CallState::kReserved;
+        records_[rec.id] = rec;
+        if (!setup->selective_copy) {
+            // Hop-by-hop mode: this NCU re-sends the setup onward.
+            ctx.send(one_hop_forward(*setup, i), std::make_shared<SetupMsg>(*setup));
+        }
+        return;
+    }
+    if (const auto* acc = hw::payload_as<AcceptMsg>(d)) {
+        const auto it = records_.find(acc->id);
+        if (it == records_.end()) return;
+        CallRecord& rec = it->second;
+        if (rec.source == self) {
+            if (rec.state == CallState::kSettingUp) {
+                rec.state = CallState::kActive;
+                calls_active_ += 1;
+            }
+            // (A reject may have arrived first; then we stay rejected.)
+        } else if (rec.state == CallState::kReserved) {
+            rec.state = CallState::kActive;  // intermediate copy of the accept
+        }
+        return;
+    }
+    if (const auto* rej = hw::payload_as<RejectMsg>(d)) {
+        const auto it = records_.find(rej->id);
+        if (it == records_.end() || it->second.source != self) return;
+        CallRecord& rec = it->second;
+        if (rec.state == CallState::kSettingUp || rec.state == CallState::kActive) {
+            if (rec.state == CallState::kActive) calls_active_ -= 1;
+            calls_rejected_ += 1;
+            // Release the partial reservation everywhere downstream.
+            send_teardown(ctx, rec, /*due_to_reject=*/true);
+            release_local(rec, CallState::kRejected);
+        }
+        return;
+    }
+    if (const auto* td = hw::payload_as<TeardownMsg>(d)) {
+        const auto it = records_.find(td->id);
+        if (it == records_.end()) return;
+        CallRecord& rec = it->second;
+        const bool had_more = td->relay && self != rec.destination &&
+                              !rec.to_destination.empty() &&
+                              (rec.state == CallState::kReserved ||
+                               rec.state == CallState::kActive);
+        if (had_more) {
+            // Hop-by-hop mode: pass the teardown onward before releasing.
+            hw::AnrHeader hop{rec.to_destination.front(),
+                              hw::AnrLabel::normal(hw::kNcuPort)};
+            ctx.send(std::move(hop), std::make_shared<TeardownMsg>(*td));
+        }
+        release_local(rec, td->due_to_reject ? CallState::kRejected : CallState::kReleased);
+        return;
+    }
+    if (const auto* dis = hw::payload_as<DisconnectMsg>(d)) {
+        const auto it = records_.find(dis->id);
+        if (it == records_.end()) return;
+        CallRecord& rec = it->second;
+        if (rec.state == CallState::kReleased || rec.state == CallState::kRejected ||
+            rec.state == CallState::kFailed)
+            return;
+        if (rec.source == self &&
+            (rec.state == CallState::kActive || rec.state == CallState::kSettingUp)) {
+            if (rec.state == CallState::kActive) calls_active_ -= 1;
+            calls_failed_ += 1;
+        }
+        release_local(rec, CallState::kFailed);
+        return;
+    }
+    FASTNET_ENSURES_MSG(false, "unexpected payload in call agent");
+}
+
+void CallAgentProtocol::on_link_state(node::Context& ctx, const node::LocalLink& link,
+                                      bool up) {
+    if (up) return;
+    // Any call whose route crosses the dead link at this node is lost.
+    for (auto& [id, rec] : records_) {
+        if (rec.state != CallState::kReserved && rec.state != CallState::kActive &&
+            rec.state != CallState::kSettingUp)
+            continue;
+        const bool outgoing_died = rec.reserved_edge == link.edge;
+        // Incoming side: the dead link is the hop that reaches us; we can
+        // still reach the destination side.
+        const bool incoming_died =
+            !outgoing_died && !rec.to_source.empty() &&
+            rec.source != ctx.self() &&
+            rec.to_source.front().port() == link.port;
+        if (!outgoing_died && !incoming_died) continue;
+
+        auto dis = std::make_shared<DisconnectMsg>();
+        dis->id = id;
+        if (outgoing_died && !rec.to_source.empty() && rec.source != ctx.self()) {
+            ctx.send(rec.to_source, dis);
+        } else if (outgoing_died && rec.source == ctx.self()) {
+            // We are the source: nothing upstream to tell.
+        } else if (incoming_died && !rec.to_destination.empty()) {
+            ctx.send(rec.to_destination, dis);
+        }
+        if (rec.source == ctx.self() &&
+            (rec.state == CallState::kActive || rec.state == CallState::kSettingUp)) {
+            if (rec.state == CallState::kActive) calls_active_ -= 1;
+            calls_failed_ += 1;
+        }
+        release_local(rec, CallState::kFailed);
+    }
+}
+
+node::ProtocolFactory make_call_agents(const graph::Graph& g, std::uint32_t link_capacity,
+                                       std::map<NodeId, std::vector<CallRequest>> scripts,
+                                       bool selective_copy) {
+    return [&g, link_capacity, scripts = std::move(scripts), selective_copy](NodeId u) {
+        CallAgentOptions opt;
+        opt.link_capacity = link_capacity;
+        opt.selective_copy = selective_copy;
+        if (const auto it = scripts.find(u); it != scripts.end()) opt.requests = it->second;
+        return std::make_unique<CallAgentProtocol>(g, opt);
+    };
+}
+
+}  // namespace fastnet::paris

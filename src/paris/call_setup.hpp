@@ -1,0 +1,141 @@
+// PARIS-style call setup and take-down — the application Section 2
+// points at when it introduces selective copy ("An example how the copy
+// function is used for setup and take-down of calls appears in [CG88]").
+//
+// A call is a bandwidth reservation along a source-routed path. The
+// source computes the route from its (converged) topology knowledge and
+// launches ONE setup packet whose intermediate hops use copy ids: every
+// NCU on the path receives the packet in parallel and reserves capacity
+// on its outgoing link — call establishment in one time unit and one
+// system call per on-path node, which is the whole point of the model.
+//
+//   * If every hop reserves, the destination's ACCEPT (one direct
+//     message over the accumulated reverse route) activates the call.
+//   * A node without spare capacity sends REJECT to the source, which
+//     releases the partial reservation with a TAKEDOWN copy packet.
+//   * Take-down of an active call is the same single copy packet.
+//   * A link failure under an active call makes the adjacent on-path
+//     NCUs (notified by the data-link layer) send DISCONNECT toward the
+//     endpoint they can still reach; every node on the way releases.
+//
+// Capacity bookkeeping is distributed and conservative: the *upstream*
+// node of each directed hop owns the reservation for that hop.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "graph/algorithms.hpp"
+#include "graph/graph.hpp"
+#include "hw/anr.hpp"
+#include "node/cluster.hpp"
+
+namespace fastnet::paris {
+
+/// Globally unique call identifier (source node + its local sequence).
+struct CallId {
+    NodeId source = kNoNode;
+    std::uint64_t seq = 0;
+    friend auto operator<=>(const CallId&, const CallId&) = default;
+};
+
+enum class CallState {
+    kIdle,
+    kSettingUp,   ///< Source: setup sent, waiting for ACCEPT/REJECT.
+    kReserved,    ///< On-path node: bandwidth held, call not yet confirmed down.
+    kActive,      ///< Source/destination: accepted.
+    kRejected,    ///< Source: a hop lacked capacity.
+    kReleased,    ///< Torn down normally.
+    kFailed,      ///< Lost to a link failure.
+};
+
+const char* call_state_name(CallState s);
+
+/// A scripted call request (issued by the source's protocol at `at`).
+struct CallRequest {
+    Tick at = 0;
+    NodeId destination = kNoNode;
+    std::uint32_t demand = 1;
+    /// If >= 0, tear the call down this long after it becomes active.
+    Tick hold_time = -1;
+};
+
+/// One node's record of a call it participates in.
+struct CallRecord {
+    CallId id;
+    NodeId source = kNoNode;
+    NodeId destination = kNoNode;
+    std::uint32_t demand = 0;
+    CallState state = CallState::kIdle;
+    /// Outgoing edge this node reserved for the call (kNoEdge at the
+    /// destination).
+    EdgeId reserved_edge = kNoEdge;
+    hw::AnrHeader to_source;       ///< Route back to the source.
+    hw::AnrHeader to_destination;  ///< Route onward to the destination.
+};
+
+struct CallAgentOptions {
+    /// Capacity units per (node, outgoing link).
+    std::uint32_t link_capacity = 4;
+    /// Scripted requests for this node.
+    std::vector<CallRequest> requests;
+    /// Ablation A5: when false, setup and teardown travel hop by hop —
+    /// each on-path NCU receives, reserves and *re-sends* (the pre-PARIS
+    /// software path). Establishment then costs O(path) time units
+    /// instead of one, with the same number of system calls.
+    bool selective_copy = true;
+};
+
+class CallAgentProtocol final : public node::Protocol {
+public:
+    /// `g` must outlive the protocol (route computation source — stands
+    /// in for the node's converged topology database).
+    CallAgentProtocol(const graph::Graph& g, CallAgentOptions options);
+
+    void on_start(node::Context& ctx) override;
+    void on_timer(node::Context& ctx, std::uint64_t cookie) override;
+    void on_message(node::Context& ctx, const hw::Delivery& d) override;
+    void on_link_state(node::Context& ctx, const node::LocalLink& link, bool up) override;
+
+    // ---- observation -----------------------------------------------------
+    /// State of a call at this node (kIdle if unknown here).
+    CallState state_of(CallId id) const;
+    /// All calls this node has records for.
+    const std::map<CallId, CallRecord>& calls() const { return records_; }
+    /// Remaining capacity on the outgoing side of `edge`.
+    std::uint32_t free_capacity(EdgeId edge) const;
+    /// Source-side tallies.
+    unsigned calls_active() const { return calls_active_; }
+    unsigned calls_rejected() const { return calls_rejected_; }
+    unsigned calls_failed() const { return calls_failed_; }
+    unsigned calls_released() const { return calls_released_; }
+
+private:
+    void place_call(node::Context& ctx, const CallRequest& req);
+    void send_teardown(node::Context& ctx, const CallRecord& rec, bool due_to_reject);
+    void teardown(node::Context& ctx, CallRecord& rec);
+    void release_local(CallRecord& rec, CallState final_state);
+    bool reserve(EdgeId edge, std::uint32_t demand);
+
+    const graph::Graph& graph_;
+    CallAgentOptions options_;
+    std::map<EdgeId, std::uint32_t> reserved_;  ///< Units held per outgoing edge.
+    std::map<CallId, CallRecord> records_;
+    std::map<std::uint64_t, CallRequest> pending_;  ///< timer cookie -> request
+    std::map<std::uint64_t, CallId> hold_timers_;   ///< timer cookie -> call
+    std::uint64_t next_seq_ = 1;
+    std::uint64_t next_cookie_ = 1;
+    unsigned calls_active_ = 0;
+    unsigned calls_rejected_ = 0;
+    unsigned calls_failed_ = 0;
+    unsigned calls_released_ = 0;
+};
+
+/// Factory over a shared graph + per-node request scripts.
+node::ProtocolFactory make_call_agents(const graph::Graph& g, std::uint32_t link_capacity,
+                                       std::map<NodeId, std::vector<CallRequest>> scripts,
+                                       bool selective_copy = true);
+
+}  // namespace fastnet::paris

@@ -1,0 +1,53 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+
+namespace fastnet::sim {
+
+EventId EventQueue::schedule(Tick at, std::function<void()> fn) {
+    FASTNET_EXPECTS(fn != nullptr);
+    FASTNET_EXPECTS(at >= 0);
+    const EventId id = next_id_++;
+    heap_.push(Entry{at, id, std::move(fn)});
+    ++live_count_;
+    return id;
+}
+
+void EventQueue::cancel(EventId id) {
+    if (id >= next_id_) return;
+    if (is_cancelled(id)) return;
+    cancelled_.push_back(id);
+    if (live_count_ > 0) --live_count_;
+}
+
+bool EventQueue::is_cancelled(EventId id) const {
+    return std::find(cancelled_.begin(), cancelled_.end(), id) != cancelled_.end();
+}
+
+void EventQueue::drop_cancelled_front() {
+    while (!heap_.empty() && is_cancelled(heap_.top().id)) {
+        auto it = std::find(cancelled_.begin(), cancelled_.end(), heap_.top().id);
+        cancelled_.erase(it);
+        heap_.pop();
+    }
+}
+
+Tick EventQueue::next_time() const {
+    auto* self = const_cast<EventQueue*>(this);
+    self->drop_cancelled_front();
+    return heap_.empty() ? kNever : heap_.top().at;
+}
+
+Tick EventQueue::run_next() {
+    drop_cancelled_front();
+    FASTNET_EXPECTS_MSG(!heap_.empty(), "run_next on empty queue");
+    // Move the callback out before popping so re-entrant schedule() calls
+    // from inside the callback see a consistent heap.
+    Entry top = heap_.top();
+    heap_.pop();
+    --live_count_;
+    top.fn();
+    return top.at;
+}
+
+}  // namespace fastnet::sim

@@ -1,0 +1,60 @@
+// Deterministic discrete-event queue.
+//
+// Events at equal timestamps execute in schedule order (a monotone
+// sequence number breaks ties), so a run is a pure function of the seed
+// and the protocol code — essential for reproducing the paper's exact
+// integer cost accounting and for property tests that replay schedules.
+#pragma once
+
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/expect.hpp"
+#include "common/types.hpp"
+
+namespace fastnet::sim {
+
+/// Opaque handle identifying a scheduled event (for cancellation).
+using EventId = std::uint64_t;
+
+class EventQueue {
+public:
+    /// Schedules `fn` at absolute time `at` (must be >= the time of the
+    /// event currently executing). Returns a handle for cancel().
+    EventId schedule(Tick at, std::function<void()> fn);
+
+    /// Cancels a pending event; no-op if it already ran or was cancelled.
+    void cancel(EventId id);
+
+    bool empty() const { return live_count_ == 0; }
+    std::size_t size() const { return live_count_; }
+
+    /// Time of the earliest pending event; kNever when empty.
+    Tick next_time() const;
+
+    /// Pops and runs the earliest event. Returns its timestamp.
+    /// Precondition: !empty().
+    Tick run_next();
+
+private:
+    struct Entry {
+        Tick at;
+        EventId id;
+        std::function<void()> fn;  // empty == cancelled
+        bool operator>(const Entry& o) const {
+            return at != o.at ? at > o.at : id > o.id;
+        }
+    };
+    // cancelled_ is tracked inside the heap entries lazily: cancel() marks
+    // the id; run_next() skips marked entries.
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+    std::vector<EventId> cancelled_;  // small, scanned linearly
+    EventId next_id_ = 0;
+    std::size_t live_count_ = 0;
+
+    bool is_cancelled(EventId id) const;
+    void drop_cancelled_front();
+};
+
+}  // namespace fastnet::sim

@@ -1,0 +1,35 @@
+#include "sim/simulator.hpp"
+
+namespace fastnet::sim {
+
+EventId Simulator::at(Tick when, std::function<void()> fn) {
+    FASTNET_EXPECTS_MSG(when >= now_, "cannot schedule into the past");
+    return queue_.schedule(when, std::move(fn));
+}
+
+EventId Simulator::after(Tick delay, std::function<void()> fn) {
+    FASTNET_EXPECTS(delay >= 0);
+    return at(now_ + delay, std::move(fn));
+}
+
+std::uint64_t Simulator::run(std::uint64_t max_events) {
+    return run_until(kNever, max_events);
+}
+
+std::uint64_t Simulator::run_until(Tick until, std::uint64_t max_events) {
+    stopped_ = false;
+    std::uint64_t executed = 0;
+    while (!stopped_ && executed < max_events) {
+        const Tick t = queue_.next_time();
+        if (t == kNever || t > until) break;
+        now_ = t;
+        queue_.run_next();
+        ++executed;
+    }
+    const bool budget_hit = executed >= max_events && queue_.next_time() != kNever &&
+                            queue_.next_time() <= until;
+    FASTNET_ENSURES_MSG(!budget_hit, "event budget exhausted — runaway protocol?");
+    return executed;
+}
+
+}  // namespace fastnet::sim

@@ -1,0 +1,51 @@
+// The simulation clock and run loop.
+//
+// A Simulator owns an EventQueue and a current time; components schedule
+// relative ("after") or absolute ("at") events. The loop runs until the
+// queue drains, a step budget trips (runaway-protocol guard), or an
+// explicit stop. Time never goes backwards.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.hpp"
+#include "sim/event_queue.hpp"
+
+namespace fastnet::sim {
+
+class Simulator {
+public:
+    Tick now() const { return now_; }
+
+    /// Schedules fn at absolute time `at` >= now().
+    EventId at(Tick when, std::function<void()> fn);
+
+    /// Schedules fn `delay` ticks from now (delay >= 0).
+    EventId after(Tick delay, std::function<void()> fn);
+
+    void cancel(EventId id) { queue_.cancel(id); }
+
+    /// Runs until the queue is empty or `max_events` have executed.
+    /// Returns the number of events executed.
+    std::uint64_t run(std::uint64_t max_events = kDefaultEventBudget);
+
+    /// Runs until simulated time would exceed `until` (events at exactly
+    /// `until` still run). Returns the number of events executed.
+    std::uint64_t run_until(Tick until, std::uint64_t max_events = kDefaultEventBudget);
+
+    /// Requests the run loop to return after the current event.
+    void stop() { stopped_ = true; }
+
+    bool idle() const { return queue_.empty(); }
+    std::size_t pending_events() const { return queue_.size(); }
+
+    static constexpr std::uint64_t kDefaultEventBudget = 200'000'000ULL;
+
+private:
+    EventQueue queue_;
+    Tick now_ = 0;
+    bool stopped_ = false;
+};
+
+}  // namespace fastnet::sim

@@ -1,0 +1,87 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/expect.hpp"
+
+namespace fastnet::sim {
+
+const char* trace_kind_name(TraceKind k) {
+    switch (k) {
+        case TraceKind::kStart: return "start";
+        case TraceKind::kSend: return "send";
+        case TraceKind::kDeliver: return "deliver";
+        case TraceKind::kTimer: return "timer";
+        case TraceKind::kLinkChange: return "link";
+        case TraceKind::kDrop: return "drop";
+        case TraceKind::kCustom: return "custom";
+    }
+    return "?";
+}
+
+Trace::Trace(std::size_t capacity) : capacity_(capacity) {
+    FASTNET_EXPECTS(capacity >= 1);
+    ring_.reserve(std::min<std::size_t>(capacity, 1024));
+}
+
+void Trace::record(Tick at, NodeId node, TraceKind kind, std::string detail) {
+    if (!enabled(kind)) return;
+    TraceRecord rec{at, node, kind, std::move(detail)};
+    if (ring_.size() < capacity_) {
+        ring_.push_back(std::move(rec));
+    } else {
+        ring_[next_] = std::move(rec);
+    }
+    next_ = (next_ + 1) % capacity_;
+    ++count_;
+}
+
+void Trace::set_enabled(TraceKind kind, bool on) {
+    const auto bit = static_cast<std::uint8_t>(1u << static_cast<unsigned>(kind));
+    if (on)
+        enabled_mask_ |= bit;
+    else
+        enabled_mask_ &= static_cast<std::uint8_t>(~bit);
+}
+
+bool Trace::enabled(TraceKind kind) const {
+    return (enabled_mask_ >> static_cast<unsigned>(kind)) & 1u;
+}
+
+std::vector<TraceRecord> Trace::snapshot() const {
+    std::vector<TraceRecord> out;
+    out.reserve(size());
+    if (count_ <= capacity_) {
+        out = ring_;
+    } else {
+        // Ring wrapped: oldest record sits at next_.
+        out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(next_), ring_.end());
+        out.insert(out.end(), ring_.begin(), ring_.begin() + static_cast<std::ptrdiff_t>(next_));
+    }
+    return out;
+}
+
+std::vector<TraceRecord> Trace::snapshot(NodeId node) const {
+    std::vector<TraceRecord> all = snapshot();
+    std::vector<TraceRecord> out;
+    for (auto& r : all)
+        if (r.node == node) out.push_back(std::move(r));
+    return out;
+}
+
+void Trace::clear() {
+    ring_.clear();
+    next_ = 0;
+    count_ = 0;
+}
+
+void Trace::print(std::ostream& os) const {
+    for (const TraceRecord& r : snapshot()) {
+        os << "[t=" << r.at << "] node " << r.node << ' ' << trace_kind_name(r.kind);
+        if (!r.detail.empty()) os << ": " << r.detail;
+        os << '\n';
+    }
+}
+
+}  // namespace fastnet::sim

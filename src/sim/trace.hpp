@@ -1,0 +1,73 @@
+// Lightweight event tracing for debugging protocols and for the
+// examples' timelines.
+//
+// A Trace is a bounded ring of (time, node, kind, detail) records.
+// Components append through a shared pointer; recording can be filtered
+// by kind and is cheap enough to stay on in tests. Traces are purely
+// observational: they never influence the simulation.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace fastnet::sim {
+
+enum class TraceKind : std::uint8_t {
+    kStart,
+    kSend,
+    kDeliver,
+    kTimer,
+    kLinkChange,
+    kDrop,
+    kCustom,
+};
+
+const char* trace_kind_name(TraceKind k);
+
+struct TraceRecord {
+    Tick at = 0;
+    NodeId node = kNoNode;
+    TraceKind kind = TraceKind::kCustom;
+    std::string detail;
+};
+
+class Trace {
+public:
+    /// `capacity` bounds memory; older records are discarded first.
+    explicit Trace(std::size_t capacity = 65536);
+
+    void record(Tick at, NodeId node, TraceKind kind, std::string detail = {});
+
+    /// Enables/disables recording of one kind (all enabled initially).
+    void set_enabled(TraceKind kind, bool enabled);
+    bool enabled(TraceKind kind) const;
+
+    /// Records in chronological order (oldest first).
+    std::vector<TraceRecord> snapshot() const;
+
+    /// Records for one node, chronological.
+    std::vector<TraceRecord> snapshot(NodeId node) const;
+
+    std::size_t size() const { return count_ < capacity_ ? count_ : capacity_; }
+    std::uint64_t total_recorded() const { return count_; }
+    std::uint64_t dropped() const {
+        return count_ > capacity_ ? count_ - capacity_ : 0;
+    }
+    void clear();
+
+    /// Human-readable dump (one line per record).
+    void print(std::ostream& os) const;
+
+private:
+    std::size_t capacity_;
+    std::uint64_t count_ = 0;      ///< Total ever recorded.
+    std::size_t next_ = 0;         ///< Ring write position.
+    std::vector<TraceRecord> ring_;
+    std::uint8_t enabled_mask_ = 0xff;
+};
+
+}  // namespace fastnet::sim

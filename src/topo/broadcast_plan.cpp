@@ -1,0 +1,166 @@
+#include "topo/broadcast_plan.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+
+namespace fastnet::topo {
+namespace {
+
+/// Euler-tour node sequence of `tree` from the root (each edge twice),
+/// with an optional per-node child reordering.
+std::vector<NodeId> euler_sequence(const graph::RootedTree& tree,
+                                   const ChildReorder& reorder = {}) {
+    std::vector<NodeId> seq;
+    // Iterative DFS producing the full tour.
+    struct Frame {
+        NodeId node;
+        std::vector<NodeId> children;
+        std::size_t next_child;
+    };
+    auto ordered_children = [&](NodeId u) {
+        std::vector<NodeId> cs(tree.children(u).begin(), tree.children(u).end());
+        if (reorder) reorder(u, cs);
+        return cs;
+    };
+    std::vector<Frame> stack;
+    stack.push_back({tree.root(), ordered_children(tree.root()), 0});
+    seq.push_back(tree.root());
+    while (!stack.empty()) {
+        Frame& f = stack.back();
+        if (f.next_child < f.children.size()) {
+            const NodeId c = f.children[f.next_child++];
+            seq.push_back(c);
+            stack.push_back({c, ordered_children(c), 0});
+        } else {
+            stack.pop_back();
+            if (!stack.empty()) seq.push_back(stack.back().node);
+        }
+    }
+    return seq;
+}
+
+void trim_after_last_first_visit(std::vector<NodeId>& seq, NodeId capacity) {
+    std::vector<bool> seen(capacity, false);
+    std::size_t last_first = 0;
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+        if (!seen[seq[i]]) {
+            seen[seq[i]] = true;
+            last_first = i;
+        }
+    }
+    seq.resize(last_first + 1);
+}
+
+/// Builds a single-message plan from a visit sequence: copies are dropped
+/// at the first visit of every non-root node; the route terminates in the
+/// final node's NCU.
+BroadcastPlan plan_from_sequence(const graph::RootedTree& tree, std::vector<NodeId> seq,
+                                 const hw::PortMap& ports) {
+    BroadcastPlan plan;
+    plan.messages_at.assign(tree.node_capacity(), {});
+    plan.covered_nodes = tree.size();
+    plan.time_units = tree.size() > 1 ? 1 : 0;
+    plan.root_label = 0;
+    if (tree.size() <= 1) return plan;
+
+    trim_after_last_first_visit(seq, tree.node_capacity());
+    PlannedMessage msg;
+    msg.start = tree.root();
+    std::vector<bool> seen(tree.node_capacity(), false);
+    seen[tree.root()] = true;
+    for (std::size_t i = 0; i + 1 < seq.size(); ++i) {
+        const hw::PortId p = ports(seq[i], seq[i + 1]);
+        FASTNET_EXPECTS_MSG(p != hw::kNoPort, "port map lacks a tour hop");
+        // A copy id here drops the packet at seq[i]'s own NCU — set it on
+        // the label consumed at each node's first visit.
+        const bool first_visit = !seen[seq[i]];
+        seen[seq[i]] = true;
+        if (first_visit) msg.covers.push_back(seq[i]);
+        msg.header.push_back(first_visit ? hw::AnrLabel::copy(p) : hw::AnrLabel::normal(p));
+    }
+    // The trimmed sequence ends at a first visit; deliver there via the
+    // NCU id.
+    FASTNET_ENSURES(!seen[seq.back()]);
+    msg.covers.push_back(seq.back());
+    msg.header.push_back(hw::AnrLabel::normal(hw::kNcuPort));
+    plan.messages_at[tree.root()].push_back(0);
+    plan.messages.push_back(std::move(msg));
+    return plan;
+}
+
+}  // namespace
+
+BroadcastPlan plan_branching_paths(const graph::RootedTree& tree, const hw::PortMap& ports) {
+    const std::vector<unsigned> labels = label_tree(tree);
+    const PathDecomposition d = decompose_paths(tree, labels);
+    BroadcastPlan plan;
+    plan.messages_at.assign(tree.node_capacity(), {});
+    plan.time_units = d.time_units;
+    plan.root_label = tree.size() >= 1 ? labels[tree.root()] : 0;
+    plan.covered_nodes = tree.size();
+    plan.messages.reserve(d.paths.size());
+    for (const BroadcastPath& p : d.paths) {
+        PlannedMessage msg;
+        msg.start = p.nodes.front();
+        msg.header = hw::route_for_path(p.nodes, ports, hw::CopyMode::kIntermediates);
+        msg.covers.assign(p.nodes.begin() + 1, p.nodes.end());
+        plan.messages_at[msg.start].push_back(plan.messages.size());
+        plan.messages.push_back(std::move(msg));
+    }
+    return plan;
+}
+
+BroadcastPlan plan_dfs_token(const graph::RootedTree& tree, const hw::PortMap& ports,
+                             const ChildReorder& reorder) {
+    return plan_from_sequence(tree, euler_sequence(tree, reorder), ports);
+}
+
+BroadcastPlan plan_layered_bfs(const graph::RootedTree& tree, const hw::PortMap& ports) {
+    // Concatenate Euler tours of the depth-<=k truncations, k = 1..height.
+    // (Jaffe's algorithm from the paper's footnote 1.)
+    std::vector<NodeId> seq{tree.root()};
+    const unsigned h = tree.height();
+    for (unsigned k = 1; k <= h; ++k) {
+        // Euler tour of the subtree of nodes at depth <= k.
+        struct Frame {
+            NodeId node;
+            std::size_t next_child;
+            unsigned depth;
+        };
+        std::vector<Frame> stack{{tree.root(), 0, 0}};
+        for (; !stack.empty();) {
+            Frame& f = stack.back();
+            const auto cs = tree.children(f.node);
+            if (f.depth < k && f.next_child < cs.size()) {
+                const NodeId c = cs[f.next_child++];
+                seq.push_back(c);
+                stack.push_back({c, 0, f.depth + 1});
+            } else {
+                stack.pop_back();
+                if (!stack.empty()) seq.push_back(stack.back().node);
+            }
+        }
+    }
+    return plan_from_sequence(tree, std::move(seq), ports);
+}
+
+BroadcastPlan plan_direct_unicast(const graph::RootedTree& tree, const hw::PortMap& ports) {
+    BroadcastPlan plan;
+    plan.messages_at.assign(tree.node_capacity(), {});
+    plan.covered_nodes = tree.size();
+    plan.time_units = tree.size() > 1 ? 1 : 0;
+    plan.root_label = 0;
+    for (NodeId u : tree.preorder()) {
+        if (u == tree.root()) continue;
+        PlannedMessage msg;
+        msg.start = tree.root();
+        msg.header = hw::route_for_path(tree.path_from_root(u), ports, hw::CopyMode::kNone);
+        msg.covers = {u};
+        plan.messages_at[tree.root()].push_back(plan.messages.size());
+        plan.messages.push_back(std::move(msg));
+    }
+    return plan;
+}
+
+}  // namespace fastnet::topo

@@ -1,0 +1,65 @@
+// Offline broadcast planning: turn a rooted tree + port knowledge into
+// the concrete ANR messages of the branching-paths broadcast, plus the
+// competing broadcast schemes' routes (DFS token, layered BFS).
+//
+// The planner runs inside the origin's NCU using whatever topology view
+// it has (the true graph in the standalone benches, the learned G_i(t)
+// in the topology-maintenance protocol). The plan ships inside the
+// broadcast message — "the message contains a description of the tree,
+// enabling every starting node j of a new path to know that it is such
+// a node" — here in the already-compiled form of per-start headers.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/rooted_tree.hpp"
+#include "hw/anr.hpp"
+#include "topo/paths.hpp"
+
+namespace fastnet::topo {
+
+/// One planned path message.
+struct PlannedMessage {
+    NodeId start = kNoNode;   ///< Node that must inject this message.
+    hw::AnrHeader header;     ///< Copy-at-intermediates route for the path.
+    std::vector<NodeId> covers;  ///< Nodes that receive it (path[1..]).
+};
+
+struct BroadcastPlan {
+    std::vector<PlannedMessage> messages;
+    /// messages_at[u] — indices of messages injected by u.
+    std::vector<std::vector<std::size_t>> messages_at;
+    unsigned time_units = 0;      ///< Theorem 2 bound realized by this plan.
+    unsigned root_label = 0;      ///< x in the 1 + x - y accounting.
+    std::size_t covered_nodes = 0;  ///< Tree size (receptions = size - 1).
+};
+
+/// Branching-paths plan (Section 3.1). `ports` supplies the sender-side
+/// port for every tree edge.
+BroadcastPlan plan_branching_paths(const graph::RootedTree& tree, const hw::PortMap& ports);
+
+/// Reorders the children of a tree node before the Euler tour descends
+/// into them (in place). Used to reproduce the paper's adversarial
+/// route choices in the Section 3 non-convergence example.
+using ChildReorder = std::function<void(NodeId parent, std::vector<NodeId>& children)>;
+
+/// The failure-fragile DFS token scheme used as the paper's negative
+/// example: one message whose route is an Euler tour of the tree with a
+/// copy at the first visit of each non-root node. Time: 1 unit; loses
+/// everything after the first dead link.
+BroadcastPlan plan_dfs_token(const graph::RootedTree& tree, const hw::PortMap& ports,
+                             const ChildReorder& reorder = {});
+
+/// Footnote-1 scheme: a single message traversing the BFS tree layer by
+/// layer (subtree covering depth <= 1 first, then depth <= 2, ... with a
+/// return to the origin between layers), copies on first visits only.
+/// Header length is O(n^2); requires unbounded dmax. Time: 1 unit.
+BroadcastPlan plan_layered_bfs(const graph::RootedTree& tree, const hw::PortMap& ports);
+
+/// Baseline: one direct message from the root to each node (time 1 unit,
+/// n-1 messages, header lengths up to the tree depth).
+BroadcastPlan plan_direct_unicast(const graph::RootedTree& tree, const hw::PortMap& ports);
+
+}  // namespace fastnet::topo

@@ -1,0 +1,34 @@
+// The leaf-to-root labelling of Section 3.1.
+//
+// Rule: every leaf gets label 0. For an internal node j whose children
+// are all labelled, let l be the largest child label; j gets l+1 if two
+// or more children carry l, otherwise l. (Identical to the "rank" used
+// in other tree-decomposition contexts, e.g. Harel-Tarjan.)
+//
+// Key properties, tested as such:
+//  * Lemma 1 — a node of label l has at most one child of label l;
+//  * a node with label l has at least 2^l nodes in its subtree, so the
+//    root's label is at most floor(log2 n) (the heart of Theorem 2).
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/rooted_tree.hpp"
+
+namespace fastnet::topo {
+
+inline constexpr unsigned kNoLabel = ~0u;
+
+/// Computes the Section 3.1 label for every present node of `t`.
+/// Absent nodes get kNoLabel.
+std::vector<unsigned> label_tree(const graph::RootedTree& t);
+
+/// Highest label in the tree (the root's label, by construction).
+unsigned max_label(const graph::RootedTree& t, const std::vector<unsigned>& labels);
+
+/// Verifies Lemma 1 on a labelled tree (used by property tests and as a
+/// debug check in the broadcast planner).
+bool satisfies_lemma1(const graph::RootedTree& t, const std::vector<unsigned>& labels);
+
+}  // namespace fastnet::topo

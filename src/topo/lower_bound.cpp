@@ -1,0 +1,49 @@
+#include "topo/lower_bound.hpp"
+
+#include "common/expect.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "topo/paths.hpp"
+
+namespace fastnet::topo {
+namespace {
+
+/// P_t from the proof: predecessors of V_t accumulated over strata.
+/// P_0 = 1 (the source), P_t = 5 * 2^t + P_(t-1).
+std::uint64_t predecessors(unsigned t) {
+    std::uint64_t p = 1;
+    for (unsigned i = 1; i <= t; ++i) p += 5ull * (1ull << i);
+    return p;
+}
+
+}  // namespace
+
+unsigned one_way_lower_bound(unsigned depth) {
+    // The claim applies for integer t with 1 <= t < (depth - 5) / 5,
+    // i.e. t <= floor((depth - 6) / 5); uninformed nodes exist at every
+    // such t, so the broadcast time exceeds the largest applicable t.
+    if (depth < 11) return 0;
+    return (depth - 6) / 5;
+}
+
+bool lower_bound_certificate_holds(unsigned depth) {
+    if (depth < 11) return true;  // vacuous
+    for (unsigned t = 1; 5 * (t + 1) <= depth; ++t) {
+        const std::uint64_t stratum = 1ull << (t + 5);        // |S| = 2^(t+5)
+        const std::uint64_t reached_bound = 2 * predecessors(t);
+        const std::uint64_t survivors_needed = 1ull << (t + 1);
+        if (stratum < reached_bound + survivors_needed) return false;
+    }
+    return true;
+}
+
+unsigned branching_paths_rounds(unsigned depth) {
+    FASTNET_EXPECTS(depth <= 24);
+    const graph::Graph g = graph::make_complete_binary_tree(depth);
+    const graph::RootedTree t = graph::min_hop_tree(g, 0);
+    const auto labels = label_tree(t);
+    const PathDecomposition d = decompose_paths(t, labels);
+    return d.time_units;
+}
+
+}  // namespace fastnet::topo

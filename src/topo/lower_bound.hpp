@@ -1,0 +1,36 @@
+// Theorem 3: any one-way broadcast needs Omega(log n) time units to
+// cover a rooted complete binary tree.
+//
+// The proof is a counting adversary: at time t there is a set V_t of 2^t
+// nodes at depth 5t that no message has reached, because the nodes that
+// could launch paths into their stratum (the predecessors P_t) can start
+// at most two new paths per time unit, and a one-way path visits at most
+// one node of the stratum. We expose the argument as executable
+// arithmetic — the same recurrences, checked exactly — plus the matching
+// upper bound realized by the branching-paths broadcast.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace fastnet::topo {
+
+/// Largest t for which the adversary argument certifies uninformed nodes
+/// at time t on a complete binary tree of the given depth. Any one-way
+/// broadcast therefore takes strictly more than this many time units.
+/// Returns 0 when the tree is too shallow for the argument to bite.
+unsigned one_way_lower_bound(unsigned depth);
+
+/// Mechanically verifies the proof's counting chain for all applicable t
+/// at this depth:  |S| - 2 * P_t >= 2^(t+1)  with  V_t = 2^t,
+/// |S| = 2^(t+5)  and  P_t = 5 * |V_t| + P_(t-1), P_0 = 1.
+bool lower_bound_certificate_holds(unsigned depth);
+
+/// Time units of the branching-paths broadcast on the complete binary
+/// tree of the given depth (computed through the real planner). On this
+/// tree every decomposition path is a single edge, so the answer is
+/// exactly `depth` — the matching O(log n) upper bound.
+unsigned branching_paths_rounds(unsigned depth);
+
+}  // namespace fastnet::topo

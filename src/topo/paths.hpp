@@ -1,0 +1,49 @@
+// Path decomposition for the branching-paths broadcast (Section 3.1).
+//
+// Every maximal chain of equal-label nodes forms the body of one path;
+// the chain head's parent is prepended as the path's *start* node (the
+// root's own chain starts at the root). The start of a path therefore
+// lies on another (higher-label) path — or is the root — which is what
+// yields the 1 + x - y delivery bound of Theorem 2:
+//
+//   * every non-root node is interior/end of exactly one path (it is
+//     covered exactly once -> n-1 message receptions per broadcast);
+//   * a path's label is strictly smaller than the label of the path its
+//     start node lies on, so chains of paths have length <= x+1 where x
+//     is the root label <= floor(log2 n).
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/rooted_tree.hpp"
+#include "topo/labeling.hpp"
+
+namespace fastnet::topo {
+
+/// One broadcast path: nodes[0] is the start (already informed when the
+/// path is sent), nodes[1..] are covered by the path's single message.
+struct BroadcastPath {
+    std::vector<NodeId> nodes;
+    unsigned label = 0;  ///< Common label of the edges on the path.
+    unsigned wave = 0;   ///< Time unit (1-based) at which the message for
+                         ///< this path is transmitted.
+};
+
+struct PathDecomposition {
+    std::vector<BroadcastPath> paths;
+    /// paths_at[u] — indices (into `paths`) of paths starting at u.
+    std::vector<std::vector<std::size_t>> paths_at;
+    /// Max wave over paths = broadcast time in units (Theorem 2: <= 1+x).
+    unsigned time_units = 0;
+};
+
+/// Decomposes a labelled tree. `labels` must come from label_tree(t).
+PathDecomposition decompose_paths(const graph::RootedTree& t,
+                                  const std::vector<unsigned>& labels);
+
+/// Validates the structural invariants listed above (used by tests).
+bool valid_decomposition(const graph::RootedTree& t, const std::vector<unsigned>& labels,
+                         const PathDecomposition& d);
+
+}  // namespace fastnet::topo

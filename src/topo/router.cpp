@@ -1,0 +1,99 @@
+#include "topo/router.hpp"
+
+#include "common/expect.hpp"
+
+namespace fastnet::topo {
+
+RouterProtocol::RouterProtocol(NodeId node_count, RouterOptions options,
+                               std::vector<SendRequest> sends)
+    : tm_(node_count, options.topology), options_(options), sends_(std::move(sends)) {}
+
+void RouterProtocol::on_start(node::Context& ctx) {
+    tm_.on_start(ctx);
+    for (std::size_t i = 0; i < sends_.size(); ++i)
+        ctx.set_timer(sends_[i].at, kSendCookieBase + i);
+}
+
+void RouterProtocol::try_send(node::Context& ctx, Pending& p) {
+    // An attempt is an attempt even when the view cannot route yet —
+    // otherwise an unreachable destination would be retried forever.
+    p.attempts += 1;
+    const auto route = tm_.route_to(ctx.self(), p.dgram.dst);
+    if (!route) return;  // view does not reach dst yet; retry later
+    ctx.send(*route, std::make_shared<Datagram>(p.dgram));
+}
+
+void RouterProtocol::on_timer(node::Context& ctx, std::uint64_t cookie) {
+    if (cookie >= kSendCookieBase && cookie != kRetryCookie) {
+        const std::size_t i = static_cast<std::size_t>(cookie - kSendCookieBase);
+        FASTNET_EXPECTS(i < sends_.size());
+        Pending p;
+        p.dgram.src = ctx.self();
+        p.dgram.dst = sends_[i].dst;
+        p.dgram.tag = sends_[i].tag;
+        p.dgram.seq = next_seq_++;
+        const std::uint64_t seq = p.dgram.seq;
+        pending_.emplace(seq, std::move(p));
+        try_send(ctx, pending_.at(seq));
+        if (!retry_timer_armed_) {
+            retry_timer_armed_ = true;
+            ctx.set_timer(options_.retry_period, kRetryCookie);
+        }
+        return;
+    }
+    if (cookie == kRetryCookie) {
+        for (auto it = pending_.begin(); it != pending_.end();) {
+            if (it->second.attempts >= options_.max_retries) {
+                given_up_ += 1;
+                it = pending_.erase(it);
+                continue;
+            }
+            try_send(ctx, it->second);
+            ++it;
+        }
+        if (!pending_.empty()) {
+            ctx.set_timer(options_.retry_period, kRetryCookie);
+        } else {
+            retry_timer_armed_ = false;
+        }
+        return;
+    }
+    // Anything else belongs to the embedded maintenance protocol.
+    tm_.on_timer(ctx, cookie);
+}
+
+void RouterProtocol::on_message(node::Context& ctx, const hw::Delivery& d) {
+    if (const auto* dgram = hw::payload_as<Datagram>(d)) {
+        // End-to-end ack over the hardware reverse route, then dedupe.
+        ctx.reply(d, [&] {
+            auto ack = std::make_shared<DatagramAck>();
+            ack->seq = dgram->seq;
+            return ack;
+        }());
+        auto& seen = seen_from_[dgram->src];
+        if (!seen.insert(dgram->seq).second) return;  // duplicate retry
+        received_.emplace_back(dgram->src, dgram->tag);
+        return;
+    }
+    if (const auto* ack = hw::payload_as<DatagramAck>(d)) {
+        if (pending_.erase(ack->seq) > 0) acked_ += 1;
+        return;
+    }
+    tm_.on_message(ctx, d);
+}
+
+void RouterProtocol::on_link_state(node::Context& ctx, const node::LocalLink& link,
+                                   bool up) {
+    tm_.on_link_state(ctx, link, up);
+}
+
+node::ProtocolFactory make_routers(NodeId node_count, RouterOptions options,
+                                   std::map<NodeId, std::vector<SendRequest>> sends) {
+    return [node_count, options, sends = std::move(sends)](NodeId u) {
+        std::vector<SendRequest> mine;
+        if (const auto it = sends.find(u); it != sends.end()) mine = it->second;
+        return std::make_unique<RouterProtocol>(node_count, options, std::move(mine));
+    };
+}
+
+}  // namespace fastnet::topo

@@ -1,0 +1,97 @@
+// A reliable datagram service composed on top of topology maintenance —
+// the paper's Introduction in miniature: "it will be mainly the
+// distributed algorithms used to control and manage the network (the
+// route computation, configuration management, etc.) that will use the
+// processing resources."
+//
+// RouterProtocol embeds a TopologyMaintenance instance (delegating its
+// handler traffic to it) and offers an application-facing datagram
+// primitive: send(dst, tag). Datagrams are source-routed from the
+// current view, acknowledged end-to-end over the hardware reverse
+// route, and retried on a timer — so they survive both stale views
+// (route not yet known: queued) and mid-flight link failures (lost
+// packet: retried over the re-converged view).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "topo/topology_maintenance.hpp"
+
+namespace fastnet::topo {
+
+/// Application payload carried by the router.
+struct Datagram final : hw::Payload {
+    NodeId src = kNoNode;
+    NodeId dst = kNoNode;
+    std::uint64_t tag = 0;  ///< Application-chosen identifier.
+    std::uint64_t seq = 0;  ///< Source-local, for ack matching.
+};
+
+struct DatagramAck final : hw::Payload {
+    std::uint64_t seq = 0;
+};
+
+struct RouterOptions {
+    TopologyOptions topology;  ///< Settings for the embedded maintenance.
+    Tick retry_period = 256;   ///< Unacked datagrams are re-sent this often.
+    unsigned max_retries = 16; ///< Give up after this many attempts.
+};
+
+/// A send request scripted at construction (issued at time `at`).
+struct SendRequest {
+    Tick at = 0;
+    NodeId dst = kNoNode;
+    std::uint64_t tag = 0;
+};
+
+class RouterProtocol final : public node::Protocol {
+public:
+    RouterProtocol(NodeId node_count, RouterOptions options,
+                   std::vector<SendRequest> sends = {});
+
+    void on_start(node::Context& ctx) override;
+    void on_timer(node::Context& ctx, std::uint64_t cookie) override;
+    void on_message(node::Context& ctx, const hw::Delivery& d) override;
+    void on_link_state(node::Context& ctx, const node::LocalLink& link, bool up) override;
+
+    // ---- observation -----------------------------------------------------
+    const TopologyMaintenance& topology() const { return tm_; }
+    /// Tags received by this node (in arrival order, duplicates filtered).
+    const std::vector<std::pair<NodeId, std::uint64_t>>& received() const {
+        return received_;
+    }
+    unsigned delivered_and_acked() const { return acked_; }
+    unsigned still_pending() const { return static_cast<unsigned>(pending_.size()); }
+    unsigned given_up() const { return given_up_; }
+
+private:
+    struct Pending {
+        Datagram dgram;
+        unsigned attempts = 0;
+    };
+
+    void try_send(node::Context& ctx, Pending& p);
+
+    TopologyMaintenance tm_;
+    RouterOptions options_;
+    std::vector<SendRequest> sends_;
+    std::map<std::uint64_t, Pending> pending_;  ///< seq -> in-flight datagram
+    std::vector<std::pair<NodeId, std::uint64_t>> received_;  ///< (src, tag)
+    std::map<NodeId, std::set<std::uint64_t>> seen_from_;  ///< duplicate filter
+    std::uint64_t next_seq_ = 1;
+    unsigned acked_ = 0;
+    unsigned given_up_ = 0;
+    bool retry_timer_armed_ = false;
+
+    static constexpr std::uint64_t kRetryCookie = ~std::uint64_t{0} - 1;
+    static constexpr std::uint64_t kSendCookieBase = 1u << 20;
+};
+
+/// Factory; `sends[u]` are node u's scripted requests.
+node::ProtocolFactory make_routers(NodeId node_count, RouterOptions options,
+                                   std::map<NodeId, std::vector<SendRequest>> sends = {});
+
+}  // namespace fastnet::topo

@@ -1,0 +1,228 @@
+#include "topo/topology_maintenance.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+#include "graph/algorithms.hpp"
+
+namespace fastnet::topo {
+namespace {
+constexpr std::uint64_t kRoundTimer = 1;
+}  // namespace
+
+TopologyMaintenance::TopologyMaintenance(NodeId node_count, TopologyOptions options)
+    : n_(node_count), options_(std::move(options)), db_(node_count),
+      rounds_left_(options_.rounds) {}
+
+void TopologyMaintenance::refresh_local(node::Context& ctx) {
+    LocalTopology& mine = db_[ctx.self()];
+    mine.known = true;
+    mine.links.clear();
+    for (const node::LocalLink& l : ctx.links())
+        mine.links.push_back(NeighborRecord{l.neighbor, l.port, l.remote_port, l.active});
+}
+
+void TopologyMaintenance::on_start(node::Context& ctx) {
+    refresh_local(ctx);
+    if (rounds_left_ == 0) return;
+    do_round(ctx);
+    if (rounds_left_ > 0) ctx.set_timer(options_.period, kRoundTimer);
+}
+
+void TopologyMaintenance::on_timer(node::Context& ctx, std::uint64_t cookie) {
+    if (cookie != kRoundTimer || rounds_left_ == 0) return;
+    do_round(ctx);
+    if (rounds_left_ > 0) ctx.set_timer(options_.period, kRoundTimer);
+}
+
+void TopologyMaintenance::on_link_state(node::Context& ctx, const node::LocalLink&, bool) {
+    // The runtime already updated ctx.links(); mirror it into the DB so
+    // the next round broadcasts fresh data. (No seq bump outside rounds:
+    // the paper increments per broadcast.)
+    refresh_local(ctx);
+}
+
+graph::RootedTree TopologyMaintenance::known_tree(NodeId self) const {
+    // BFS over the usable view, expanding only nodes with known topology
+    // (their ports are needed to route onward). Unknown-topology nodes
+    // can be *reached* (as leaves) but not expanded.
+    std::vector<NodeId> parent(n_, kNoNode);
+    std::vector<bool> seen(n_, false);
+    std::vector<NodeId> queue{self};
+    seen[self] = true;
+    for (std::size_t h = 0; h < queue.size(); ++h) {
+        const NodeId u = queue[h];
+        if (!db_[u].known) continue;  // leaf in the view
+        for (const NeighborRecord& r : db_[u].links) {
+            if (!r.active || r.neighbor >= n_ || seen[r.neighbor]) continue;
+            // If the far side is known it must also report the link active.
+            if (db_[r.neighbor].known) {
+                const auto& far = db_[r.neighbor].links;
+                const auto it = std::find_if(far.begin(), far.end(),
+                                             [u](const NeighborRecord& fr) {
+                                                 return fr.neighbor == u;
+                                             });
+                if (it == far.end() || !it->active) continue;
+            }
+            seen[r.neighbor] = true;
+            parent[r.neighbor] = u;
+            queue.push_back(r.neighbor);
+        }
+    }
+    return graph::RootedTree(self, std::move(parent));
+}
+
+hw::PortMap TopologyMaintenance::db_ports() const {
+    return [this](NodeId u, NodeId v) -> hw::PortId {
+        if (u < n_ && db_[u].known) {
+            for (const NeighborRecord& r : db_[u].links)
+                if (r.neighbor == v) return r.port;
+        }
+        // u's topology unknown, but v's record of the shared link names
+        // u's port on it (exchanged at data-link initialization) — this
+        // is what lets an Euler tour backtrack out of a freshly
+        // discovered neighbor.
+        if (v < n_ && db_[v].known) {
+            for (const NeighborRecord& r : db_[v].links)
+                if (r.neighbor == u) return r.far_port;
+        }
+        return hw::kNoPort;
+    };
+}
+
+void TopologyMaintenance::do_round(node::Context& ctx) {
+    FASTNET_EXPECTS(rounds_left_ > 0);
+    rounds_left_ -= 1;
+    refresh_local(ctx);
+    const NodeId self = ctx.self();
+    db_[self].seq = ++my_seq_;
+
+    const graph::RootedTree tree = known_tree(self);
+    if (tree.size() <= 1) return;  // isolated (all links down): nothing to send
+
+    const hw::PortMap ports = db_ports();
+    auto plan = std::make_shared<BroadcastPlan>([&] {
+        switch (options_.scheme) {
+            case BroadcastScheme::kDfsToken: {
+                ChildReorder reorder;
+                if (self < options_.dfs_preference.size() &&
+                    !options_.dfs_preference[self].empty()) {
+                    const std::vector<NodeId>& pref = options_.dfs_preference[self];
+                    reorder = [pref](NodeId, std::vector<NodeId>& cs) {
+                        std::stable_sort(cs.begin(), cs.end(), [&pref](NodeId a, NodeId b) {
+                            const auto pa = std::find(pref.begin(), pref.end(), a);
+                            const auto pb = std::find(pref.begin(), pref.end(), b);
+                            return pa < pb;
+                        });
+                    };
+                }
+                return plan_dfs_token(tree, ports, reorder);
+            }
+            case BroadcastScheme::kLayeredBfs:
+                return plan_layered_bfs(tree, ports);
+            case BroadcastScheme::kDirectUnicast:
+                return plan_direct_unicast(tree, ports);
+            default:
+                return plan_branching_paths(tree, ports);
+        }
+    }());
+
+    auto msg = std::make_shared<TopologyMessage>();
+    msg->origin = self;
+    msg->seq = my_seq_;
+    if (options_.full_knowledge) {
+        for (NodeId u = 0; u < n_; ++u)
+            if (db_[u].known) msg->topologies.emplace_back(u, db_[u]);
+    } else {
+        msg->topologies.emplace_back(self, db_[self]);
+    }
+    msg->plan = plan;
+    for (std::size_t idx : plan->messages_at[self]) ctx.send(plan->messages[idx].header, msg);
+}
+
+void TopologyMaintenance::on_message(node::Context& ctx, const hw::Delivery& d) {
+    const auto* msg = hw::payload_as<TopologyMessage>(d);
+    FASTNET_EXPECTS_MSG(msg != nullptr, "unexpected payload in topology maintenance");
+    // Merge by sequence number; our own entry stays authoritative.
+    const NodeId self = ctx.self();
+    for (const auto& [owner, topo] : msg->topologies) {
+        if (owner == self) continue;
+        if (owner >= n_ || !topo.known) continue;
+        if (!db_[owner].known || topo.seq > db_[owner].seq) db_[owner] = topo;
+    }
+    // One-way relay: forward the paths starting here, unconditionally.
+    auto payload = std::make_shared<TopologyMessage>(*msg);
+    for (std::size_t idx : msg->plan->messages_at[self])
+        ctx.send(msg->plan->messages[idx].header, payload);
+}
+
+std::optional<hw::AnrHeader> TopologyMaintenance::route_to(NodeId self, NodeId dst) const {
+    FASTNET_EXPECTS(self < n_ && dst < n_);
+    if (self == dst) return hw::AnrHeader{hw::AnrLabel::normal(hw::kNcuPort)};
+    const graph::RootedTree tree = known_tree(self);
+    if (!tree.contains(dst)) return std::nullopt;
+    return hw::route_for_path(tree.path_from_root(dst), db_ports());
+}
+
+std::vector<std::pair<NodeId, NodeId>> TopologyMaintenance::active_view() const {
+    std::vector<std::pair<NodeId, NodeId>> edges;
+    for (NodeId u = 0; u < n_; ++u) {
+        if (!db_[u].known) continue;
+        for (const NeighborRecord& r : db_[u].links) {
+            if (!r.active || r.neighbor >= n_) continue;
+            const NodeId v = r.neighbor;
+            if (db_[v].known) {
+                const auto& far = db_[v].links;
+                const auto it = std::find_if(far.begin(), far.end(), [u](const NeighborRecord& fr) {
+                    return fr.neighbor == u;
+                });
+                if (it == far.end() || !it->active) continue;
+                if (u > v) continue;  // counted from the lower endpoint
+            } else if (u > v) {
+                continue;
+            }
+            edges.emplace_back(std::min(u, v), std::max(u, v));
+        }
+    }
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    return edges;
+}
+
+node::ProtocolFactory make_topology_maintenance(NodeId node_count, TopologyOptions options) {
+    return [node_count, options](NodeId) {
+        return std::make_unique<TopologyMaintenance>(node_count, options);
+    };
+}
+
+bool view_converged(const TopologyMaintenance& proto, const hw::Network& net, NodeId self) {
+    const graph::Graph& g = net.graph();
+    const auto active = [&net](EdgeId e) { return net.link_active(e); };
+    const auto comp = graph::connected_components(g, active);
+    for (NodeId u = 0; u < g.node_count(); ++u) {
+        if (comp[u] != comp[self]) continue;
+        const LocalTopology& t = proto.view_of(u);
+        if (!t.known) return false;
+        // Every incident edge of u must be recorded with the true state.
+        if (t.links.size() != g.degree(u)) return false;
+        for (const graph::IncidentEdge& ie : g.incident(u)) {
+            const auto it = std::find_if(t.links.begin(), t.links.end(),
+                                         [&ie](const NeighborRecord& r) {
+                                             return r.neighbor == ie.neighbor;
+                                         });
+            if (it == t.links.end()) return false;
+            if (it->active != net.link_active(ie.edge)) return false;
+        }
+    }
+    return true;
+}
+
+bool all_views_converged(node::Cluster& cluster) {
+    for (NodeId u = 0; u < cluster.node_count(); ++u) {
+        const auto& p = cluster.protocol_as<TopologyMaintenance>(u);
+        if (!view_converged(p, cluster.network(), u)) return false;
+    }
+    return true;
+}
+
+}  // namespace fastnet::topo

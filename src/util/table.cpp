@@ -1,0 +1,61 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "common/expect.hpp"
+
+namespace fastnet::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+    FASTNET_EXPECTS(!headers_.empty());
+}
+
+Table& Table::row(std::vector<std::string> cells) {
+    FASTNET_EXPECTS_MSG(cells.size() == headers_.size(), "row width mismatch");
+    rows_.push_back(std::move(cells));
+    return *this;
+}
+
+std::string Table::format_cell(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.3g", v);
+    return buf;
+}
+
+void Table::print(std::ostream& os, const std::string& title) const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+    for (const auto& r : rows_)
+        for (std::size_t c = 0; c < r.size(); ++c) width[c] = std::max(width[c], r[c].size());
+
+    if (!title.empty()) os << "\n== " << title << " ==\n";
+    auto emit = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << "  ";
+            os << cells[c];
+            for (std::size_t pad = cells[c].size(); pad < width[c]; ++pad) os << ' ';
+        }
+        os << '\n';
+    };
+    emit(headers_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + 2;
+    os << std::string(total, '-') << '\n';
+    for (const auto& r : rows_) emit(r);
+}
+
+void Table::print_csv(std::ostream& os) const {
+    auto emit = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c) os << ',';
+            os << cells[c];
+        }
+        os << '\n';
+    };
+    emit(headers_);
+    for (const auto& r : rows_) emit(r);
+}
+
+}  // namespace fastnet::util

@@ -1,0 +1,46 @@
+// Minimal fixed-width table formatter used by the benches and examples
+// to print the paper-reproduction tables ("who wins, by what factor").
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fastnet::util {
+
+class Table {
+public:
+    explicit Table(std::vector<std::string> headers);
+
+    /// Adds a row; must match the header count.
+    Table& row(std::vector<std::string> cells);
+
+    /// Convenience: stream-formats each cell.
+    template <typename... Ts>
+    Table& add(const Ts&... cells) {
+        return row({format_cell(cells)...});
+    }
+
+    /// Renders with aligned columns, a header rule, and an optional title.
+    void print(std::ostream& os, const std::string& title = {}) const;
+
+    /// Comma-separated rendering for downstream plotting.
+    void print_csv(std::ostream& os) const;
+
+    std::size_t row_count() const { return rows_.size(); }
+
+private:
+    static std::string format_cell(const std::string& s) { return s; }
+    static std::string format_cell(const char* s) { return s; }
+    static std::string format_cell(bool b) { return b ? "yes" : "no"; }
+    static std::string format_cell(double v);
+    template <typename T>
+    static std::string format_cell(const T& v) {
+        return std::to_string(v);
+    }
+
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fastnet::util

@@ -1,0 +1,109 @@
+// Tests for the cost ledger (the paper's measures) and the table
+// formatter used by benches/examples.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/expect.hpp"
+#include "cost/metrics.hpp"
+#include "util/table.hpp"
+
+namespace fastnet {
+namespace {
+
+TEST(Metrics, InvocationsSumAllNcuWork) {
+    cost::NodeCounters c;
+    c.message_deliveries = 3;
+    c.starts = 1;
+    c.timer_fires = 2;
+    c.link_events = 4;
+    EXPECT_EQ(c.invocations(), 10u);
+}
+
+TEST(Metrics, TotalsAggregateAcrossNodes) {
+    cost::Metrics m(3);
+    m.node(0).message_deliveries = 5;
+    m.node(1).message_deliveries = 7;
+    m.node(2).starts = 1;
+    EXPECT_EQ(m.total_message_system_calls(), 12u);
+    EXPECT_EQ(m.total_invocations(), 13u);
+}
+
+TEST(Metrics, ResetClearsEverything) {
+    cost::Metrics m(2);
+    m.node(0).message_deliveries = 5;
+    m.net().hops = 9;
+    m.reset();
+    EXPECT_EQ(m.total_message_system_calls(), 0u);
+    EXPECT_EQ(m.net().hops, 0u);
+}
+
+TEST(Metrics, SnapshotCopiesHeadlineNumbers) {
+    cost::Metrics m(2);
+    m.node(0).message_deliveries = 4;
+    m.node(1).sends = 3;
+    m.net().injections = 3;
+    m.net().hops = 11;
+    m.net().max_header_len = 6;
+    const cost::CostReport r = cost::snapshot(m, 99);
+    EXPECT_EQ(r.system_calls, 4u);
+    EXPECT_EQ(r.direct_messages, 3u);
+    EXPECT_EQ(r.hops, 11u);
+    EXPECT_EQ(r.max_header_len, 6u);
+    EXPECT_EQ(r.completion_time, 99);
+}
+
+TEST(Metrics, ReportStreamsReadably) {
+    cost::Metrics m(1);
+    m.node(0).message_deliveries = 2;
+    std::ostringstream os;
+    os << cost::snapshot(m, 5);
+    EXPECT_NE(os.str().find("system_calls=2"), std::string::npos);
+    EXPECT_NE(os.str().find("time=5"), std::string::npos);
+}
+
+TEST(Table, AlignsColumns) {
+    util::Table t({"a", "long_header"});
+    t.add(1, 2);
+    t.add(100000, "x");
+    std::ostringstream os;
+    t.print(os, "demo");
+    const std::string s = os.str();
+    EXPECT_NE(s.find("== demo =="), std::string::npos);
+    EXPECT_NE(s.find("long_header"), std::string::npos);
+    EXPECT_NE(s.find("100000"), std::string::npos);
+}
+
+TEST(Table, RejectsWidthMismatch) {
+    util::Table t({"a", "b"});
+    EXPECT_THROW(t.row({"only one"}), ContractViolation);
+}
+
+TEST(Table, FormatsBoolsAndDoubles) {
+    util::Table t({"flag", "ratio"});
+    t.add(true, 0.3333333);
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("yes"), std::string::npos);
+    EXPECT_NE(os.str().find("0.333"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+    util::Table t({"x", "y"});
+    t.add(1, 2);
+    t.add(3, 4);
+    std::ostringstream os;
+    t.print_csv(os);
+    EXPECT_EQ(os.str(), "x,y\n1,2\n3,4\n");
+}
+
+TEST(Table, RowCount) {
+    util::Table t({"x"});
+    EXPECT_EQ(t.row_count(), 0u);
+    t.add(1);
+    t.add(2);
+    EXPECT_EQ(t.row_count(), 2u);
+}
+
+}  // namespace
+}  // namespace fastnet

@@ -1,0 +1,159 @@
+// Tests for topology generators, including parameterized property sweeps.
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+
+namespace fastnet::graph {
+namespace {
+
+TEST(Generators, Path) {
+    const Graph g = make_path(5);
+    EXPECT_EQ(g.node_count(), 5u);
+    EXPECT_EQ(g.edge_count(), 4u);
+    EXPECT_TRUE(is_tree(g));
+    EXPECT_EQ(g.degree(0), 1u);
+    EXPECT_EQ(g.degree(2), 2u);
+}
+
+TEST(Generators, SingleNodePath) {
+    const Graph g = make_path(1);
+    EXPECT_EQ(g.node_count(), 1u);
+    EXPECT_EQ(g.edge_count(), 0u);
+    EXPECT_TRUE(is_tree(g));
+}
+
+TEST(Generators, Cycle) {
+    const Graph g = make_cycle(6);
+    EXPECT_EQ(g.edge_count(), 6u);
+    for (NodeId u = 0; u < 6; ++u) EXPECT_EQ(g.degree(u), 2u);
+    EXPECT_TRUE(is_connected(g));
+    EXPECT_FALSE(is_tree(g));
+}
+
+TEST(Generators, Star) {
+    const Graph g = make_star(7);
+    EXPECT_EQ(g.degree(0), 6u);
+    for (NodeId u = 1; u < 7; ++u) EXPECT_EQ(g.degree(u), 1u);
+    EXPECT_TRUE(is_tree(g));
+}
+
+TEST(Generators, Complete) {
+    const Graph g = make_complete(6);
+    EXPECT_EQ(g.edge_count(), 15u);
+    for (NodeId u = 0; u < 6; ++u) EXPECT_EQ(g.degree(u), 5u);
+    EXPECT_EQ(diameter(g), 1u);
+}
+
+TEST(Generators, CompleteBinaryTree) {
+    const Graph g = make_complete_binary_tree(3);
+    EXPECT_EQ(g.node_count(), 15u);
+    EXPECT_TRUE(is_tree(g));
+    EXPECT_EQ(g.degree(0), 2u);   // root
+    EXPECT_EQ(g.degree(14), 1u);  // a leaf
+}
+
+TEST(Generators, KaryTree) {
+    const Graph g = make_kary_tree(13, 3);
+    EXPECT_TRUE(is_tree(g));
+    EXPECT_EQ(g.degree(0), 3u);
+}
+
+TEST(Generators, Caterpillar) {
+    const Graph g = make_caterpillar(4, 2);
+    EXPECT_EQ(g.node_count(), 12u);
+    EXPECT_TRUE(is_tree(g));
+}
+
+TEST(Generators, Grid) {
+    const Graph g = make_grid(3, 4);
+    EXPECT_EQ(g.node_count(), 12u);
+    EXPECT_EQ(g.edge_count(), 3u * 3u + 2u * 4u);  // vertical + horizontal
+    EXPECT_TRUE(is_connected(g));
+    EXPECT_EQ(diameter(g), 2u + 3u);
+}
+
+TEST(Generators, Hypercube) {
+    const Graph g = make_hypercube(4);
+    EXPECT_EQ(g.node_count(), 16u);
+    for (NodeId u = 0; u < 16; ++u) EXPECT_EQ(g.degree(u), 4u);
+    EXPECT_EQ(diameter(g), 4u);
+}
+
+TEST(Generators, PodcExampleMatchesPaper) {
+    const Graph g = make_podc_example();
+    EXPECT_EQ(g.node_count(), 6u);
+    EXPECT_EQ(g.edge_count(), 6u);
+    // Triangle u,v,w = 0,1,2.
+    EXPECT_TRUE(g.has_edge(0, 1));
+    EXPECT_TRUE(g.has_edge(1, 2));
+    EXPECT_TRUE(g.has_edge(2, 0));
+    // Pendants.
+    EXPECT_TRUE(g.has_edge(0, 3));
+    EXPECT_TRUE(g.has_edge(1, 4));
+    EXPECT_TRUE(g.has_edge(2, 5));
+}
+
+TEST(Generators, DisjointUnionKeepsComponents) {
+    const Graph g = disjoint_union(make_cycle(3), make_path(4));
+    EXPECT_EQ(g.node_count(), 7u);
+    const auto comp = connected_components(g);
+    EXPECT_EQ(comp[0], comp[2]);
+    EXPECT_EQ(comp[3], comp[6]);
+    EXPECT_NE(comp[0], comp[3]);
+}
+
+// ---- randomized property sweeps ------------------------------------
+
+class RandomTreeProperty : public ::testing::TestWithParam<std::tuple<NodeId, std::uint64_t>> {};
+
+TEST_P(RandomTreeProperty, IsAlwaysATree) {
+    const auto [n, seed] = GetParam();
+    Rng rng(seed);
+    const Graph g = make_random_tree(n, rng);
+    EXPECT_EQ(g.node_count(), n);
+    EXPECT_EQ(g.edge_count(), n - 1);
+    EXPECT_TRUE(is_tree(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RandomTreeProperty,
+                         ::testing::Combine(::testing::Values<NodeId>(2, 3, 5, 17, 64, 257),
+                                            ::testing::Values<std::uint64_t>(1, 2, 3, 99)));
+
+class RandomConnectedProperty
+    : public ::testing::TestWithParam<std::tuple<NodeId, std::uint64_t>> {};
+
+TEST_P(RandomConnectedProperty, IsConnectedAndSimple) {
+    const auto [n, seed] = GetParam();
+    Rng rng(seed);
+    const Graph g = make_random_connected(n, 1, 10, rng);
+    EXPECT_TRUE(is_connected(g));
+    EXPECT_GE(g.edge_count(), n - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RandomConnectedProperty,
+                         ::testing::Combine(::testing::Values<NodeId>(2, 8, 33, 100),
+                                            ::testing::Values<std::uint64_t>(5, 6, 7)));
+
+TEST(Generators, RandomTreeIsDeterministicPerSeed) {
+    Rng r1(77), r2(77);
+    const Graph a = make_random_tree(40, r1);
+    const Graph b = make_random_tree(40, r2);
+    ASSERT_EQ(a.edge_count(), b.edge_count());
+    for (EdgeId e = 0; e < a.edge_count(); ++e) {
+        EXPECT_EQ(a.edge(e).a, b.edge(e).a);
+        EXPECT_EQ(a.edge(e).b, b.edge(e).b);
+    }
+}
+
+TEST(Generators, RandomSpanningTreeSpansAndIsSubgraph) {
+    Rng rng(31);
+    const Graph g = make_random_connected(30, 2, 10, rng);
+    const RootedTree t = random_spanning_tree(g, 5, rng);
+    EXPECT_EQ(t.root(), 5u);
+    EXPECT_EQ(t.size(), g.node_count());
+    EXPECT_TRUE(t.is_subgraph_of(g));
+}
+
+}  // namespace
+}  // namespace fastnet::graph

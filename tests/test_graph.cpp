@@ -1,0 +1,97 @@
+// Tests for the immutable Graph container.
+#include <gtest/gtest.h>
+
+#include "common/expect.hpp"
+#include "graph/graph.hpp"
+
+namespace fastnet::graph {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+    Graph g;
+    EXPECT_EQ(g.node_count(), 0u);
+    EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(Graph, AddEdgeBasics) {
+    Graph g(3);
+    const EdgeId e = g.add_edge(0, 1);
+    EXPECT_EQ(e, 0u);
+    EXPECT_TRUE(g.has_edge(0, 1));
+    EXPECT_TRUE(g.has_edge(1, 0));
+    EXPECT_FALSE(g.has_edge(0, 2));
+    EXPECT_EQ(g.edge_count(), 1u);
+    EXPECT_EQ(g.degree(0), 1u);
+    EXPECT_EQ(g.degree(2), 0u);
+}
+
+TEST(Graph, EdgeOtherEndpoint) {
+    Graph g(2);
+    g.add_edge(0, 1);
+    EXPECT_EQ(g.edge(0).other(0), 1u);
+    EXPECT_EQ(g.edge(0).other(1), 0u);
+    EXPECT_THROW(g.edge(0).other(5), ContractViolation);
+}
+
+TEST(Graph, RejectsSelfLoop) {
+    Graph g(2);
+    EXPECT_THROW(g.add_edge(1, 1), ContractViolation);
+}
+
+TEST(Graph, RejectsParallelEdge) {
+    Graph g(2);
+    g.add_edge(0, 1);
+    EXPECT_THROW(g.add_edge(0, 1), ContractViolation);
+    EXPECT_THROW(g.add_edge(1, 0), ContractViolation);
+}
+
+TEST(Graph, RejectsOutOfRangeEndpoints) {
+    Graph g(2);
+    EXPECT_THROW(g.add_edge(0, 2), ContractViolation);
+}
+
+TEST(Graph, FindEdgeReturnsId) {
+    Graph g(4);
+    g.add_edge(0, 1);
+    const EdgeId e = g.add_edge(2, 3);
+    EXPECT_EQ(g.find_edge(2, 3), e);
+    EXPECT_EQ(g.find_edge(3, 2), e);
+    EXPECT_EQ(g.find_edge(0, 3), kNoEdge);
+}
+
+TEST(Graph, IncidentOrderIsInsertionOrder) {
+    Graph g(4);
+    g.add_edge(0, 2);
+    g.add_edge(0, 1);
+    g.add_edge(0, 3);
+    const auto inc = g.incident(0);
+    ASSERT_EQ(inc.size(), 3u);
+    EXPECT_EQ(inc[0].neighbor, 2u);
+    EXPECT_EQ(inc[1].neighbor, 1u);
+    EXPECT_EQ(inc[2].neighbor, 3u);
+}
+
+TEST(Graph, NeighborsMatchesIncident) {
+    Graph g(5);
+    g.add_edge(1, 0);
+    g.add_edge(1, 4);
+    const auto nb = g.neighbors(1);
+    ASSERT_EQ(nb.size(), 2u);
+    EXPECT_EQ(nb[0], 0u);
+    EXPECT_EQ(nb[1], 4u);
+}
+
+TEST(Graph, DegreeSumIsTwiceEdges) {
+    Graph g(6);
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    g.add_edge(2, 3);
+    g.add_edge(3, 0);
+    g.add_edge(4, 5);
+    std::size_t sum = 0;
+    for (NodeId u = 0; u < g.node_count(); ++u) sum += g.degree(u);
+    EXPECT_EQ(sum, 2u * g.edge_count());
+}
+
+}  // namespace
+}  // namespace fastnet::graph

@@ -1,0 +1,80 @@
+// Tests for the compute-and-disseminate extension of the Section 5
+// gather: after node 1 knows f, everyone learns it via a downcast over
+// the same tree.
+#include <gtest/gtest.h>
+
+#include "gsf/gather.hpp"
+#include "gsf/opt_tree.hpp"
+
+namespace fastnet::gsf {
+namespace {
+
+ModelParams params_of(Tick c, Tick p) {
+    ModelParams m;
+    m.hop_delay = c;
+    m.ncu_delay = p;
+    return m;
+}
+
+TEST(Disseminate, EveryNodeLearnsTheResult) {
+    const auto r = build_optimal_tree(25, 1, 1);
+    const auto out = run_tree_gather(r.tree, params_of(1, 1), combine_sum(), {}, 7,
+                                     /*disseminate=*/true);
+    EXPECT_TRUE(out.correct);
+    EXPECT_TRUE(out.all_know_final);
+    EXPECT_GT(out.dissemination_completion, out.completion);
+}
+
+TEST(Disseminate, SingleNodeKnowsImmediately) {
+    const auto r = build_optimal_tree(1, 1, 1);
+    const auto out = run_tree_gather(r.tree, params_of(1, 1), combine_sum(), {5}, 7, true);
+    EXPECT_TRUE(out.all_know_final);
+    EXPECT_EQ(out.dissemination_completion, out.completion);
+}
+
+TEST(Disseminate, OffByDefault) {
+    const auto r = build_optimal_tree(9, 1, 1);
+    const auto out = run_tree_gather(r.tree, params_of(1, 1));
+    EXPECT_FALSE(out.all_know_final);
+    EXPECT_EQ(out.dissemination_completion, 0);
+}
+
+TEST(Disseminate, DowncastCostsNMinus1MoreMessages) {
+    const auto r = build_optimal_tree(30, 1, 1);
+    const auto up = run_tree_gather(r.tree, params_of(1, 1));
+    const auto both = run_tree_gather(r.tree, params_of(1, 1), combine_sum(), {}, 7, true);
+    EXPECT_EQ(up.cost.direct_messages, 29u);
+    EXPECT_EQ(both.cost.direct_messages, 2u * 29u);
+}
+
+TEST(Disseminate, RoundTripIsAtMostTwiceOptimalPlusDepthSlack) {
+    // The downcast re-traverses the tree; with free multi-send each level
+    // costs C + P, so dissemination finishes within
+    // t_opt + height * (C + P) + P.
+    for (auto [c, p] : std::vector<std::pair<Tick, Tick>>{{0, 1}, {1, 1}, {3, 2}}) {
+        for (std::uint64_t n : {8ull, 64ull, 200ull}) {
+            const auto r = build_optimal_tree(n, c, p);
+            const auto out =
+                run_tree_gather(r.tree, params_of(c, p), combine_xor(), {}, 3, true);
+            EXPECT_TRUE(out.all_know_final);
+            const Tick slack = static_cast<Tick>(r.tree.height()) * (c + p) + p;
+            EXPECT_LE(out.dissemination_completion, r.predicted_time + slack)
+                << "C=" << c << " P=" << p << " n=" << n;
+        }
+    }
+}
+
+TEST(Disseminate, LeavesEndUpHoldingF) {
+    // Every node's result() equals f afterwards (their accumulator is
+    // overwritten by the final value).
+    const auto r = build_optimal_tree(12, 2, 1);
+    std::vector<std::uint64_t> inputs(12);
+    for (std::size_t i = 0; i < 12; ++i) inputs[i] = i * i + 1;
+    const auto out =
+        run_tree_gather(r.tree, params_of(2, 1), combine_max(), inputs, 7, true);
+    EXPECT_TRUE(out.all_know_final);
+    EXPECT_EQ(out.result, 122u);  // 11^2 + 1
+}
+
+}  // namespace
+}  // namespace fastnet::gsf

@@ -1,0 +1,131 @@
+// End-to-end Section 5: the tree-based algorithm running as NCU software
+// on a simulated complete graph — correctness of the computed function
+// and exact agreement between simulated and predicted completion times.
+#include <gtest/gtest.h>
+
+#include "gsf/gather.hpp"
+#include "gsf/opt_tree.hpp"
+
+namespace fastnet::gsf {
+namespace {
+
+ModelParams params_of(Tick c, Tick p) {
+    ModelParams m;
+    m.hop_delay = c;
+    m.ncu_delay = p;
+    return m;
+}
+
+TEST(Gather, ComputesSumOnOptimalTree) {
+    const auto r = build_optimal_tree(20, 1, 1);
+    const auto out = run_tree_gather(r.tree, params_of(1, 1));
+    EXPECT_TRUE(out.correct);
+    EXPECT_EQ(out.completion, r.predicted_time);
+}
+
+TEST(Gather, SingleNode) {
+    const auto r = build_optimal_tree(1, 1, 1);
+    const auto out = run_tree_gather(r.tree, params_of(1, 1), combine_sum(), {42});
+    EXPECT_TRUE(out.correct);
+    EXPECT_EQ(out.result, 42u);
+    EXPECT_EQ(out.completion, 1);
+}
+
+TEST(Gather, AllCombinersAgreeWithSequentialFold) {
+    const auto r = build_optimal_tree(17, 2, 1);
+    for (auto& [name, fn] :
+         std::vector<std::pair<const char*, Combine>>{{"sum", combine_sum()},
+                                                      {"max", combine_max()},
+                                                      {"xor", combine_xor()},
+                                                      {"gcd", combine_gcd()}}) {
+        const auto out = run_tree_gather(r.tree, params_of(2, 1), fn, {}, /*seed=*/99);
+        EXPECT_TRUE(out.correct) << name;
+    }
+}
+
+TEST(Gather, SimulationMatchesPredictionAcrossParams) {
+    // The strongest Section 5 check: for many (C, P, n), the simulated
+    // completion on the real event-driven fabric equals both the static
+    // prediction and optimal_time(n) — eq. 1-3 made executable.
+    for (auto [c, p] : std::vector<std::pair<Tick, Tick>>{{0, 1}, {1, 1}, {3, 1}, {1, 3}, {4, 2}}) {
+        ScheduleSolver solver(c, p);
+        for (std::uint64_t n : {2ull, 3ull, 7ull, 16ull, 45ull, 100ull}) {
+            const auto r = build_optimal_tree(n, c, p);
+            const auto out = run_tree_gather(r.tree, params_of(c, p));
+            EXPECT_TRUE(out.correct);
+            EXPECT_EQ(out.completion, solver.optimal_time(n))
+                << "C=" << c << " P=" << p << " n=" << n;
+            EXPECT_EQ(out.completion, predicted_completion(r.tree, c, p));
+        }
+    }
+}
+
+TEST(Gather, StarMatchesClosedFormUnderSimulation) {
+    for (auto [c, p] : std::vector<std::pair<Tick, Tick>>{{0, 1}, {2, 1}, {1, 3}}) {
+        const NodeId n = 12;
+        const auto out = run_tree_gather(make_star_tree(n), params_of(c, p));
+        EXPECT_TRUE(out.correct);
+        EXPECT_EQ(out.completion, c + static_cast<Tick>(n) * p);
+    }
+}
+
+TEST(Gather, TraditionalModelStarFinishesInC) {
+    // C=1, P=0 on a complete graph: the star completes at t = C for any
+    // n — the paper's Example 2, where the recursion blows up.
+    for (NodeId n : {4u, 16u, 64u}) {
+        const auto out = run_tree_gather(make_star_tree(n), params_of(1, 0));
+        EXPECT_TRUE(out.correct);
+        EXPECT_EQ(out.completion, 1) << n;
+    }
+}
+
+TEST(Gather, NewModelDoesNotDegenerateOnCompleteGraphs) {
+    // Same complete graph, same star, but P = 1: the root serializes and
+    // time grows linearly with n; the optimal tree grows only as log n.
+    const auto star16 = run_tree_gather(make_star_tree(16), params_of(1, 1));
+    const auto star64 = run_tree_gather(make_star_tree(64), params_of(1, 1));
+    EXPECT_EQ(star64.completion - star16.completion, 48);
+    const auto opt16 = build_optimal_tree(16, 1, 1);
+    const auto opt64 = build_optimal_tree(64, 1, 1);
+    const auto o16 = run_tree_gather(opt16.tree, params_of(1, 1));
+    const auto o64 = run_tree_gather(opt64.tree, params_of(1, 1));
+    EXPECT_LE(o64.completion - o16.completion, 5);  // ~log-phi growth
+    EXPECT_LT(o64.completion, star64.completion);
+}
+
+TEST(Gather, MessageCountIsExactlyNMinus1) {
+    // Theorem 6's tree-based algorithm sends one message per non-root
+    // node — also the system-call count (each is processed once).
+    const auto r = build_optimal_tree(30, 1, 1);
+    const auto out = run_tree_gather(r.tree, params_of(1, 1));
+    EXPECT_EQ(out.cost.direct_messages, 29u);
+    EXPECT_EQ(out.cost.system_calls, 29u);
+    EXPECT_EQ(out.cost.hops, 29u);  // complete graph: one hop each
+}
+
+TEST(Gather, WorksOnArbitraryTrees) {
+    const auto kary = make_kary_gather_tree(26, 3);
+    const auto out = run_tree_gather(kary, params_of(2, 3), combine_max());
+    EXPECT_TRUE(out.correct);
+    EXPECT_EQ(out.completion, predicted_completion(kary, 2, 3));
+}
+
+class GatherSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, Tick, Tick>> {};
+
+TEST_P(GatherSweep, PredictionExactEverywhere) {
+    const auto [n, c, p] = GetParam();
+    const auto r = build_optimal_tree(n, c, p);
+    const auto out = run_tree_gather(r.tree, params_of(c, p), combine_xor());
+    EXPECT_TRUE(out.correct);
+    EXPECT_EQ(out.completion, r.predicted_time);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, GatherSweep,
+    ::testing::Combine(::testing::Values<std::uint64_t>(2, 5, 13, 64, 200),
+                       ::testing::Values<Tick>(0, 1, 5),
+                       ::testing::Values<Tick>(1, 2)));
+
+}  // namespace
+}  // namespace fastnet::gsf

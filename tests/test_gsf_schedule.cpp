@@ -1,0 +1,156 @@
+// Section 5's S(t) recursion: base cases, the paper's three worked
+// examples (binomial / traditional blow-up / Fibonacci), and structural
+// properties of optimal_time.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/expect.hpp"
+#include "gsf/schedule.hpp"
+
+namespace fastnet::gsf {
+namespace {
+
+TEST(Schedule, BaseCases) {
+    ScheduleSolver s(/*C=*/2, /*P=*/3);
+    EXPECT_EQ(s.size_at(-1), 0u);
+    EXPECT_EQ(s.size_at(0), 0u);
+    EXPECT_EQ(s.size_at(2), 0u);        // t < P
+    EXPECT_EQ(s.size_at(3), 1u);        // P <= t < 2P + C = 8
+    EXPECT_EQ(s.size_at(7), 1u);
+    EXPECT_EQ(s.size_at(8), 2u);        // S(5) + S(3) = 1 + 1
+}
+
+TEST(Schedule, RecursionMatchesDirectEvaluation) {
+    ScheduleSolver s(5, 2);
+    for (Tick t = 9; t <= 60; ++t)
+        EXPECT_EQ(s.size_at(t), s.size_at(t - 2) + s.size_at(t - 7)) << t;
+}
+
+TEST(Schedule, Example1BinomialTrees) {
+    // C=0, P=1: S(k) = 2^(k-1)  (paper eq. 6).
+    ScheduleSolver s(0, 1);
+    for (unsigned k = 1; k <= 30; ++k)
+        EXPECT_EQ(s.size_at(static_cast<Tick>(k)), binomial_size(k)) << k;
+}
+
+TEST(Schedule, Example2TraditionalBlowUp) {
+    // C=1, P=0: any size by t = C (star); the recursion "blows up".
+    ScheduleSolver s(1, 0);
+    EXPECT_EQ(s.size_at(0), 1u);
+    EXPECT_EQ(s.size_at(1), kUnboundedSize);
+    EXPECT_EQ(s.optimal_time(1'000'000), 1);
+    ScheduleSolver s5(5, 0);
+    EXPECT_EQ(s5.size_at(4), 1u);
+    EXPECT_EQ(s5.size_at(5), kUnboundedSize);
+}
+
+TEST(Schedule, Example3FibonacciTrees) {
+    // C=1, P=1: S(k) = Fib(k)  (paper eq. 9).
+    ScheduleSolver s(1, 1);
+    for (unsigned k = 1; k <= 40; ++k)
+        EXPECT_EQ(s.size_at(static_cast<Tick>(k)), fibonacci_size(k)) << k;
+}
+
+TEST(Schedule, FibonacciClosedFormGoldenRatio) {
+    // Paper eq. 11: S(k) = (phi^k - psi^k) / sqrt(5).
+    const double phi = (1 + std::sqrt(5.0)) / 2;
+    const double psi = (1 - std::sqrt(5.0)) / 2;
+    for (unsigned k = 1; k <= 40; ++k) {
+        const double closed = (std::pow(phi, k) - std::pow(psi, k)) / std::sqrt(5.0);
+        EXPECT_EQ(fibonacci_size(k), static_cast<std::uint64_t>(std::llround(closed))) << k;
+    }
+}
+
+TEST(Schedule, SizeIsMonotoneInTime) {
+    for (auto [c, p] : std::vector<std::pair<Tick, Tick>>{{0, 1}, {1, 1}, {3, 1}, {1, 3}, {7, 2}}) {
+        ScheduleSolver s(c, p);
+        std::uint64_t prev = 0;
+        for (Tick t = 0; t <= 80; ++t) {
+            EXPECT_GE(s.size_at(t), prev) << "C=" << c << " P=" << p << " t=" << t;
+            prev = s.size_at(t);
+        }
+    }
+}
+
+TEST(Schedule, LargerDelaysNeverHelp) {
+    ScheduleSolver fast(1, 1), slow_c(4, 1), slow_p(1, 4);
+    for (Tick t = 0; t <= 60; ++t) {
+        EXPECT_LE(slow_c.size_at(t), fast.size_at(t));
+        EXPECT_LE(slow_p.size_at(t), fast.size_at(t));
+    }
+}
+
+TEST(Schedule, OptimalTimeInvertsSize) {
+    for (auto [c, p] : std::vector<std::pair<Tick, Tick>>{{0, 1}, {1, 1}, {5, 2}, {2, 5}}) {
+        ScheduleSolver s(c, p);
+        for (std::uint64_t n : {1ull, 2ull, 3ull, 7ull, 64ull, 1000ull}) {
+            const Tick t = s.optimal_time(n);
+            EXPECT_GE(s.size_at(t), n);
+            if (n > 1) {
+                EXPECT_LT(s.size_at(t - 1), n);
+            }
+        }
+    }
+}
+
+TEST(Schedule, OptimalTimeSingleNodeIsP) {
+    EXPECT_EQ(optimal_gather_time(1, 9, 4), 4);
+}
+
+TEST(Schedule, BinomialOptimalTimeIsCeilLog2Plus1) {
+    // C=0, P=1: S(k) = 2^(k-1) >= n  <=>  k >= log2(n) + 1.
+    ScheduleSolver s(0, 1);
+    EXPECT_EQ(s.optimal_time(2), 2);
+    EXPECT_EQ(s.optimal_time(3), 3);
+    EXPECT_EQ(s.optimal_time(4), 3);
+    EXPECT_EQ(s.optimal_time(5), 4);
+    EXPECT_EQ(s.optimal_time(1024), 11);
+    EXPECT_EQ(s.optimal_time(1025), 12);
+}
+
+TEST(Schedule, TraditionalModelIsInsensitiveToN) {
+    // The paper's point: under C=1, P=0 a complete graph computes any
+    // globally sensitive function in one unit regardless of n...
+    ScheduleSolver trad(1, 0);
+    EXPECT_EQ(trad.optimal_time(10), trad.optimal_time(1'000'000));
+    // ...but with any P > 0 the new model does NOT degenerate: time
+    // grows with n even on a complete graph.
+    ScheduleSolver fast(1, 1);
+    EXPECT_LT(fast.optimal_time(10), fast.optimal_time(1'000'000));
+}
+
+TEST(Schedule, RejectsDegenerateParameters) {
+    EXPECT_THROW(ScheduleSolver(0, 0), ContractViolation);
+    EXPECT_THROW(ScheduleSolver(-1, 1), ContractViolation);
+}
+
+TEST(Schedule, SaturatesInsteadOfOverflowing) {
+    ScheduleSolver s(0, 1);
+    EXPECT_EQ(s.size_at(64), std::uint64_t{1} << 63);  // exact up to 2^63
+    // Beyond that the doubling saturates just below the unbounded marker
+    // instead of wrapping around.
+    EXPECT_EQ(s.size_at(500), kUnboundedSize - 1);
+    EXPECT_LT(s.size_at(500), kUnboundedSize);
+}
+
+class ScheduleSweep : public ::testing::TestWithParam<std::tuple<Tick, Tick>> {};
+
+TEST_P(ScheduleSweep, DoublesWithinCPlus2P) {
+    // Crude growth sanity: S(t + C + 2P) >= 2 S(t) for t past the base,
+    // since OT(t + C + 2P) contains two disjoint OT(t)'s worth of slots.
+    const auto [c, p] = GetParam();
+    ScheduleSolver s(c, p);
+    for (Tick t = 2 * p + c; t <= 20 * (c + p); ++t)
+        EXPECT_GE(s.size_at(t + c + 2 * p), 2 * s.size_at(t)) << t;
+}
+
+INSTANTIATE_TEST_SUITE_P(Params, ScheduleSweep,
+                         ::testing::Values(std::tuple<Tick, Tick>{0, 1},
+                                           std::tuple<Tick, Tick>{1, 1},
+                                           std::tuple<Tick, Tick>{1, 2},
+                                           std::tuple<Tick, Tick>{4, 1},
+                                           std::tuple<Tick, Tick>{3, 3}));
+
+}  // namespace
+}  // namespace fastnet::gsf

@@ -1,0 +1,112 @@
+// OT(t) materialization, pruning, the predicted-completion model and
+// its agreement with the S(t) recursion.
+#include <gtest/gtest.h>
+
+#include "gsf/opt_tree.hpp"
+
+namespace fastnet::gsf {
+namespace {
+
+TEST(OptTree, SingleNode) {
+    const auto r = build_optimal_tree(1, 3, 2);
+    EXPECT_EQ(r.tree.size(), 1u);
+    EXPECT_EQ(r.predicted_time, 2);
+}
+
+TEST(OptTree, TwoNodesTake2PPlusC) {
+    const auto r = build_optimal_tree(2, 3, 2);
+    EXPECT_EQ(r.tree.size(), 2u);
+    EXPECT_EQ(r.predicted_time, 2 * 2 + 3);
+}
+
+TEST(OptTree, BinomialShapeForC0P1) {
+    // OT(k) under C=0,P=1 is the binomial tree B_(k-1): the root of
+    // OT(k) has k-1 children.
+    const auto r = build_optimal_tree(16, 0, 1);
+    EXPECT_EQ(r.predicted_time, 5);  // 2^(5-1) = 16
+    EXPECT_EQ(r.tree.children(0).size(), 4u);
+}
+
+TEST(OptTree, SizeMatchesRecursionWhenUnpruned) {
+    // For n = S(t_opt) exactly, no pruning happens and the materialized
+    // size equals the recursion's answer.
+    for (auto [c, p] : std::vector<std::pair<Tick, Tick>>{{0, 1}, {1, 1}, {2, 1}, {1, 2}}) {
+        ScheduleSolver s(c, p);
+        for (Tick t = p; t <= 14 * (c + p); ++t) {
+            const std::uint64_t n = s.size_at(t);
+            if (n < 2 || n > 5000) continue;
+            if (s.size_at(t - 1) == n) continue;  // not a growth point
+            const auto r = build_optimal_tree(n, c, p);
+            EXPECT_EQ(r.tree.size(), n) << "C=" << c << " P=" << p;
+            EXPECT_EQ(r.predicted_time, t);
+        }
+    }
+}
+
+TEST(OptTree, PredictedCompletionEqualsOptimalTime) {
+    // Both pruned and unpruned optimal trees must finish at exactly
+    // t_opt under the FIFO serial-NCU model (Theorem 6 optimality: no
+    // n-node tree does better; subtrees of OT(t_opt) do no worse).
+    for (auto [c, p] : std::vector<std::pair<Tick, Tick>>{{0, 1}, {1, 1}, {5, 2}, {2, 5}, {7, 3}}) {
+        for (std::uint64_t n : {2ull, 3ull, 5ull, 17ull, 100ull, 511ull, 512ull, 513ull}) {
+            const auto r = build_optimal_tree(n, c, p);
+            EXPECT_EQ(predicted_completion(r.tree, c, p), r.predicted_time)
+                << "C=" << c << " P=" << p << " n=" << n;
+        }
+    }
+}
+
+TEST(OptTree, NoSmallerTreeBeatsTheOptimum) {
+    // Exhaustive-ish adversary: k-ary and star baselines never beat
+    // t_opt (and are strictly worse somewhere).
+    const Tick c = 1, p = 1;
+    bool star_strictly_worse = false;
+    for (std::uint64_t n : {4ull, 8ull, 32ull, 128ull}) {
+        const auto r = build_optimal_tree(n, c, p);
+        const Tick star = predicted_completion(make_star_tree(static_cast<NodeId>(n)), c, p);
+        EXPECT_GE(star, r.predicted_time);
+        if (star > r.predicted_time) star_strictly_worse = true;
+        for (unsigned k : {2u, 3u, 8u}) {
+            const Tick kary =
+                predicted_completion(make_kary_gather_tree(static_cast<NodeId>(n), k), c, p);
+            EXPECT_GE(kary, r.predicted_time) << "n=" << n << " k=" << k;
+        }
+    }
+    EXPECT_TRUE(star_strictly_worse);
+}
+
+TEST(OptTree, StarCompletionFormula) {
+    // Star with P > 0: root start P, n-1 serial arrivals from time P+C:
+    // completion = max(P, P + C) + (n-1) P = C + nP.
+    for (Tick c : {0, 1, 4})
+        for (Tick p : {1, 2, 5})
+            for (NodeId n : {2u, 5u, 33u})
+                EXPECT_EQ(predicted_completion(make_star_tree(n), c, p),
+                          c + static_cast<Tick>(n) * p)
+                    << c << " " << p << " " << n;
+}
+
+TEST(OptTree, PathTreeCompletionFormula) {
+    // A path (1-ary tree): each level adds C + P after the previous
+    // one's send: completion = P + (n-1)(C + P).
+    const graph::RootedTree path = make_kary_gather_tree(6, 1);
+    EXPECT_EQ(predicted_completion(path, 3, 2), 2 + 5 * (3 + 2));
+}
+
+TEST(OptTree, RejectsTraditionalModel) {
+    EXPECT_THROW(build_optimal_tree(4, 1, 0), ContractViolation);
+}
+
+TEST(OptTree, FibonacciTreeShape) {
+    // C=1, P=1: OT(k) = OT(k-1) <- OT(k-2); sizes follow Fibonacci.
+    for (unsigned k = 3; k <= 15; ++k) {
+        const std::uint64_t n = fibonacci_size(k);
+        if (n < 2) continue;
+        const auto r = build_optimal_tree(n, 1, 1);
+        EXPECT_EQ(r.predicted_time, static_cast<Tick>(k));
+        EXPECT_EQ(r.tree.size(), n);
+    }
+}
+
+}  // namespace
+}  // namespace fastnet::gsf

@@ -1,0 +1,136 @@
+// Randomized property sweeps over the hardware fabric: arbitrary routes
+// on arbitrary graphs deliver to exactly the intended NCUs, reverse
+// routes always work, determinism holds.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cost/metrics.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "hw/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace fastnet::hw {
+namespace {
+
+struct Mark final : Payload {
+    explicit Mark(int v) : value(v) {}
+    int value;
+};
+
+struct Fixture {
+    explicit Fixture(graph::Graph graph)
+        : g(std::move(graph)), metrics(g.node_count()),
+          net(sim, g, ModelParams::fast_network(), metrics) {
+        inbox.resize(g.node_count());
+        for (NodeId u = 0; u < g.node_count(); ++u)
+            net.set_ncu_sink(u, [this, u](const Delivery& d) { inbox[u].push_back(d); });
+    }
+    sim::Simulator sim;
+    graph::Graph g;
+    cost::Metrics metrics;
+    Network net;
+    std::vector<std::vector<Delivery>> inbox;
+};
+
+/// A random simple path in g starting at `from` with <= max_len hops.
+std::vector<NodeId> random_simple_path(const graph::Graph& g, NodeId from,
+                                       std::size_t max_len, Rng& rng) {
+    std::vector<NodeId> path{from};
+    std::set<NodeId> used{from};
+    NodeId cur = from;
+    while (path.size() <= max_len) {
+        std::vector<NodeId> candidates;
+        for (const graph::IncidentEdge& ie : g.incident(cur))
+            if (!used.count(ie.neighbor)) candidates.push_back(ie.neighbor);
+        if (candidates.empty()) break;
+        cur = candidates[rng.below(candidates.size())];
+        used.insert(cur);
+        path.push_back(cur);
+    }
+    return path;
+}
+
+class HwRouteProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HwRouteProperty, RelayRouteDeliversOnlyAtDestination) {
+    Rng rng(GetParam());
+    Fixture f(graph::make_random_connected(24, 2, 10, rng));
+    for (int trial = 0; trial < 20; ++trial) {
+        const NodeId from = static_cast<NodeId>(rng.below(24));
+        const auto path = random_simple_path(f.g, from, 8, rng);
+        if (path.size() < 2) continue;
+        for (auto& box : f.inbox) box.clear();
+        f.net.send(from, f.net.route(path), std::make_shared<Mark>(trial));
+        f.sim.run();
+        for (NodeId u = 0; u < 24; ++u) {
+            const std::size_t want = (u == path.back()) ? 1 : 0;
+            ASSERT_EQ(f.inbox[u].size(), want) << "trial " << trial << " node " << u;
+        }
+        EXPECT_EQ(f.inbox[path.back()][0].hops, path.size() - 1);
+    }
+}
+
+TEST_P(HwRouteProperty, CopyRouteDeliversAtEveryPathNodeOnce) {
+    Rng rng(GetParam() ^ 0xabcd);
+    Fixture f(graph::make_random_connected(24, 2, 10, rng));
+    for (int trial = 0; trial < 20; ++trial) {
+        const NodeId from = static_cast<NodeId>(rng.below(24));
+        const auto path = random_simple_path(f.g, from, 8, rng);
+        if (path.size() < 2) continue;
+        for (auto& box : f.inbox) box.clear();
+        f.net.send(from, f.net.route(path, CopyMode::kIntermediates),
+                   std::make_shared<Mark>(trial));
+        f.sim.run();
+        const std::set<NodeId> on_path(path.begin() + 1, path.end());
+        for (NodeId u = 0; u < 24; ++u) {
+            const std::size_t want = on_path.count(u) ? 1 : 0;
+            ASSERT_EQ(f.inbox[u].size(), want) << "trial " << trial << " node " << u;
+        }
+    }
+}
+
+TEST_P(HwRouteProperty, ReverseRouteAlwaysReturnsToSender) {
+    Rng rng(GetParam() ^ 0x1234);
+    Fixture f(graph::make_random_connected(20, 2, 10, rng));
+    for (int trial = 0; trial < 15; ++trial) {
+        const NodeId from = static_cast<NodeId>(rng.below(20));
+        const auto path = random_simple_path(f.g, from, 7, rng);
+        if (path.size() < 2) continue;
+        for (auto& box : f.inbox) box.clear();
+        f.net.send(from, f.net.route(path), std::make_shared<Mark>(1));
+        f.sim.run();
+        ASSERT_EQ(f.inbox[path.back()].size(), 1u);
+        const Delivery d = f.inbox[path.back()][0];
+        for (auto& box : f.inbox) box.clear();
+        f.net.send(path.back(), d.reverse, std::make_shared<Mark>(2));
+        f.sim.run();
+        ASSERT_EQ(f.inbox[from].size(), 1u) << "trial " << trial;
+        EXPECT_EQ(payload_as<Mark>(f.inbox[from][0])->value, 2);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HwRouteProperty,
+                         ::testing::Values<std::uint64_t>(1, 2, 3, 4, 5));
+
+TEST(HwDeterminism, IdenticalRunsProduceIdenticalMetrics) {
+    auto run_once = [] {
+        Rng rng(9);
+        Fixture f(graph::make_random_connected(16, 3, 10, rng));
+        for (int i = 0; i < 10; ++i) {
+            const NodeId from = static_cast<NodeId>(rng.below(16));
+            const auto path = random_simple_path(f.g, from, 6, rng);
+            if (path.size() < 2) continue;
+            f.net.send(from, f.net.route(path, CopyMode::kIntermediates),
+                       std::make_shared<Mark>(i));
+        }
+        f.sim.run();
+        return std::tuple{f.metrics.net().hops, f.metrics.net().ncu_deliveries,
+                          f.metrics.net().header_bits};
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace fastnet::hw

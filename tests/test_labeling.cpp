@@ -1,0 +1,112 @@
+// Tests for the Section 3.1 labelling: base cases, Lemma 1, and the
+// 2^l-subtree property behind Theorem 2, swept over many random trees.
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "topo/labeling.hpp"
+
+namespace fastnet::topo {
+namespace {
+
+using graph::Graph;
+using graph::RootedTree;
+
+RootedTree rooted(const Graph& g, NodeId root = 0) { return graph::min_hop_tree(g, root); }
+
+TEST(Labeling, SingleNodeIsZero) {
+    const RootedTree t(0, {kNoNode});
+    const auto labels = label_tree(t);
+    EXPECT_EQ(labels[0], 0u);
+}
+
+TEST(Labeling, PathIsAllZero) {
+    // A path has one leaf below the root: every label stays 0.
+    const auto t = rooted(graph::make_path(10));
+    const auto labels = label_tree(t);
+    for (NodeId u = 0; u < 10; ++u) EXPECT_EQ(labels[u], 0u);
+}
+
+TEST(Labeling, StarRootGetsOne) {
+    const auto t = rooted(graph::make_star(5));
+    const auto labels = label_tree(t);
+    EXPECT_EQ(labels[0], 1u);
+    for (NodeId u = 1; u < 5; ++u) EXPECT_EQ(labels[u], 0u);
+}
+
+TEST(Labeling, TwoLeafStarRootGetsOne) {
+    const auto t = rooted(graph::make_star(3));
+    EXPECT_EQ(label_tree(t)[0], 1u);
+}
+
+TEST(Labeling, CompleteBinaryTreeLabelEqualsHeight) {
+    const auto t = rooted(graph::make_complete_binary_tree(4));
+    const auto labels = label_tree(t);
+    // Node at height h (leaves h=0) has two children of equal label, so
+    // labels increase by one per level: label = height.
+    EXPECT_EQ(labels[0], 4u);       // root
+    EXPECT_EQ(labels[1], 3u);       // its children
+    EXPECT_EQ(labels[3], 2u);
+    EXPECT_EQ(labels[15], 0u);      // a leaf
+}
+
+TEST(Labeling, CaterpillarSpineStaysLow) {
+    // Each spine node has one leg (leaf, label 0) and one spine child.
+    const auto t = rooted(graph::make_caterpillar(6, 1));
+    const auto labels = label_tree(t);
+    EXPECT_LE(max_label(t, labels), 1u);
+}
+
+TEST(Labeling, AbsentNodesGetNoLabel) {
+    const Graph g = graph::disjoint_union(graph::make_path(3), graph::make_path(2));
+    const auto t = rooted(g, 0);
+    const auto labels = label_tree(t);
+    EXPECT_EQ(labels[3], kNoLabel);
+    EXPECT_EQ(labels[4], kNoLabel);
+    EXPECT_NE(labels[2], kNoLabel);
+}
+
+class LabelingProperty : public ::testing::TestWithParam<std::tuple<NodeId, std::uint64_t>> {
+protected:
+    RootedTree make_tree() {
+        auto [n, seed] = GetParam();
+        Rng rng(seed);
+        const Graph g = graph::make_random_tree(n, rng);
+        return graph::min_hop_tree(g, static_cast<NodeId>(rng.below(n)));
+    }
+};
+
+TEST_P(LabelingProperty, Lemma1Holds) {
+    const RootedTree t = make_tree();
+    EXPECT_TRUE(satisfies_lemma1(t, label_tree(t)));
+}
+
+TEST_P(LabelingProperty, SubtreeOfLabelLHasAtLeast2ToLNodes) {
+    const RootedTree t = make_tree();
+    const auto labels = label_tree(t);
+    const auto sizes = t.subtree_sizes();
+    for (NodeId u : t.preorder())
+        EXPECT_GE(sizes[u], (NodeId{1} << labels[u]))
+            << "node " << u << " label " << labels[u];
+}
+
+TEST_P(LabelingProperty, RootLabelAtMostFloorLog2N) {
+    const RootedTree t = make_tree();
+    const auto labels = label_tree(t);
+    EXPECT_LE(max_label(t, labels), floor_log2(t.size()));
+}
+
+TEST_P(LabelingProperty, ChildLabelsNeverExceedParent) {
+    const RootedTree t = make_tree();
+    const auto labels = label_tree(t);
+    for (NodeId u : t.preorder())
+        for (NodeId c : t.children(u)) EXPECT_LE(labels[c], labels[u]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomTrees, LabelingProperty,
+    ::testing::Combine(::testing::Values<NodeId>(2, 3, 7, 16, 65, 256, 1000),
+                       ::testing::Values<std::uint64_t>(11, 22, 33, 44)));
+
+}  // namespace
+}  // namespace fastnet::topo

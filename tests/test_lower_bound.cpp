@@ -1,0 +1,53 @@
+// Theorem 3: the Omega(log n) one-way broadcast lower bound and its
+// matching branching-paths upper bound.
+#include <gtest/gtest.h>
+
+#include "common/types.hpp"
+#include "topo/lower_bound.hpp"
+
+namespace fastnet::topo {
+namespace {
+
+TEST(LowerBound, ShallowTreesAreVacuous) {
+    EXPECT_EQ(one_way_lower_bound(1), 0u);
+    EXPECT_EQ(one_way_lower_bound(10), 0u);
+}
+
+TEST(LowerBound, GrowsLinearlyInDepth) {
+    EXPECT_EQ(one_way_lower_bound(11), 1u);
+    EXPECT_EQ(one_way_lower_bound(16), 2u);
+    EXPECT_EQ(one_way_lower_bound(26), 4u);
+    EXPECT_EQ(one_way_lower_bound(56), 10u);
+}
+
+TEST(LowerBound, IsOmegaLogN) {
+    // depth D tree has n = 2^(D+1) - 1 nodes; bound ~ D/5 ~ (log2 n)/5.
+    for (unsigned depth = 11; depth <= 61; depth += 10) {
+        const double log_n = depth + 1;  // log2 n up to rounding
+        EXPECT_GE(one_way_lower_bound(depth), (log_n - 11) / 5.0);
+    }
+}
+
+TEST(LowerBound, CertificateArithmeticHolds) {
+    for (unsigned depth = 1; depth <= 63; ++depth)
+        EXPECT_TRUE(lower_bound_certificate_holds(depth)) << "depth " << depth;
+}
+
+TEST(LowerBound, BranchingPathsMatchesDepthExactly) {
+    for (unsigned depth : {1u, 2u, 5u, 9u, 14u})
+        EXPECT_EQ(branching_paths_rounds(depth), depth);
+}
+
+TEST(LowerBound, UpperAndLowerBracketTheOptimum) {
+    // lower bound < optimal <= branching-paths = depth, and both are
+    // Theta(log n): their ratio stays bounded (~5x plus the offset).
+    for (unsigned depth = 11; depth <= 16; ++depth) {
+        const unsigned lb = one_way_lower_bound(depth);
+        const unsigned ub = branching_paths_rounds(depth);
+        EXPECT_LT(lb, ub);
+        EXPECT_LE(ub, 5 * lb + 11);
+    }
+}
+
+}  // namespace
+}  // namespace fastnet::topo

@@ -1,0 +1,98 @@
+// Baseline ring elections under the system-call measure (Section 4's
+// motivation): Chang-Roberts and Hirschberg-Sinclair.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "election/ring_election.hpp"
+#include "graph/generators.hpp"
+
+namespace fastnet::elect {
+namespace {
+
+TEST(ChangRoberts, ElectsMaxIdOnRing) {
+    const auto out = run_chang_roberts(8);
+    EXPECT_TRUE(out.unique_leader);
+    EXPECT_EQ(out.leader, 7u);  // max id wins CR
+    EXPECT_TRUE(out.all_decided);
+}
+
+TEST(ChangRoberts, BestCaseSortedRingIsTwoNMinusOne) {
+    // Priorities increase clockwise: every token except the winner's is
+    // swallowed after one hop, and the winner's token does one full lap:
+    // (n - 1) + n = 2n - 1 election messages exactly.
+    const auto out = run_chang_roberts(16);
+    EXPECT_TRUE(out.unique_leader);
+    EXPECT_EQ(out.election_messages, 2u * 16 - 1);
+}
+
+TEST(ChangRoberts, RandomPrioritiesCostMoreThanBestCase) {
+    std::uint64_t total = 0;
+    const NodeId n = 64;
+    for (std::uint64_t seed : {1, 2, 3, 4, 5}) {
+        const auto out = run_chang_roberts(n, {}, seed);
+        EXPECT_TRUE(out.unique_leader) << seed;
+        total += out.election_messages;
+    }
+    // Expected ~ n H_n + n ~ 64*(4.7 + 1) ~ 365 per run; far above 2n-1.
+    EXPECT_GT(total / 5, 2ull * n - 1);
+}
+
+TEST(ChangRoberts, SystemCallsEqualDirectMessages) {
+    // Every baseline message is one hop: hardware helps not at all.
+    const auto out = run_chang_roberts(12);
+    EXPECT_EQ(out.cost.system_calls, out.cost.direct_messages);
+    EXPECT_EQ(out.cost.hops, out.cost.direct_messages);
+}
+
+TEST(HirschbergSinclair, ElectsMaxPriority) {
+    // Sorted priorities: the max node id wins.
+    for (NodeId n : {3u, 4u, 9u, 32u, 33u}) {
+        const auto out = run_hirschberg_sinclair(n);
+        EXPECT_TRUE(out.unique_leader) << n;
+        EXPECT_EQ(out.leader, n - 1) << n;
+        EXPECT_TRUE(out.all_decided) << n;
+    }
+    // Random priorities: some unique leader, everyone agrees.
+    for (std::uint64_t seed : {1, 2, 3}) {
+        const auto out = run_hirschberg_sinclair(32, {}, seed);
+        EXPECT_TRUE(out.unique_leader) << seed;
+        EXPECT_TRUE(out.all_decided) << seed;
+    }
+}
+
+TEST(HirschbergSinclair, MessagesAreOrderNLogN) {
+    for (NodeId n : {32u, 64u, 128u, 256u}) {
+        const auto out = run_hirschberg_sinclair(n, {}, /*priority_seed=*/7);
+        const double upper = 10.0 * n * (std::log2(n) + 1);
+        const double lower = 0.5 * n * std::log2(n);
+        EXPECT_LE(out.election_messages, upper) << n;
+        EXPECT_GE(out.election_messages, lower) << n;
+    }
+}
+
+TEST(HirschbergSinclair, RandomPrioritiesCostMoreThanSorted) {
+    const NodeId n = 256;
+    const auto sorted = run_hirschberg_sinclair(n);
+    const auto random = run_hirschberg_sinclair(n, {}, 5);
+    EXPECT_GT(random.election_messages, sorted.election_messages);
+}
+
+TEST(Baselines, NewAlgorithmBeatsThemOnLargeRings) {
+    // The headline comparison on a 512-ring: <= 6n for the new algorithm
+    // versus n log n-ish for the traditional ones (system calls). CR is
+    // run in its average case (random priorities).
+    const NodeId n = 512;
+    ElectionOptions opt;
+    opt.announce = false;
+    const auto ours = run_election(graph::make_cycle(n), opt);
+    const auto cr = run_chang_roberts(n, {}, /*priority_seed=*/42);
+    const auto hs = run_hirschberg_sinclair(n, {}, /*priority_seed=*/42);
+    EXPECT_TRUE(ours.unique_leader);
+    EXPECT_LE(ours.election_messages, 6ull * n);
+    EXPECT_GT(cr.election_messages, ours.election_messages);
+    EXPECT_GT(hs.election_messages, ours.election_messages);
+}
+
+}  // namespace
+}  // namespace fastnet::elect

@@ -1,0 +1,102 @@
+// Tests for the declarative Scenario scripts, including a chaos run of
+// the full topology maintenance protocol under a random healed churn.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "node/scenario.hpp"
+#include "topo/topology_maintenance.hpp"
+
+namespace fastnet::node {
+namespace {
+
+struct Idle final : Protocol {};
+
+TEST(Scenario, BuilderAccumulatesActions) {
+    Scenario s;
+    s.fail_link(10, 0).restore_link(20, 0).fail_node(30, 2).restore_node(40, 2).start(0, 1);
+    EXPECT_EQ(s.size(), 5u);
+    EXPECT_EQ(s.actions()[0].kind, ScenarioAction::Kind::kFailLink);
+    EXPECT_EQ(s.actions()[4].kind, ScenarioAction::Kind::kStart);
+}
+
+TEST(Scenario, ApplyDrivesTheNetwork) {
+    Cluster c(graph::make_path(3), [](NodeId) { return std::make_unique<Idle>(); });
+    Scenario s;
+    s.fail_link(5, 0).restore_link(9, 0).fail_node(12, 2);
+    s.apply(c);
+    c.run_until(6);
+    EXPECT_FALSE(c.network().link_active(0));
+    c.run_until(10);
+    EXPECT_TRUE(c.network().link_active(0));
+    c.run();
+    EXPECT_FALSE(c.network().link_active(1));  // node 2's only link
+}
+
+TEST(Scenario, StartActionStartsProtocols) {
+    Cluster c(graph::make_path(2), [](NodeId) { return std::make_unique<Idle>(); });
+    Scenario s;
+    s.start(4, 0).start(7, 1);
+    s.apply(c);
+    c.run();
+    EXPECT_EQ(c.metrics().node(0).starts, 1u);
+    EXPECT_EQ(c.metrics().node(1).starts, 1u);
+}
+
+TEST(Scenario, RandomChurnRespectsProtectedEdges) {
+    Rng rng(4);
+    const graph::Graph g = graph::make_cycle(8);
+    const std::vector<EdgeId> protect{0, 1, 2};
+    const Scenario s = Scenario::random_churn(g, 50, 10, 100, rng, protect);
+    EXPECT_EQ(s.size(), 50u);
+    for (const auto& a : s.actions()) {
+        EXPECT_GE(a.at, 10);
+        EXPECT_LE(a.at, 100);
+        EXPECT_TRUE(std::find(protect.begin(), protect.end(), a.edge) == protect.end());
+    }
+}
+
+TEST(Scenario, HealAllRestoresEveryFailedLink) {
+    Scenario s;
+    s.fail_link(10, 3).fail_link(20, 5).restore_link(30, 3).fail_link(40, 7);
+    s.heal_all(100);
+    // 3 was restored already; 5 and 7 get healing restores.
+    unsigned heals = 0;
+    for (const auto& a : s.actions())
+        if (a.at == 100 && a.kind == ScenarioAction::Kind::kRestoreLink) {
+            ++heals;
+            EXPECT_TRUE(a.edge == 5 || a.edge == 7);
+        }
+    EXPECT_EQ(heals, 2u);
+}
+
+TEST(Scenario, HealAllUsesTimeOrderNotInsertionOrder) {
+    Scenario s;
+    // Inserted out of order: the restore at t=50 comes *after* the fail
+    // at t=10 in simulated time, so edge 1 ends up healthy.
+    s.restore_link(50, 1);
+    s.fail_link(10, 1);
+    s.heal_all(100);
+    for (const auto& a : s.actions()) EXPECT_NE(a.at, 100);
+}
+
+TEST(Scenario, ChaosChurnThenHealConvergesMaintenance) {
+    // End-to-end chaos test: random churn over a ring, healed at t=600,
+    // maintenance keeps broadcasting — Theorem 1 requires convergence.
+    Rng rng(11);
+    const graph::Graph g = graph::make_cycle(12);
+    topo::TopologyOptions opt;
+    opt.rounds = 24;
+    opt.period = 50;
+    Cluster c(g, topo::make_topology_maintenance(g.node_count(), opt));
+    c.start_all(0);
+    Rng chaos(77);
+    Scenario s = Scenario::random_churn(g, 25, 20, 550, chaos);
+    s.heal_all(600);
+    s.apply(c);
+    c.run();
+    EXPECT_TRUE(topo::all_views_converged(c));
+    for (EdgeId e = 0; e < g.edge_count(); ++e) EXPECT_TRUE(c.network().link_active(e));
+}
+
+}  // namespace
+}  // namespace fastnet::node

@@ -1,0 +1,141 @@
+// Tests for the deterministic discrete-event core.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace fastnet::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(5, [&] { order.push_back(5); });
+    q.schedule(1, [&] { order.push_back(1); });
+    q.schedule(3, [&] { order.push_back(3); });
+    while (!q.empty()) q.run_next();
+    EXPECT_EQ(order, (std::vector<int>{1, 3, 5}));
+}
+
+TEST(EventQueue, TieBreaksByScheduleOrder) {
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(2, [&] { order.push_back(1); });
+    q.schedule(2, [&] { order.push_back(2); });
+    q.schedule(2, [&] { order.push_back(3); });
+    while (!q.empty()) q.run_next();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+    EventQueue q;
+    bool ran = false;
+    const EventId id = q.schedule(1, [&] { ran = true; });
+    q.cancel(id);
+    EXPECT_TRUE(q.empty());
+    EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelOneOfMany) {
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(1, [&] { order.push_back(1); });
+    const EventId id = q.schedule(2, [&] { order.push_back(2); });
+    q.schedule(3, [&] { order.push_back(3); });
+    q.cancel(id);
+    while (!q.empty()) q.run_next();
+    EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+    EventQueue q;
+    const EventId id = q.schedule(1, [] {});
+    q.schedule(7, [] {});
+    q.cancel(id);
+    EXPECT_EQ(q.next_time(), 7);
+}
+
+TEST(EventQueue, ReentrantScheduling) {
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(1, [&] {
+        order.push_back(1);
+        q.schedule(2, [&] { order.push_back(2); });
+    });
+    while (!q.empty()) q.run_next();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Simulator, NowAdvancesToEventTime) {
+    Simulator s;
+    Tick seen = -1;
+    s.at(10, [&] { seen = s.now(); });
+    s.run();
+    EXPECT_EQ(seen, 10);
+    EXPECT_EQ(s.now(), 10);
+}
+
+TEST(Simulator, AfterIsRelative) {
+    Simulator s;
+    std::vector<Tick> times;
+    s.at(5, [&] {
+        s.after(3, [&] { times.push_back(s.now()); });
+    });
+    s.run();
+    EXPECT_EQ(times, (std::vector<Tick>{8}));
+}
+
+TEST(Simulator, SchedulingIntoThePastThrows) {
+    Simulator s;
+    s.at(10, [&] { EXPECT_THROW(s.at(5, [] {}), ContractViolation); });
+    s.run();
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+    Simulator s;
+    int count = 0;
+    for (Tick t = 1; t <= 10; ++t) s.at(t, [&] { ++count; });
+    s.run_until(5);
+    EXPECT_EQ(count, 5);
+    EXPECT_FALSE(s.idle());
+    s.run();
+    EXPECT_EQ(count, 10);
+    EXPECT_TRUE(s.idle());
+}
+
+TEST(Simulator, StopReturnsEarly) {
+    Simulator s;
+    int count = 0;
+    s.at(1, [&] {
+        ++count;
+        s.stop();
+    });
+    s.at(2, [&] { ++count; });
+    s.run();
+    EXPECT_EQ(count, 1);
+    s.run();
+    EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, EventBudgetGuardsRunaway) {
+    Simulator s;
+    // Self-rescheduling event = infinite protocol.
+    std::function<void()> loop = [&] { s.after(1, loop); };
+    s.after(1, loop);
+    EXPECT_THROW(s.run(/*max_events=*/1000), ContractViolation);
+}
+
+TEST(Simulator, ZeroDelayEventsCascadeAtSameTime) {
+    Simulator s;
+    std::vector<Tick> times;
+    s.at(4, [&] {
+        times.push_back(s.now());
+        s.after(0, [&] { times.push_back(s.now()); });
+    });
+    s.run();
+    EXPECT_EQ(times, (std::vector<Tick>{4, 4}));
+}
+
+}  // namespace
+}  // namespace fastnet::sim

@@ -1,0 +1,92 @@
+// Final stress sweeps: the paper's correctness claims under the full
+// adversarial envelope — randomized hardware and software delays,
+// randomized start patterns, randomized (healed) link churn — across a
+// grid of topologies and seeds.
+#include <gtest/gtest.h>
+
+#include "election/election.hpp"
+#include "graph/generators.hpp"
+#include "node/scenario.hpp"
+#include "topo/topology_maintenance.hpp"
+
+namespace fastnet {
+namespace {
+
+enum class Shape { kRing, kGrid, kRandom, kTree, kHypercube };
+
+graph::Graph make_shape(Shape s, std::uint64_t seed) {
+    Rng rng(seed);
+    switch (s) {
+        case Shape::kRing: return graph::make_cycle(32);
+        case Shape::kGrid: return graph::make_grid(6, 6);
+        case Shape::kRandom: return graph::make_random_connected(40, 2, 10, rng);
+        case Shape::kTree: return graph::make_random_tree(40, rng);
+        case Shape::kHypercube: return graph::make_hypercube(5);
+    }
+    return graph::make_path(2);
+}
+
+class ElectionEnvelope
+    : public ::testing::TestWithParam<std::tuple<Shape, std::uint64_t>> {};
+
+TEST_P(ElectionEnvelope, OneLeaderUnderFullJitter) {
+    const auto [shape, seed] = GetParam();
+    const graph::Graph g = make_shape(shape, seed);
+    node::ClusterConfig cfg;
+    cfg.params.hop_delay = 6;   // C jittered in [0, 6]
+    cfg.params.ncu_delay = 4;   // P jittered in [1, 4]
+    cfg.net.hop_delay_min = 0;
+    cfg.ncu_delay_min = 1;
+    cfg.seed = seed * 1337 + 1;
+    // Random initiator subset with staggered starts.
+    Rng rng(seed + 5);
+    std::vector<NodeId> initiators;
+    for (NodeId u = 0; u < g.node_count(); ++u)
+        if (rng.chance(1, 4)) initiators.push_back(u);
+    if (initiators.empty()) initiators.push_back(0);
+    const auto out = elect::run_election(g, {}, initiators, cfg, /*stagger=*/11);
+    EXPECT_TRUE(out.unique_leader);
+    EXPECT_TRUE(out.all_decided);
+    // The 6n bound is a worst-case count: it holds under jitter too.
+    EXPECT_LE(out.election_messages, 6ull * g.node_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Envelope, ElectionEnvelope,
+    ::testing::Combine(::testing::Values(Shape::kRing, Shape::kGrid, Shape::kRandom,
+                                         Shape::kTree, Shape::kHypercube),
+                       ::testing::Values<std::uint64_t>(1, 2, 3)));
+
+class MaintenanceEnvelope
+    : public ::testing::TestWithParam<std::tuple<Shape, std::uint64_t>> {};
+
+TEST_P(MaintenanceEnvelope, ConvergesAfterHealedChurnUnderJitter) {
+    const auto [shape, seed] = GetParam();
+    const graph::Graph g = make_shape(shape, seed);
+    topo::TopologyOptions opt;
+    opt.rounds = 50;
+    opt.period = 60;
+    node::ClusterConfig cfg;
+    cfg.params.hop_delay = 3;
+    cfg.params.ncu_delay = 2;
+    cfg.net.hop_delay_min = 0;
+    cfg.ncu_delay_min = 1;
+    cfg.seed = seed * 99 + 7;
+    node::Cluster c(g, topo::make_topology_maintenance(g.node_count(), opt), cfg);
+    c.start_all(0);
+    Rng chaos(seed * 31 + 3);
+    node::Scenario s = node::Scenario::random_churn(g, 15, 50, 900, chaos);
+    s.heal_all(1000);
+    s.apply(c);
+    c.run();
+    EXPECT_TRUE(topo::all_views_converged(c));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Envelope, MaintenanceEnvelope,
+    ::testing::Combine(::testing::Values(Shape::kRing, Shape::kGrid, Shape::kRandom,
+                                         Shape::kHypercube),
+                       ::testing::Values<std::uint64_t>(4, 5)));
+
+}  // namespace
+}  // namespace fastnet

@@ -1,0 +1,259 @@
+// Theorem 1 (eventual consistency) and the Section 3 non-convergence
+// example, exercised end-to-end through the maintenance protocol.
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "topo/topology_maintenance.hpp"
+
+namespace fastnet::topo {
+namespace {
+
+using graph::Graph;
+
+node::Cluster make_cluster(const Graph& g, TopologyOptions opt,
+                           node::ClusterConfig cfg = {}) {
+    return node::Cluster(g, make_topology_maintenance(g.node_count(), opt), cfg);
+}
+
+TEST(TopologyMaintenance, StaticNetworkConvergesQuickly) {
+    Rng rng(1);
+    const Graph g = graph::make_random_connected(20, 2, 10, rng);
+    TopologyOptions opt;
+    opt.rounds = 6;  // O(d) rounds suffice; d is small here
+    node::Cluster c = make_cluster(g, opt);
+    c.start_all(0);
+    c.run();
+    EXPECT_TRUE(all_views_converged(c));
+}
+
+TEST(TopologyMaintenance, RingNeedsAboutDiameterRounds) {
+    const Graph g = graph::make_cycle(16);  // diameter 8
+    TopologyOptions opt;
+    opt.rounds = 3;
+    node::Cluster few = make_cluster(g, opt);
+    few.start_all(0);
+    few.run();
+    EXPECT_FALSE(all_views_converged(few)) << "3 rounds cannot cover diameter 8";
+
+    opt.rounds = 10;
+    node::Cluster enough = make_cluster(g, opt);
+    enough.start_all(0);
+    enough.run();
+    EXPECT_TRUE(all_views_converged(enough));
+}
+
+TEST(TopologyMaintenance, FullKnowledgeModeConvergesInLogRounds) {
+    // The comment after Theorem 1: broadcasting everything known halves
+    // the rounds to O(log d).
+    const Graph g = graph::make_cycle(32);  // diameter 16
+    TopologyOptions opt;
+    opt.full_knowledge = true;
+    opt.rounds = 6;  // ~ 1 + log2(16)
+    node::Cluster c = make_cluster(g, opt);
+    c.start_all(0);
+    c.run();
+    EXPECT_TRUE(all_views_converged(c));
+}
+
+TEST(TopologyMaintenance, LocalModeSlowerThanFullKnowledgeOnRing) {
+    const Graph g = graph::make_cycle(32);
+    TopologyOptions local;
+    local.rounds = 6;
+    node::Cluster c = make_cluster(g, local);
+    c.start_all(0);
+    c.run();
+    EXPECT_FALSE(all_views_converged(c));
+}
+
+TEST(TopologyMaintenance, ConvergesAfterSingleFailure) {
+    Rng rng(9);
+    const Graph g = graph::make_random_connected(16, 3, 10, rng);
+    TopologyOptions opt;
+    opt.rounds = 12;
+    opt.period = 64;
+    node::Cluster c = make_cluster(g, opt);
+    c.start_all(0);
+    // Fail one non-cut edge mid-run.
+    c.simulator().at(100, [&c] { c.network().fail_link(2); });
+    c.run();
+    EXPECT_TRUE(all_views_converged(c));
+}
+
+TEST(TopologyMaintenance, ConvergesPerComponentAfterPartition) {
+    // Path 0-1-2-3: cutting (1,2) splits into {0,1} and {2,3}; each side
+    // must converge on its own component.
+    const Graph g = graph::make_path(4);
+    TopologyOptions opt;
+    opt.rounds = 10;
+    opt.period = 32;
+    node::Cluster c = make_cluster(g, opt);
+    c.start_all(0);
+    c.simulator().at(50, [&c, &g] { c.network().fail_link(g.find_edge(1, 2)); });
+    c.run();
+    EXPECT_TRUE(all_views_converged(c));
+}
+
+TEST(TopologyMaintenance, ConvergesUnderFailureBurstThenQuiesce) {
+    Rng rng(31);
+    const Graph g = graph::make_random_connected(18, 4, 10, rng);
+    TopologyOptions opt;
+    opt.rounds = 20;
+    opt.period = 50;
+    node::Cluster c = make_cluster(g, opt);
+    c.start_all(0);
+    // Random fail/restore burst during the first rounds; quiet afterwards.
+    Rng chaos(99);
+    for (int i = 0; i < 10; ++i) {
+        const Tick at = 20 + static_cast<Tick>(chaos.below(200));
+        const EdgeId e = static_cast<EdgeId>(chaos.below(g.edge_count()));
+        const bool fail = chaos.chance(1, 2);
+        c.simulator().at(at, [&c, e, fail] {
+            if (fail)
+                c.network().fail_link(e);
+            else
+                c.network().restore_link(e);
+        });
+    }
+    c.run();
+    EXPECT_TRUE(all_views_converged(c));
+}
+
+/// Builds the paper's Section 3 deadlock scenario: run the DFS-token (or
+/// other) scheme on the healthy 6-node example until views converge,
+/// then fail all three pendant edges at once and keep broadcasting.
+std::unique_ptr<node::Cluster> run_podc_deadlock_scenario(TopologyOptions opt) {
+    const Graph g = graph::make_podc_example();
+    // Each triangle node's tour dives into the *next* triangle node's
+    // (dead) pendant branch first — the paper's adversarial path choice.
+    opt.dfs_preference = {{1}, {2}, {0}, {}, {}, {}};
+    opt.period = 64;
+    auto c = std::make_unique<node::Cluster>(
+        g, make_topology_maintenance(g.node_count(), opt));
+    c->start_all(0);
+    // Rounds happen roughly every `period`; after four of them the
+    // healthy network (diameter 3) has converged. Fail the pendants
+    // between rounds.
+    node::Cluster& cl = *c;
+    cl.simulator().at(300, [&cl] {
+        const Graph& cg = cl.graph();
+        cl.network().fail_link(cg.find_edge(0, 3));
+        cl.network().fail_link(cg.find_edge(1, 4));
+        cl.network().fail_link(cg.find_edge(2, 5));
+    });
+    cl.run();
+    return c;
+}
+
+TEST(TopologyMaintenance, PaperExampleDfsDeadlocksForever) {
+    // With local-topology payloads and the adversarial tours, u only
+    // ever hears w, v only hears u, w only hears v — the dead pendant
+    // links are never learned. No convergence, ever (Section 3 example).
+    TopologyOptions opt;
+    opt.scheme = BroadcastScheme::kDfsToken;
+    opt.rounds = 40;  // "forever" for test purposes
+    auto c = run_podc_deadlock_scenario(opt);
+    EXPECT_FALSE(all_views_converged(*c));
+    // The deadlock is specific: node 0 never learns that (1,4) is down.
+    const auto& p0 = c->protocol_as<TopologyMaintenance>(0);
+    const auto view = p0.active_view();
+    const bool thinks_14_alive =
+        std::find(view.begin(), view.end(), std::make_pair(NodeId{1}, NodeId{4})) != view.end();
+    EXPECT_TRUE(thinks_14_alive);
+}
+
+TEST(TopologyMaintenance, PaperExampleBranchingPathsConverges) {
+    // Same failure pattern, same adversarial setting — the one-way
+    // branching-paths broadcast converges (Theorem 1).
+    TopologyOptions opt;
+    opt.scheme = BroadcastScheme::kBranchingPaths;
+    opt.rounds = 12;
+    auto c = run_podc_deadlock_scenario(opt);
+    EXPECT_TRUE(all_views_converged(*c));
+}
+
+TEST(TopologyMaintenance, PaperExampleFullKnowledgeRescuesDfs) {
+    // Ablation: with full-knowledge payloads the relayed third-party
+    // topologies break the deadlock cycle even under the DFS scheme.
+    TopologyOptions opt;
+    opt.scheme = BroadcastScheme::kDfsToken;
+    opt.full_knowledge = true;
+    opt.rounds = 40;
+    auto c = run_podc_deadlock_scenario(opt);
+    EXPECT_TRUE(all_views_converged(*c));
+}
+
+TEST(TopologyMaintenance, SystemCallsPerRoundAreLinear) {
+    // On a diameter-2 graph: round 1 trees span only the (sole-known)
+    // local stars, costing deg(i) receptions each, i.e. 2m in total;
+    // from round 2 on every tree spans all n nodes and a full sweep
+    // costs exactly n(n-1) — the paper's O(n) per broadcast, compared
+    // with flooding's O(m).
+    Rng rng(13);
+    const Graph g = graph::make_random_connected(24, 5, 10, rng);  // dense
+    ASSERT_EQ(graph::diameter(g), 2u);
+    TopologyOptions opt;
+    opt.rounds = 2;
+    opt.period = 64;
+    node::Cluster c = make_cluster(g, opt);
+    c.start_all(0);
+    c.run();
+    const auto n = static_cast<std::uint64_t>(g.node_count());
+    const auto m = static_cast<std::uint64_t>(g.edge_count());
+    EXPECT_EQ(c.metrics().total_message_system_calls(), 2 * m + n * (n - 1));
+}
+
+TEST(TopologyMaintenance, KnowledgeRadiusGrowsOnePerRound) {
+    // The comment after Theorem 1: "a node's topology knowledge covers
+    // at least a distance k just before its k-th broadcast". After r
+    // full rounds on a path, a node knows every topology within r hops.
+    const Graph g = graph::make_path(12);
+    for (unsigned rounds : {1u, 2u, 4u}) {
+        TopologyOptions opt;
+        opt.rounds = rounds;
+        opt.period = 64;
+        node::Cluster c = make_cluster(g, opt);
+        c.start_all(0);
+        c.run();
+        const auto& p0 = c.protocol_as<TopologyMaintenance>(0);
+        for (NodeId u = 1; u <= rounds && u < g.node_count(); ++u)
+            EXPECT_TRUE(p0.view_of(u).known) << "rounds=" << rounds << " u=" << u;
+        // And the frontier is tight on a path: distance rounds+1 is
+        // still unknown.
+        if (rounds + 1 < g.node_count()) {
+            EXPECT_FALSE(p0.view_of(rounds + 1).known) << rounds;
+        }
+    }
+}
+
+TEST(TopologyMaintenance, RouteToUsesLearnedView) {
+    const Graph g = graph::make_cycle(10);
+    TopologyOptions opt;
+    opt.rounds = 8;
+    node::Cluster c = make_cluster(g, opt);
+    c.start_all(0);
+    c.run();
+    const auto& p = c.protocol_as<TopologyMaintenance>(0);
+    const auto route = p.route_to(0, 5);
+    ASSERT_TRUE(route.has_value());
+    EXPECT_EQ(route->size(), 6u);  // 5 min-hops + NCU label
+    EXPECT_FALSE(p.route_to(0, 0)->empty());
+}
+
+TEST(TopologyMaintenance, IsolatedNodeStaysQuietAndSelfConsistent) {
+    const Graph g = graph::make_star(4);
+    TopologyOptions opt;
+    opt.rounds = 5;
+    opt.period = 16;
+    node::Cluster c = make_cluster(g, opt);
+    c.network().fail_node(3);
+    c.start_all(4);
+    c.run();
+    // Node 3 is its own component and knows its links are down.
+    EXPECT_TRUE(view_converged(c.protocol_as<TopologyMaintenance>(3), c.network(), 3));
+    // The rest converge among themselves.
+    EXPECT_TRUE(all_views_converged(c));
+}
+
+}  // namespace
+}  // namespace fastnet::topo

@@ -1,0 +1,121 @@
+// Tests for the observational trace facility and its wiring through the
+// cluster / network / runtime.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "node/cluster.hpp"
+#include "sim/trace.hpp"
+#include "topo/broadcast_protocols.hpp"
+
+namespace fastnet::sim {
+namespace {
+
+TEST(Trace, RecordsInOrder) {
+    Trace t;
+    t.record(5, 0, TraceKind::kStart);
+    t.record(7, 1, TraceKind::kDeliver, "x");
+    const auto snap = t.snapshot();
+    ASSERT_EQ(snap.size(), 2u);
+    EXPECT_EQ(snap[0].at, 5);
+    EXPECT_EQ(snap[1].detail, "x");
+}
+
+TEST(Trace, RingDiscardsOldest) {
+    Trace t(3);
+    for (int i = 0; i < 5; ++i) t.record(i, 0, TraceKind::kCustom, std::to_string(i));
+    EXPECT_EQ(t.size(), 3u);
+    EXPECT_EQ(t.total_recorded(), 5u);
+    EXPECT_EQ(t.dropped(), 2u);
+    const auto snap = t.snapshot();
+    ASSERT_EQ(snap.size(), 3u);
+    EXPECT_EQ(snap[0].detail, "2");
+    EXPECT_EQ(snap[2].detail, "4");
+}
+
+TEST(Trace, KindFiltering) {
+    Trace t;
+    t.set_enabled(TraceKind::kSend, false);
+    t.record(1, 0, TraceKind::kSend);
+    t.record(2, 0, TraceKind::kDeliver);
+    EXPECT_EQ(t.size(), 1u);
+    EXPECT_EQ(t.snapshot()[0].kind, TraceKind::kDeliver);
+    t.set_enabled(TraceKind::kSend, true);
+    t.record(3, 0, TraceKind::kSend);
+    EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(Trace, PerNodeSnapshot) {
+    Trace t;
+    t.record(1, 0, TraceKind::kStart);
+    t.record(2, 1, TraceKind::kStart);
+    t.record(3, 0, TraceKind::kDeliver);
+    EXPECT_EQ(t.snapshot(0).size(), 2u);
+    EXPECT_EQ(t.snapshot(1).size(), 1u);
+    EXPECT_TRUE(t.snapshot(9).empty());
+}
+
+TEST(Trace, ClearResets) {
+    Trace t;
+    t.record(1, 0, TraceKind::kStart);
+    t.clear();
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_EQ(t.total_recorded(), 0u);
+}
+
+TEST(Trace, PrintIsHumanReadable) {
+    Trace t;
+    t.record(4, 2, TraceKind::kDeliver, "hops=3");
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("[t=4] node 2 deliver: hops=3"), std::string::npos);
+}
+
+TEST(Trace, KindNamesAreDistinct) {
+    EXPECT_STREQ(trace_kind_name(TraceKind::kStart), "start");
+    EXPECT_STREQ(trace_kind_name(TraceKind::kDrop), "drop");
+}
+
+TEST(TraceWiring, ClusterRecordsProtocolLifecycle) {
+    auto trace = std::make_shared<Trace>();
+    node::ClusterConfig cfg;
+    cfg.trace = trace;
+    const graph::Graph g = graph::make_path(4);
+    node::Cluster c(g, [&g](NodeId) {
+        return std::make_unique<topo::BroadcastProtocol>(
+            g, topo::BroadcastScheme::kBranchingPaths);
+    }, cfg);
+    c.start(0, 0);
+    c.run();
+    unsigned starts = 0, sends = 0, delivers = 0;
+    for (const auto& r : trace->snapshot()) {
+        if (r.kind == TraceKind::kStart) ++starts;
+        if (r.kind == TraceKind::kSend) ++sends;
+        if (r.kind == TraceKind::kDeliver) ++delivers;
+    }
+    EXPECT_EQ(starts, 1u);
+    EXPECT_EQ(sends, 1u);     // a path broadcast is a single message
+    EXPECT_EQ(delivers, 3u);  // n-1 receptions
+}
+
+TEST(TraceWiring, DropsAreRecorded) {
+    auto trace = std::make_shared<Trace>();
+    node::ClusterConfig cfg;
+    cfg.trace = trace;
+    const graph::Graph g = graph::make_path(3);
+    node::Cluster c(g, [&g](NodeId) {
+        return std::make_unique<topo::BroadcastProtocol>(
+            g, topo::BroadcastScheme::kBranchingPaths);
+    }, cfg);
+    c.network().fail_link(1);  // edge (1,2)
+    c.start(0, 1);
+    c.run();
+    bool saw_drop = false;
+    for (const auto& r : trace->snapshot())
+        if (r.kind == TraceKind::kDrop) saw_drop = true;
+    EXPECT_TRUE(saw_drop);
+}
+
+}  // namespace
+}  // namespace fastnet::sim
