@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gsf_trees.dir/bench_gsf_trees.cpp.o"
+  "CMakeFiles/bench_gsf_trees.dir/bench_gsf_trees.cpp.o.d"
+  "bench_gsf_trees"
+  "bench_gsf_trees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gsf_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/election_campaign.dir/election_campaign.cpp.o"
+  "CMakeFiles/election_campaign.dir/election_campaign.cpp.o.d"
+  "election_campaign"
+  "election_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/election_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

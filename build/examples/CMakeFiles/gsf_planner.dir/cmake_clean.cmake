@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsf_planner.dir/gsf_planner.cpp.o"
+  "CMakeFiles/gsf_planner.dir/gsf_planner.cpp.o.d"
+  "gsf_planner"
+  "gsf_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsf_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topology_monitor.dir/topology_monitor.cpp.o"
+  "CMakeFiles/topology_monitor.dir/topology_monitor.cpp.o.d"
+  "topology_monitor"
+  "topology_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topology_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

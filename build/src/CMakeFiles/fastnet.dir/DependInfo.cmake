@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/expect.cpp" "src/CMakeFiles/fastnet.dir/common/expect.cpp.o" "gcc" "src/CMakeFiles/fastnet.dir/common/expect.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/fastnet.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/fastnet.dir/common/rng.cpp.o.d"
+  "/root/repo/src/cost/metrics.cpp" "src/CMakeFiles/fastnet.dir/cost/metrics.cpp.o" "gcc" "src/CMakeFiles/fastnet.dir/cost/metrics.cpp.o.d"
+  "/root/repo/src/election/election.cpp" "src/CMakeFiles/fastnet.dir/election/election.cpp.o" "gcc" "src/CMakeFiles/fastnet.dir/election/election.cpp.o.d"
+  "/root/repo/src/election/inout_tree.cpp" "src/CMakeFiles/fastnet.dir/election/inout_tree.cpp.o" "gcc" "src/CMakeFiles/fastnet.dir/election/inout_tree.cpp.o.d"
+  "/root/repo/src/election/ring_election.cpp" "src/CMakeFiles/fastnet.dir/election/ring_election.cpp.o" "gcc" "src/CMakeFiles/fastnet.dir/election/ring_election.cpp.o.d"
+  "/root/repo/src/graph/algorithms.cpp" "src/CMakeFiles/fastnet.dir/graph/algorithms.cpp.o" "gcc" "src/CMakeFiles/fastnet.dir/graph/algorithms.cpp.o.d"
+  "/root/repo/src/graph/dot.cpp" "src/CMakeFiles/fastnet.dir/graph/dot.cpp.o" "gcc" "src/CMakeFiles/fastnet.dir/graph/dot.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/CMakeFiles/fastnet.dir/graph/generators.cpp.o" "gcc" "src/CMakeFiles/fastnet.dir/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/fastnet.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/fastnet.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/rooted_tree.cpp" "src/CMakeFiles/fastnet.dir/graph/rooted_tree.cpp.o" "gcc" "src/CMakeFiles/fastnet.dir/graph/rooted_tree.cpp.o.d"
+  "/root/repo/src/gsf/gather.cpp" "src/CMakeFiles/fastnet.dir/gsf/gather.cpp.o" "gcc" "src/CMakeFiles/fastnet.dir/gsf/gather.cpp.o.d"
+  "/root/repo/src/gsf/opt_tree.cpp" "src/CMakeFiles/fastnet.dir/gsf/opt_tree.cpp.o" "gcc" "src/CMakeFiles/fastnet.dir/gsf/opt_tree.cpp.o.d"
+  "/root/repo/src/gsf/schedule.cpp" "src/CMakeFiles/fastnet.dir/gsf/schedule.cpp.o" "gcc" "src/CMakeFiles/fastnet.dir/gsf/schedule.cpp.o.d"
+  "/root/repo/src/hw/anr.cpp" "src/CMakeFiles/fastnet.dir/hw/anr.cpp.o" "gcc" "src/CMakeFiles/fastnet.dir/hw/anr.cpp.o.d"
+  "/root/repo/src/hw/link.cpp" "src/CMakeFiles/fastnet.dir/hw/link.cpp.o" "gcc" "src/CMakeFiles/fastnet.dir/hw/link.cpp.o.d"
+  "/root/repo/src/hw/network.cpp" "src/CMakeFiles/fastnet.dir/hw/network.cpp.o" "gcc" "src/CMakeFiles/fastnet.dir/hw/network.cpp.o.d"
+  "/root/repo/src/hw/switch.cpp" "src/CMakeFiles/fastnet.dir/hw/switch.cpp.o" "gcc" "src/CMakeFiles/fastnet.dir/hw/switch.cpp.o.d"
+  "/root/repo/src/node/cluster.cpp" "src/CMakeFiles/fastnet.dir/node/cluster.cpp.o" "gcc" "src/CMakeFiles/fastnet.dir/node/cluster.cpp.o.d"
+  "/root/repo/src/node/runtime.cpp" "src/CMakeFiles/fastnet.dir/node/runtime.cpp.o" "gcc" "src/CMakeFiles/fastnet.dir/node/runtime.cpp.o.d"
+  "/root/repo/src/node/scenario.cpp" "src/CMakeFiles/fastnet.dir/node/scenario.cpp.o" "gcc" "src/CMakeFiles/fastnet.dir/node/scenario.cpp.o.d"
+  "/root/repo/src/paris/call_setup.cpp" "src/CMakeFiles/fastnet.dir/paris/call_setup.cpp.o" "gcc" "src/CMakeFiles/fastnet.dir/paris/call_setup.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/fastnet.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/fastnet.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/fastnet.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/fastnet.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/fastnet.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/fastnet.dir/sim/trace.cpp.o.d"
+  "/root/repo/src/topo/broadcast_plan.cpp" "src/CMakeFiles/fastnet.dir/topo/broadcast_plan.cpp.o" "gcc" "src/CMakeFiles/fastnet.dir/topo/broadcast_plan.cpp.o.d"
+  "/root/repo/src/topo/broadcast_protocols.cpp" "src/CMakeFiles/fastnet.dir/topo/broadcast_protocols.cpp.o" "gcc" "src/CMakeFiles/fastnet.dir/topo/broadcast_protocols.cpp.o.d"
+  "/root/repo/src/topo/labeling.cpp" "src/CMakeFiles/fastnet.dir/topo/labeling.cpp.o" "gcc" "src/CMakeFiles/fastnet.dir/topo/labeling.cpp.o.d"
+  "/root/repo/src/topo/lower_bound.cpp" "src/CMakeFiles/fastnet.dir/topo/lower_bound.cpp.o" "gcc" "src/CMakeFiles/fastnet.dir/topo/lower_bound.cpp.o.d"
+  "/root/repo/src/topo/paths.cpp" "src/CMakeFiles/fastnet.dir/topo/paths.cpp.o" "gcc" "src/CMakeFiles/fastnet.dir/topo/paths.cpp.o.d"
+  "/root/repo/src/topo/router.cpp" "src/CMakeFiles/fastnet.dir/topo/router.cpp.o" "gcc" "src/CMakeFiles/fastnet.dir/topo/router.cpp.o.d"
+  "/root/repo/src/topo/topology_maintenance.cpp" "src/CMakeFiles/fastnet.dir/topo/topology_maintenance.cpp.o" "gcc" "src/CMakeFiles/fastnet.dir/topo/topology_maintenance.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/fastnet.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/fastnet.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

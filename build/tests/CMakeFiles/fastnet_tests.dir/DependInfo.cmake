@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_broadcast.cpp" "tests/CMakeFiles/fastnet_tests.dir/test_broadcast.cpp.o" "gcc" "tests/CMakeFiles/fastnet_tests.dir/test_broadcast.cpp.o.d"
+  "/root/repo/tests/test_broadcast_failures.cpp" "tests/CMakeFiles/fastnet_tests.dir/test_broadcast_failures.cpp.o" "gcc" "tests/CMakeFiles/fastnet_tests.dir/test_broadcast_failures.cpp.o.d"
+  "/root/repo/tests/test_call_setup.cpp" "tests/CMakeFiles/fastnet_tests.dir/test_call_setup.cpp.o" "gcc" "tests/CMakeFiles/fastnet_tests.dir/test_call_setup.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/fastnet_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/fastnet_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_cost_and_table.cpp" "tests/CMakeFiles/fastnet_tests.dir/test_cost_and_table.cpp.o" "gcc" "tests/CMakeFiles/fastnet_tests.dir/test_cost_and_table.cpp.o.d"
+  "/root/repo/tests/test_dot_and_bits.cpp" "tests/CMakeFiles/fastnet_tests.dir/test_dot_and_bits.cpp.o" "gcc" "tests/CMakeFiles/fastnet_tests.dir/test_dot_and_bits.cpp.o.d"
+  "/root/repo/tests/test_election.cpp" "tests/CMakeFiles/fastnet_tests.dir/test_election.cpp.o" "gcc" "tests/CMakeFiles/fastnet_tests.dir/test_election.cpp.o.d"
+  "/root/repo/tests/test_generators.cpp" "tests/CMakeFiles/fastnet_tests.dir/test_generators.cpp.o" "gcc" "tests/CMakeFiles/fastnet_tests.dir/test_generators.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "tests/CMakeFiles/fastnet_tests.dir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/fastnet_tests.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/test_graph_algorithms.cpp" "tests/CMakeFiles/fastnet_tests.dir/test_graph_algorithms.cpp.o" "gcc" "tests/CMakeFiles/fastnet_tests.dir/test_graph_algorithms.cpp.o.d"
+  "/root/repo/tests/test_gsf_disseminate.cpp" "tests/CMakeFiles/fastnet_tests.dir/test_gsf_disseminate.cpp.o" "gcc" "tests/CMakeFiles/fastnet_tests.dir/test_gsf_disseminate.cpp.o.d"
+  "/root/repo/tests/test_gsf_gather.cpp" "tests/CMakeFiles/fastnet_tests.dir/test_gsf_gather.cpp.o" "gcc" "tests/CMakeFiles/fastnet_tests.dir/test_gsf_gather.cpp.o.d"
+  "/root/repo/tests/test_gsf_schedule.cpp" "tests/CMakeFiles/fastnet_tests.dir/test_gsf_schedule.cpp.o" "gcc" "tests/CMakeFiles/fastnet_tests.dir/test_gsf_schedule.cpp.o.d"
+  "/root/repo/tests/test_gsf_tree.cpp" "tests/CMakeFiles/fastnet_tests.dir/test_gsf_tree.cpp.o" "gcc" "tests/CMakeFiles/fastnet_tests.dir/test_gsf_tree.cpp.o.d"
+  "/root/repo/tests/test_hw.cpp" "tests/CMakeFiles/fastnet_tests.dir/test_hw.cpp.o" "gcc" "tests/CMakeFiles/fastnet_tests.dir/test_hw.cpp.o.d"
+  "/root/repo/tests/test_hw_properties.cpp" "tests/CMakeFiles/fastnet_tests.dir/test_hw_properties.cpp.o" "gcc" "tests/CMakeFiles/fastnet_tests.dir/test_hw_properties.cpp.o.d"
+  "/root/repo/tests/test_inout_tree.cpp" "tests/CMakeFiles/fastnet_tests.dir/test_inout_tree.cpp.o" "gcc" "tests/CMakeFiles/fastnet_tests.dir/test_inout_tree.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/fastnet_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/fastnet_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_labeling.cpp" "tests/CMakeFiles/fastnet_tests.dir/test_labeling.cpp.o" "gcc" "tests/CMakeFiles/fastnet_tests.dir/test_labeling.cpp.o.d"
+  "/root/repo/tests/test_link_capacity.cpp" "tests/CMakeFiles/fastnet_tests.dir/test_link_capacity.cpp.o" "gcc" "tests/CMakeFiles/fastnet_tests.dir/test_link_capacity.cpp.o.d"
+  "/root/repo/tests/test_lower_bound.cpp" "tests/CMakeFiles/fastnet_tests.dir/test_lower_bound.cpp.o" "gcc" "tests/CMakeFiles/fastnet_tests.dir/test_lower_bound.cpp.o.d"
+  "/root/repo/tests/test_multisend_ablation.cpp" "tests/CMakeFiles/fastnet_tests.dir/test_multisend_ablation.cpp.o" "gcc" "tests/CMakeFiles/fastnet_tests.dir/test_multisend_ablation.cpp.o.d"
+  "/root/repo/tests/test_paths.cpp" "tests/CMakeFiles/fastnet_tests.dir/test_paths.cpp.o" "gcc" "tests/CMakeFiles/fastnet_tests.dir/test_paths.cpp.o.d"
+  "/root/repo/tests/test_ring_election.cpp" "tests/CMakeFiles/fastnet_tests.dir/test_ring_election.cpp.o" "gcc" "tests/CMakeFiles/fastnet_tests.dir/test_ring_election.cpp.o.d"
+  "/root/repo/tests/test_router.cpp" "tests/CMakeFiles/fastnet_tests.dir/test_router.cpp.o" "gcc" "tests/CMakeFiles/fastnet_tests.dir/test_router.cpp.o.d"
+  "/root/repo/tests/test_runtime.cpp" "tests/CMakeFiles/fastnet_tests.dir/test_runtime.cpp.o" "gcc" "tests/CMakeFiles/fastnet_tests.dir/test_runtime.cpp.o.d"
+  "/root/repo/tests/test_scenario.cpp" "tests/CMakeFiles/fastnet_tests.dir/test_scenario.cpp.o" "gcc" "tests/CMakeFiles/fastnet_tests.dir/test_scenario.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/fastnet_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/fastnet_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_stress_sweeps.cpp" "tests/CMakeFiles/fastnet_tests.dir/test_stress_sweeps.cpp.o" "gcc" "tests/CMakeFiles/fastnet_tests.dir/test_stress_sweeps.cpp.o.d"
+  "/root/repo/tests/test_topology_maintenance.cpp" "tests/CMakeFiles/fastnet_tests.dir/test_topology_maintenance.cpp.o" "gcc" "tests/CMakeFiles/fastnet_tests.dir/test_topology_maintenance.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/fastnet_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/fastnet_tests.dir/test_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fastnet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
