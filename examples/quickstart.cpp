@@ -14,8 +14,9 @@ using namespace fastnet;
 
 namespace {
 
-/// A payload type: anything immutable deriving from hw::Payload.
-struct Hello final : hw::Payload {
+/// A payload type: anything immutable deriving from hw::TypedPayload<T>
+/// (which gives payload_as<T> an O(1) type test).
+struct Hello final : hw::TypedPayload<Hello> {
     explicit Hello(std::string m) : message(std::move(m)) {}
     std::string message;
 };

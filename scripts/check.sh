@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build and run the full test suite in the regular
+# configuration and under ASan+LSan and UBSan (see CMakePresets.json).
+# Run from anywhere; exits non-zero on the first failing configuration.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 2)
+
+run_preset() {
+    local preset=$1
+    echo "==> [$preset] configure"
+    cmake --preset "$preset" >/dev/null
+    echo "==> [$preset] build"
+    cmake --build --preset "$preset" -j "$jobs"
+    echo "==> [$preset] test"
+    ctest --preset "$preset" -j "$jobs"
+}
+
+for preset in default asan ubsan; do
+    run_preset "$preset"
+done
+
+echo "All configurations green."

@@ -50,7 +50,7 @@ struct ElectionOptions {
 /// --- token payloads ---------------------------------------------------
 
 /// A candidate on tour (or climbing the virtual tree).
-struct TourToken final : hw::Payload {
+struct TourToken final : hw::TypedPayload<TourToken> {
     NodeId origin = kNoNode;        ///< The candidate's origin node i.
     Level level;                    ///< L_i at tour start.
     unsigned phase = 0;             ///< PH_i at tour start.
@@ -65,7 +65,7 @@ struct TourToken final : hw::Payload {
 };
 
 /// A candidate returning home.
-struct ReturnToken final : hw::Payload {
+struct ReturnToken final : hw::TypedPayload<ReturnToken> {
     bool captured = false;          ///< False: unsuccessful tour -> inactive.
     NodeId victim = kNoNode;        ///< The captured origin v.
     std::uint64_t victim_size = 0;  ///< S_v.
@@ -74,7 +74,7 @@ struct ReturnToken final : hw::Payload {
 };
 
 /// Leader announcement.
-struct LeaderToken final : hw::Payload {
+struct LeaderToken final : hw::TypedPayload<LeaderToken> {
     NodeId leader = kNoNode;
 };
 

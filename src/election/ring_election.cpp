@@ -6,24 +6,24 @@
 namespace fastnet::elect {
 namespace {
 
-struct CrToken final : hw::Payload {
+struct CrToken final : hw::TypedPayload<CrToken> {
     NodeId origin = kNoNode;
     std::uint64_t priority = 0;
 };
-struct CrWinner final : hw::Payload {
+struct CrWinner final : hw::TypedPayload<CrWinner> {
     NodeId leader = kNoNode;
 };
-struct HsProbe final : hw::Payload {
+struct HsProbe final : hw::TypedPayload<HsProbe> {
     NodeId origin = kNoNode;
     std::uint64_t priority = 0;
     unsigned phase = 0;
     unsigned ttl = 0;
 };
-struct HsReply final : hw::Payload {
+struct HsReply final : hw::TypedPayload<HsReply> {
     NodeId origin = kNoNode;
     unsigned phase = 0;
 };
-struct HsWinner final : hw::Payload {
+struct HsWinner final : hw::TypedPayload<HsWinner> {
     NodeId leader = kNoNode;
 };
 

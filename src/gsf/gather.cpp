@@ -9,11 +9,11 @@
 namespace fastnet::gsf {
 namespace {
 
-struct PartialResult final : hw::Payload {
+struct PartialResult final : hw::TypedPayload<PartialResult> {
     std::uint64_t value = 0;
 };
 
-struct FinalResult final : hw::Payload {
+struct FinalResult final : hw::TypedPayload<FinalResult> {
     std::uint64_t value = 0;
 };
 

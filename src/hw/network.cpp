@@ -15,6 +15,7 @@ Network::Network(sim::Simulator& sim, const graph::Graph& g, ModelParams params,
       config_(config),
       rng_(config.seed),
       ports_(g.node_count()),
+      edge_ports_(g.edge_count(), {kNoPort, kNoPort}),
       links_(g.edge_count()),
       ncu_sinks_(g.node_count()) {
     FASTNET_EXPECTS(metrics.node_count() == g.node_count());
@@ -22,7 +23,11 @@ Network::Network(sim::Simulator& sim, const graph::Graph& g, ModelParams params,
     for (NodeId u = 0; u < g.node_count(); ++u) {
         auto& table = ports_[u].port_to_edge;
         table.push_back(kNoEdge);  // port 0 = NCU
-        for (const graph::IncidentEdge& ie : g.incident(u)) table.push_back(ie.edge);
+        for (const graph::IncidentEdge& ie : g.incident(u)) {
+            const auto p = static_cast<PortId>(table.size());
+            table.push_back(ie.edge);
+            edge_ports_[ie.edge][g.edge(ie.edge).a == u ? 0 : 1] = p;
+        }
         max_degree = std::max(max_degree, g.degree(u));
     }
     // k bits per label: port ids 0..max_degree plus the copy flag.
@@ -38,9 +43,10 @@ void Network::set_link_sink(LinkSink sink) { link_sink_ = std::move(sink); }
 
 PortId Network::port_for_edge(NodeId node, EdgeId e) const {
     FASTNET_EXPECTS(node < graph_.node_count());
-    const auto& table = ports_[node].port_to_edge;
-    for (PortId p = 1; p < table.size(); ++p)
-        if (table[p] == e) return p;
+    if (e >= graph_.edge_count()) return kNoPort;
+    const graph::Edge& edge = graph_.edge(e);
+    if (edge.a == node) return edge_ports_[e][0];
+    if (edge.b == node) return edge_ports_[e][1];
     return kNoPort;
 }
 
@@ -64,6 +70,24 @@ AnrHeader Network::route(std::span<const NodeId> path, CopyMode mode) const {
     return route_for_path(path, omniscient_ports(), mode);
 }
 
+Packet* Network::alloc_packet() {
+    if (packet_free_.empty()) {
+        packet_slabs_.push_back(std::make_unique<Packet[]>(kPacketSlabSize));
+        Packet* slab = packet_slabs_.back().get();
+        packet_free_.reserve(packet_free_.size() + kPacketSlabSize);
+        for (std::size_t i = kPacketSlabSize; i-- > 0;) packet_free_.push_back(slab + i);
+    }
+    Packet* p = packet_free_.back();
+    packet_free_.pop_back();
+    return p;
+}
+
+void Network::release_packet(Packet* pkt) {
+    pkt->route.reset();
+    pkt->payload.reset();
+    packet_free_.push_back(pkt);
+}
+
 std::uint64_t Network::send(NodeId from, AnrHeader header,
                             std::shared_ptr<const Payload> payload) {
     FASTNET_EXPECTS(from < graph_.node_count());
@@ -80,50 +104,58 @@ std::uint64_t Network::send(NodeId from, AnrHeader header,
         std::max(metrics_.net().max_header_len, header_length(header));
     metrics_.node(from).sends += 1;
 
-    Packet pkt;
-    pkt.header = std::move(header);
-    pkt.payload = std::move(payload);
-    pkt.origin = from;
-    pkt.id = next_packet_id_++;
-    const std::uint64_t id = pkt.id;
+    Packet* pkt = alloc_packet();
+    pkt->route = Route::from_header(header);
+    pkt->offset = 0;
+    pkt->reverse_len = 0;
+    pkt->payload = std::move(payload);
+    pkt->origin = from;
+    pkt->id = next_packet_id_++;
+    pkt->hops = 0;
+    const std::uint64_t id = pkt->id;
     // The injecting node's own switch consumes the first label immediately
     // (switching delay is folded into the per-hop cost C).
-    process_at_switch(from, std::move(pkt));
+    process_at_switch(from, pkt);
     return id;
 }
 
-void Network::process_at_switch(NodeId node, Packet pkt) {
-    if (pkt.header.empty()) {
+void Network::process_at_switch(NodeId node, Packet* pkt) {
+    if (pkt->header_empty()) {
         metrics_.net().drops_empty_header += 1;
+        release_packet(pkt);
         return;
     }
-    const AnrLabel label = pkt.header.front();
-    pkt.header.erase(pkt.header.begin());
+    const AnrLabel label = pkt->pop_label();
 
     const SwitchingSubsystem ss(static_cast<PortId>(graph_.degree(node)));
     const SwitchDecision d = ss.match(label);
     if (!d.matched()) {
         metrics_.net().drops_no_match += 1;
+        release_packet(pkt);
         return;
     }
     if (d.to_ncu) {
-        // The hardware copy: the NCU receives the remaining string.
-        Packet copy = pkt;
-        deliver_to_ncu(node, std::move(copy));
+        // The hardware copy: the NCU receives the remaining string. The
+        // cursor is only read, never consumed — the same packet may also
+        // continue over a link below.
+        deliver_to_ncu(node, *pkt);
     }
     if (d.forward_port) {
         const EdgeId e = edge_at_port(node, *d.forward_port);
-        transmit(node, e, std::move(pkt));
+        transmit(node, e, pkt);
+    } else {
+        release_packet(pkt);
     }
 }
 
-void Network::transmit(NodeId from, EdgeId e, Packet pkt) {
+void Network::transmit(NodeId from, EdgeId e, Packet* pkt) {
     LinkState& link = links_[e];
     if (!link.active()) {
         metrics_.net().drops_inactive_link += 1;
         if (config_.trace)
             config_.trace->record(sim_.now(), from, sim::TraceKind::kDrop,
                                   "inactive link " + std::to_string(e));
+        release_packet(pkt);
         return;
     }
     const graph::Edge& edge = graph_.edge(e);
@@ -140,40 +172,50 @@ void Network::transmit(NodeId from, EdgeId e, Packet pkt) {
     // Source-routing overhead on the wire: the remaining header rides
     // this hop.
     metrics_.net().header_bits +=
-        static_cast<std::uint64_t>(pkt.header.size()) * label_bits_;
+        static_cast<std::uint64_t>(pkt->remaining_len()) * label_bits_;
 
-    sim_.at(arrival, [this, to, e, epoch, p = std::move(pkt)]() mutable {
-        arrive(to, e, epoch, std::move(p));
-    });
+    // 32-byte capture — fits sim::InlineFn's inline storage, so the
+    // steady-state hop schedules without touching the allocator.
+    sim_.at(arrival, [this, to, e, epoch, pkt] { arrive(to, e, epoch, pkt); });
 }
 
-void Network::arrive(NodeId at, EdgeId e, std::uint64_t epoch, Packet pkt) {
+void Network::arrive(NodeId at, EdgeId e, std::uint64_t epoch, Packet* pkt) {
     const LinkState& link = links_[e];
     if (!link.active() || link.epoch() != epoch) {
         // The link failed (or flapped) while the packet was in flight.
         metrics_.net().drops_inactive_link += 1;
+        release_packet(pkt);
         return;
     }
-    pkt.hops += 1;
+    pkt->hops += 1;
     metrics_.net().hops += 1;
     // Accumulate reverse-path information (Section 2 grants the receiver
-    // the ability to reply; we realize it as per-hop reverse labels).
-    pkt.reverse.push_back(AnrLabel::normal(port_for_edge(at, e)));
-    process_at_switch(at, std::move(pkt));
+    // the ability to reply; we realize it as per-hop reverse labels on
+    // the route blob's write-once track).
+    const graph::Edge& edge = graph_.edge(e);
+    const PortId back = edge_ports_[e][edge.a == at ? 0 : 1];
+    pkt->route.record_reverse(pkt->reverse_len, AnrLabel::normal(back));
+    pkt->reverse_len += 1;
+    process_at_switch(at, pkt);
 }
 
-void Network::deliver_to_ncu(NodeId node, Packet pkt) {
+void Network::deliver_to_ncu(NodeId node, const Packet& pkt) {
     metrics_.net().ncu_deliveries += 1;
     FASTNET_EXPECTS_MSG(ncu_sinks_[node] != nullptr, "no NCU sink registered");
     Delivery d;
     d.at = node;
-    d.remaining = std::move(pkt.header);
+    // Materialize the cursor into plain vectors — the one place the
+    // zero-copy representation crosses back into protocol-facing types.
+    d.remaining.reserve(pkt.remaining_len());
+    for (std::uint32_t i = pkt.offset; i < pkt.route.size(); ++i)
+        d.remaining.push_back(pkt.route.label(i));
     // Reverse labels were collected in traversal order; flip them and
     // terminate at the origin's NCU.
-    d.reverse.reserve(pkt.reverse.size() + 1);
-    d.reverse.assign(pkt.reverse.rbegin(), pkt.reverse.rend());
+    d.reverse.reserve(pkt.reverse_len + 1);
+    for (std::uint32_t i = pkt.reverse_len; i-- > 0;)
+        d.reverse.push_back(pkt.route.reverse_label(i));
     d.reverse.push_back(AnrLabel::normal(kNcuPort));
-    d.payload = std::move(pkt.payload);
+    d.payload = pkt.payload;
     d.origin = pkt.origin;
     d.hops = pkt.hops;
     ncu_sinks_[node](d);

@@ -8,6 +8,7 @@
 // in graph insertion order; port 0 is the NCU.
 #pragma once
 
+#include <array>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -111,10 +112,18 @@ private:
         std::vector<EdgeId> port_to_edge;  // index 0 unused (NCU)
     };
 
-    void process_at_switch(NodeId node, Packet pkt);
-    void transmit(NodeId from, EdgeId e, Packet pkt);
-    void arrive(NodeId at, EdgeId e, std::uint64_t epoch, Packet pkt);
-    void deliver_to_ncu(NodeId node, Packet pkt);
+    // Packet flow. Packets live in a slab pool owned by the network; the
+    // hot path hands a Packet* from switch to link event to switch with
+    // zero copies and zero allocations (see docs/PERF.md). Ownership
+    // convention: process_at_switch/transmit/arrive consume the pointer
+    // (they either pass it on or release it); deliver_to_ncu only reads.
+    void process_at_switch(NodeId node, Packet* pkt);
+    void transmit(NodeId from, EdgeId e, Packet* pkt);
+    void arrive(NodeId at, EdgeId e, std::uint64_t epoch, Packet* pkt);
+    void deliver_to_ncu(NodeId node, const Packet& pkt);
+
+    Packet* alloc_packet();
+    void release_packet(Packet* pkt);
 
     sim::Simulator& sim_;
     const graph::Graph& graph_;
@@ -125,10 +134,17 @@ private:
 
     unsigned label_bits_ = 1;
     std::vector<PortTable> ports_;
+    /// Per-edge {port at edge.a, port at edge.b} — O(1) reverse-label
+    /// lookup in the per-hop path instead of a port-table scan.
+    std::vector<std::array<PortId, 2>> edge_ports_;
     std::vector<LinkState> links_;
     std::vector<NcuSink> ncu_sinks_;
     LinkSink link_sink_;
     std::uint64_t next_packet_id_ = 1;
+
+    static constexpr std::size_t kPacketSlabSize = 64;
+    std::vector<std::unique_ptr<Packet[]>> packet_slabs_;
+    std::vector<Packet*> packet_free_;
 };
 
 }  // namespace fastnet::hw

@@ -14,10 +14,20 @@
 // The NCU port's id set is {0} plus every copy id — exactly the paper's
 // "the link to the NCU is assigned all the copy ID's of the other links",
 // which is what makes selective copy fall out of plain id matching.
+//
+// Representation (the zero-copy fast path, see docs/PERF.md): the route
+// is built ONCE at send() into an immutable refcounted blob (Route); the
+// in-flight Packet is a cursor over that blob {route, offset,
+// reverse_len, payload, ...}, so a hardware hop is an index increment and
+// a fan-out copy is a couple of refcount bumps — the vector pop-front and
+// per-hop push_back of the naive representation never happen. Protocols
+// never see any of this: Delivery still materializes plain AnrHeader
+// vectors at the NCU boundary.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <type_traits>
 #include <vector>
 
 #include "common/expect.hpp"
@@ -45,6 +55,9 @@ public:
         return AnrLabel(port | kCopyBit);
     }
 
+    /// Rehydrates a label from raw() — Route stores labels as raw words.
+    static AnrLabel from_raw(std::uint32_t raw) { return AnrLabel(raw); }
+
     PortId port() const { return raw_ & ~kCopyBit; }
     bool is_copy() const { return (raw_ & kCopyBit) != 0; }
 
@@ -58,29 +71,105 @@ private:
     std::uint32_t raw_ = 0;
 };
 
-/// The source route: a sequence of link ids consumed front-to-back.
+/// The source route as protocols build and see it: a sequence of link ids
+/// consumed front-to-back.
 using AnrHeader = std::vector<AnrLabel>;
+
+/// The in-flight representation of a route: one contiguous refcounted
+/// blob holding the forward labels (immutable after construction) plus a
+/// write-once reverse track the fabric fills in as the packet travels.
+///
+/// Blob layout: [len | forward label raws... | reverse track raws...].
+/// The reverse track is safe to share between cursor copies because a
+/// packet chain traverses its route linearly (the SS forwards over at
+/// most one link per hop): writes are strictly append-order, and an NCU
+/// copy materializes its reverse prefix before the chain moves on.
+class Route {
+public:
+    Route() = default;
+
+    /// Builds the blob from a header — the single allocation of a send().
+    static Route from_header(const AnrHeader& h) {
+        Route r;
+        const auto len = static_cast<std::uint32_t>(h.size());
+        r.blob_ = std::make_shared<std::uint32_t[]>(1 + 2 * static_cast<std::size_t>(len));
+        r.blob_[0] = len;
+        for (std::uint32_t i = 0; i < len; ++i) r.blob_[1 + i] = h[i].raw();
+        return r;
+    }
+
+    explicit operator bool() const { return blob_ != nullptr; }
+    std::uint32_t size() const { return blob_ == nullptr ? 0 : blob_[0]; }
+
+    AnrLabel label(std::uint32_t i) const { return AnrLabel::from_raw(blob_[1 + i]); }
+
+    /// Records hop i's back-label (i grows monotonically along the chain).
+    void record_reverse(std::uint32_t i, AnrLabel l) { blob_[1 + size() + i] = l.raw(); }
+    AnrLabel reverse_label(std::uint32_t i) const {
+        return AnrLabel::from_raw(blob_[1 + size() + i]);
+    }
+
+    void reset() { blob_.reset(); }
+
+private:
+    std::shared_ptr<std::uint32_t[]> blob_;
+};
 
 /// Base class for message payloads. Payloads are immutable once sent
 /// (shared by every copy the hardware makes), mirroring how a copied
 /// packet carries identical bits to every NCU on the path.
+///
+/// Concrete payload types should derive TypedPayload<T> (below) so that
+/// payload_as<T> is a pointer compare instead of a dynamic_cast.
 struct Payload {
     virtual ~Payload() = default;
+
+    /// O(1) type tag; set by the TypedPayload<T> constructor, nullptr for
+    /// legacy RTTI-only payloads.
+    const void* fastnet_type_tag = nullptr;
 };
 
-/// A packet in flight.
+/// CRTP helper: `struct Msg final : hw::TypedPayload<Msg> { ... };` gives
+/// Msg a process-unique static tag so the delivery hot path never touches
+/// RTTI.
+template <typename T>
+struct TypedPayload : Payload {
+    TypedPayload() { fastnet_type_tag = tag(); }
+
+    static const void* tag() {
+        static const char unique = 0;
+        return &unique;
+    }
+};
+
+namespace detail {
+template <typename T, typename = void>
+struct allows_rtti_payload : std::false_type {};
+template <typename T>
+struct allows_rtti_payload<T, std::void_t<decltype(T::kRttiPayload)>>
+    : std::bool_constant<T::kRttiPayload> {};
+}  // namespace detail
+
+/// A packet in flight: a cursor over a shared Route blob. Copying one is
+/// two refcount bumps and a few ints — this is what makes hardware
+/// fan-out cheap enough to match the paper's cost model.
 struct Packet {
-    AnrHeader header;                         ///< Remaining route (consumed per hop).
-    AnrHeader reverse;                        ///< Accumulated reverse route ending at the
-                                              ///< sender's NCU (Section 2's "receiver can
-                                              ///< reply" capability).
+    Route route;                              ///< Shared route blob.
+    std::uint32_t offset = 0;                 ///< Labels consumed so far.
+    std::uint32_t reverse_len = 0;            ///< Reverse labels recorded so far.
     std::shared_ptr<const Payload> payload;   ///< Opaque content.
     NodeId origin = kNoNode;                  ///< Injecting node (diagnostics only).
     std::uint64_t id = 0;                     ///< Unique per injection (diagnostics).
     unsigned hops = 0;                        ///< Links traversed so far.
+
+    bool header_empty() const { return offset >= route.size(); }
+    std::uint32_t remaining_len() const { return route.size() - offset; }
+    AnrLabel pop_label() { return route.label(offset++); }
 };
 
-/// What an NCU receives.
+/// What an NCU receives. Materialized from the packet cursor only here,
+/// at the hardware/software boundary, so protocols keep seeing plain
+/// vectors.
 struct Delivery {
     NodeId at = kNoNode;                      ///< Node whose NCU got the packet.
     AnrHeader remaining;                      ///< Rest of the route (non-empty iff this
@@ -93,9 +182,21 @@ struct Delivery {
 };
 
 /// Convenience downcast for payloads; returns nullptr on type mismatch.
+/// O(1) tag compare for TypedPayload types; types that cannot derive it
+/// must opt into the RTTI fallback with
+/// `static constexpr bool kRttiPayload = true;`.
 template <typename T>
 const T* payload_as(const Delivery& d) {
-    return dynamic_cast<const T*>(d.payload.get());
+    if constexpr (std::is_base_of_v<TypedPayload<T>, T>) {
+        if (d.payload != nullptr && d.payload->fastnet_type_tag == TypedPayload<T>::tag())
+            return static_cast<const T*>(d.payload.get());
+        return nullptr;
+    } else {
+        static_assert(detail::allows_rtti_payload<T>::value,
+                      "payload types should derive hw::TypedPayload<T>; test-only types may "
+                      "opt into dynamic_cast with `static constexpr bool kRttiPayload = true`");
+        return dynamic_cast<const T*>(d.payload.get());
+    }
 }
 
 }  // namespace fastnet::hw

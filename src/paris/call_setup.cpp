@@ -10,7 +10,7 @@ namespace {
 /// The single setup packet. Carries the full route specification (node
 /// path plus the per-hop port ids in both directions) so that every
 /// on-path NCU can derive its own routes to either endpoint.
-struct SetupMsg final : hw::Payload {
+struct SetupMsg final : hw::TypedPayload<SetupMsg> {
     CallId id;
     NodeId source = kNoNode;
     NodeId destination = kNoNode;
@@ -21,22 +21,22 @@ struct SetupMsg final : hw::Payload {
     bool selective_copy = true;        ///< Ablation A5 (see options).
 };
 
-struct AcceptMsg final : hw::Payload {
+struct AcceptMsg final : hw::TypedPayload<AcceptMsg> {
     CallId id;
 };
 
-struct RejectMsg final : hw::Payload {
+struct RejectMsg final : hw::TypedPayload<RejectMsg> {
     CallId id;
     NodeId bottleneck = kNoNode;
 };
 
-struct TeardownMsg final : hw::Payload {
+struct TeardownMsg final : hw::TypedPayload<TeardownMsg> {
     CallId id;
     bool due_to_reject = false;
     bool relay = false;  ///< Hop-by-hop mode: receiver re-sends onward.
 };
 
-struct DisconnectMsg final : hw::Payload {
+struct DisconnectMsg final : hw::TypedPayload<DisconnectMsg> {
     CallId id;
 };
 

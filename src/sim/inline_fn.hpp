@@ -1,0 +1,127 @@
+// Small-buffer-optimized move-only callback for the event fast path.
+//
+// Every scheduled event in the simulator used to be a std::function whose
+// capture, past libstdc++'s 16-byte SBO, cost one heap allocation per
+// event — and the hot captures (Network's transmit event: this pointer,
+// node/edge ids, a pooled Packet*) are ~32 bytes. InlineFn stores any
+// callable up to kInlineSize bytes inline in the event-pool slot itself;
+// larger callables (rare: protocol lambdas dragging whole headers along)
+// fall back to the heap transparently. Move-only, since events execute
+// exactly once; the old copy-on-run of std::function is exactly the kind
+// of hidden cost this type exists to delete.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace fastnet::sim {
+
+class InlineFn {
+public:
+    /// Inline capacity. Sized for the simulator's hot captures (a this
+    /// pointer plus a few ids and a pooled pointer) with headroom; one
+    /// event-pool slot is `kInlineSize + vtable pointer` wide, so keep it
+    /// cache-friendly.
+    static constexpr std::size_t kInlineSize = 48;
+
+    InlineFn() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::remove_cvref_t<F>, InlineFn> &&
+                  std::is_invocable_r_v<void, std::remove_cvref_t<F>&>>>
+    InlineFn(F&& f) {  // NOLINT(google-explicit-constructor) — callable sink
+        using Fn = std::remove_cvref_t<F>;
+        if constexpr (sizeof(Fn) <= kInlineSize && alignof(Fn) <= alignof(std::max_align_t)) {
+            ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+            ops_ = &inline_ops<Fn>;
+        } else {
+            ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+            ops_ = &heap_ops<Fn>;
+        }
+    }
+
+    InlineFn(InlineFn&& o) noexcept { move_from(o); }
+
+    InlineFn& operator=(InlineFn&& o) noexcept {
+        if (this != &o) {
+            reset();
+            move_from(o);
+        }
+        return *this;
+    }
+
+    InlineFn(const InlineFn&) = delete;
+    InlineFn& operator=(const InlineFn&) = delete;
+
+    ~InlineFn() { reset(); }
+
+    explicit operator bool() const { return ops_ != nullptr; }
+
+    void operator()() { ops_->invoke(buf_); }
+
+    /// Destroys the held callable (if any); leaves the fn empty.
+    void reset() {
+        if (ops_ != nullptr) {
+            if (ops_->destroy != nullptr) ops_->destroy(buf_);
+            ops_ = nullptr;
+        }
+    }
+
+private:
+    // Null move_construct/destroy mark a trivially-relocatable callable:
+    // moves become a straight buffer copy and destruction a no-op, which
+    // removes two indirect calls per event for the hot captures (plain
+    // pointers and ids).
+    struct Ops {
+        void (*invoke)(void*);
+        void (*move_construct)(void* dst, void* src);  // src left destructible
+        void (*destroy)(void*);
+    };
+
+    template <typename Fn>
+    static constexpr bool is_trivial_fn =
+        std::is_trivially_copyable_v<Fn> && std::is_trivially_destructible_v<Fn>;
+
+    template <typename Fn>
+    static constexpr Ops inline_ops = {
+        [](void* p) { (*static_cast<Fn*>(p))(); },
+        is_trivial_fn<Fn> ? nullptr
+                          : +[](void* dst, void* src) {
+                                ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+                            },
+        is_trivial_fn<Fn> ? nullptr
+                          : +[](void* p) { static_cast<Fn*>(p)->~Fn(); },
+    };
+
+    template <typename Fn>
+    static constexpr Ops heap_ops = {
+        [](void* p) { (**static_cast<Fn**>(p))(); },
+        [](void* dst, void* src) {
+            ::new (dst) Fn*(*static_cast<Fn**>(src));
+            *static_cast<Fn**>(src) = nullptr;
+        },
+        [](void* p) { delete *static_cast<Fn**>(p); },
+    };
+
+    void move_from(InlineFn& o) noexcept {
+        if (o.ops_ != nullptr) {
+            if (o.ops_->move_construct == nullptr) {
+                std::memcpy(buf_, o.buf_, kInlineSize);
+            } else {
+                o.ops_->move_construct(buf_, o.buf_);
+                o.ops_->destroy(o.buf_);
+            }
+            ops_ = o.ops_;
+            o.ops_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+    const Ops* ops_ = nullptr;
+};
+
+}  // namespace fastnet::sim

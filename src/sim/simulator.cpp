@@ -2,12 +2,12 @@
 
 namespace fastnet::sim {
 
-EventId Simulator::at(Tick when, std::function<void()> fn) {
+EventId Simulator::at(Tick when, InlineFn fn) {
     FASTNET_EXPECTS_MSG(when >= now_, "cannot schedule into the past");
     return queue_.schedule(when, std::move(fn));
 }
 
-EventId Simulator::after(Tick delay, std::function<void()> fn) {
+EventId Simulator::after(Tick delay, InlineFn fn) {
     FASTNET_EXPECTS(delay >= 0);
     return at(now_ + delay, std::move(fn));
 }
@@ -20,10 +20,7 @@ std::uint64_t Simulator::run_until(Tick until, std::uint64_t max_events) {
     stopped_ = false;
     std::uint64_t executed = 0;
     while (!stopped_ && executed < max_events) {
-        const Tick t = queue_.next_time();
-        if (t == kNever || t > until) break;
-        now_ = t;
-        queue_.run_next();
+        if (queue_.run_next_bounded(until, now_) == kNever) break;
         ++executed;
     }
     const bool budget_hit = executed >= max_events && queue_.next_time() != kNever &&

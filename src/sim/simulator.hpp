@@ -7,7 +7,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
 #include "common/types.hpp"
 #include "sim/event_queue.hpp"
@@ -19,10 +18,10 @@ public:
     Tick now() const { return now_; }
 
     /// Schedules fn at absolute time `at` >= now().
-    EventId at(Tick when, std::function<void()> fn);
+    EventId at(Tick when, InlineFn fn);
 
     /// Schedules fn `delay` ticks from now (delay >= 0).
-    EventId after(Tick delay, std::function<void()> fn);
+    EventId after(Tick delay, InlineFn fn);
 
     void cancel(EventId id) { queue_.cancel(id); }
 

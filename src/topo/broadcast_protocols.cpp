@@ -20,14 +20,23 @@ const char* scheme_name(BroadcastScheme s) {
 }
 
 BroadcastProtocol::BroadcastProtocol(const graph::Graph& g, BroadcastScheme scheme)
-    : graph_(g), scheme_(scheme), seen_rounds_(g.node_count(), 0) {}
+    : graph_(g), scheme_(scheme) {}
+
+std::uint64_t& BroadcastProtocol::seen_round(NodeId origin) {
+    // Lazily sized: only flooding needs the per-origin duplicate filter,
+    // and eagerly giving every node an n-entry vector made constructing a
+    // cluster O(n^2) memory — the dominant cost of a planned broadcast at
+    // n >= 4096, dwarfing the simulation itself.
+    if (seen_rounds_.empty()) seen_rounds_.resize(graph_.node_count(), 0);
+    return seen_rounds_[origin];
+}
 
 void BroadcastProtocol::on_start(node::Context& ctx) {
     const NodeId self = ctx.self();
     receive_time_ = ctx.now();  // the origin trivially "has" the message
 
     if (scheme_ == BroadcastScheme::kFlooding) {
-        seen_rounds_[self] = next_round_;
+        seen_round(self) = next_round_;
         flood(ctx, self, next_round_++, hw::kNoPort);
         dispatch_time_ = ctx.now();
         return;
@@ -55,8 +64,9 @@ void BroadcastProtocol::on_start(node::Context& ctx) {
 
 void BroadcastProtocol::on_message(node::Context& ctx, const hw::Delivery& d) {
     if (const auto* flood_msg = hw::payload_as<FloodMessage>(d)) {
-        if (seen_rounds_[flood_msg->origin] >= flood_msg->round) return;  // duplicate
-        seen_rounds_[flood_msg->origin] = flood_msg->round;
+        std::uint64_t& seen = seen_round(flood_msg->origin);
+        if (seen >= flood_msg->round) return;  // duplicate
+        seen = flood_msg->round;
         if (receive_time_ == kNever) receive_time_ = ctx.now();
         const hw::PortId arrival =
             d.reverse.empty() ? hw::kNoPort : d.reverse.front().port();

@@ -37,14 +37,14 @@ const char* scheme_name(BroadcastScheme s);
 /// The broadcast payload for the planned schemes: the plan rides along so
 /// every path-start node knows which messages to inject ("the message
 /// contains a description of the tree").
-struct BroadcastMessage final : hw::Payload {
+struct BroadcastMessage final : hw::TypedPayload<BroadcastMessage> {
     std::shared_ptr<const BroadcastPlan> plan;
     NodeId origin = kNoNode;
     std::uint64_t round = 0;
 };
 
 /// Flooding payload.
-struct FloodMessage final : hw::Payload {
+struct FloodMessage final : hw::TypedPayload<FloodMessage> {
     NodeId origin = kNoNode;
     std::uint64_t round = 0;
 };
@@ -74,7 +74,10 @@ private:
     Tick receive_time_ = kNever;   ///< Handler-completion time of first reception.
     Tick dispatch_time_ = kNever;  ///< Origin only: when its messages left.
     std::uint64_t next_round_ = 1;
-    std::vector<std::uint64_t> seen_rounds_;  // flooding duplicate filter (per origin)
+    std::uint64_t& seen_round(NodeId origin);
+    std::vector<std::uint64_t> seen_rounds_;  // flooding duplicate filter (per origin);
+                                              // lazily sized on first flood
+
 };
 
 /// Outcome of one standalone broadcast run.

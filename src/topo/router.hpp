@@ -23,14 +23,14 @@
 namespace fastnet::topo {
 
 /// Application payload carried by the router.
-struct Datagram final : hw::Payload {
+struct Datagram final : hw::TypedPayload<Datagram> {
     NodeId src = kNoNode;
     NodeId dst = kNoNode;
     std::uint64_t tag = 0;  ///< Application-chosen identifier.
     std::uint64_t seq = 0;  ///< Source-local, for ack matching.
 };
 
-struct DatagramAck final : hw::Payload {
+struct DatagramAck final : hw::TypedPayload<DatagramAck> {
     std::uint64_t seq = 0;
 };
 

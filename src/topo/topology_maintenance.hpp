@@ -62,7 +62,7 @@ struct TopologyOptions {
 };
 
 /// The broadcast payload of one round.
-struct TopologyMessage final : hw::Payload {
+struct TopologyMessage final : hw::TypedPayload<TopologyMessage> {
     NodeId origin = kNoNode;
     std::uint64_t seq = 0;
     /// (owner, topology) pairs carried by this broadcast.

@@ -1,0 +1,101 @@
+// Regression guard for the zero-allocation steady state of the hop fast
+// path (see docs/PERF.md). A pure relay along a warm path must not touch
+// the allocator per hop: packets come from Network's pool, transmit
+// events fit InlineFn's inline buffer, the route blob is shared by every
+// hop. This binary overrides global operator new to *count* — it lives
+// outside fastnet_tests because the gtest framework's own allocator
+// traffic would drown the signal.
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+
+#include "fastnet.hpp"
+
+namespace {
+std::uint64_t g_allocs = 0;
+}
+
+void* operator new(std::size_t size) {
+    ++g_allocs;
+    if (void* p = std::malloc(size ? size : 1)) return p;
+    throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t al) {
+    ++g_allocs;
+    void* p = nullptr;
+    if (posix_memalign(&p, static_cast<std::size_t>(al), size ? size : 1) != 0)
+        throw std::bad_alloc();
+    return p;
+}
+void* operator new[](std::size_t size, std::align_val_t al) { return ::operator new(size, al); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+int main() {
+    using namespace fastnet;
+
+    constexpr NodeId kNodes = 512;
+    const graph::Graph g = graph::make_path(kNodes);
+    sim::Simulator sim;
+    cost::Metrics metrics(g.node_count());
+    hw::Network net(sim, g, ModelParams::traditional(), metrics);
+    std::uint64_t delivered = 0;
+    net.set_ncu_sink(kNodes - 1, [&](const hw::Delivery&) { ++delivered; });
+
+    std::vector<NodeId> path(kNodes);
+    for (NodeId u = 0; u < kNodes; ++u) path[u] = u;
+    const hw::AnrHeader header = net.route(path);
+
+    // Warm every pool: packet slab, event slabs, staging capacities.
+    constexpr int kWarmSends = 4;
+    for (int i = 0; i < kWarmSends; ++i) {
+        net.send(0, header, nullptr);
+        sim.run();
+    }
+
+    const std::uint64_t before = g_allocs;
+    constexpr std::uint64_t kSends = 8;
+    for (std::uint64_t i = 0; i < kSends; ++i) {
+        net.send(0, header, nullptr);
+        sim.run();
+    }
+    const std::uint64_t steady = g_allocs - before;
+
+    if (delivered != kWarmSends + kSends) {
+        std::fprintf(stderr, "FAIL: expected %llu deliveries, got %llu\n",
+                     static_cast<unsigned long long>(kWarmSends + kSends),
+                     static_cast<unsigned long long>(delivered));
+        return 1;
+    }
+
+    // Per warm send, O(1) allocations are legitimate (the shared route
+    // blob at send(), the Delivery vectors materialized once at the NCU
+    // boundary) — but the 511 relay hops in between must contribute
+    // nothing. A budget of 8 per send keeps the bound far below even
+    // one-allocation-per-hundred-hops.
+    constexpr std::uint64_t kPerSendBudget = 8;
+    if (steady > kSends * kPerSendBudget) {
+        std::fprintf(stderr,
+                     "FAIL: %llu allocations across %llu warm sends of %u hops "
+                     "(budget %llu) — the hop fast path is allocating again\n",
+                     static_cast<unsigned long long>(steady),
+                     static_cast<unsigned long long>(kSends), kNodes - 1,
+                     static_cast<unsigned long long>(kSends * kPerSendBudget));
+        return 1;
+    }
+
+    std::printf("OK: %llu allocations across %llu warm sends of %u hops each "
+                "(%.4f per hop)\n",
+                static_cast<unsigned long long>(steady),
+                static_cast<unsigned long long>(kSends), kNodes - 1,
+                static_cast<double>(steady) /
+                    static_cast<double>(kSends * (kNodes - 1)));
+    return 0;
+}

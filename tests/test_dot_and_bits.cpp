@@ -56,7 +56,7 @@ struct BitFixture {
     hw::Network net;
 };
 
-struct Nothing final : hw::Payload {};
+struct Nothing final : hw::TypedPayload<Nothing> {};
 
 TEST(HeaderBits, LabelWidthIsLogOfMaxDegreePlusCopyBit) {
     // Path: max degree 2 -> ports 0..2 -> 2 bits + copy = 3.

@@ -15,7 +15,10 @@ namespace {
 
 using graph::Graph;
 
+// Deliberately NOT a TypedPayload: exercises the RTTI fallback of
+// payload_as<T> behind its static_assert-checked opt-in.
 struct TextPayload : Payload {
+    static constexpr bool kRttiPayload = true;
     explicit TextPayload(std::string s) : text(std::move(s)) {}
     std::string text;
 };

@@ -14,7 +14,7 @@
 namespace fastnet::hw {
 namespace {
 
-struct Mark final : Payload {
+struct Mark final : TypedPayload<Mark> {
     explicit Mark(int v) : value(v) {}
     int value;
 };

@@ -77,7 +77,7 @@ TEST(Integration, LearnedTopologySupportsSourceRouting) {
 
     // Inject it on the real fabric and confirm single-system-call delivery.
     c.metrics().reset();
-    struct Probe final : hw::Payload {};
+    struct Probe final : hw::TypedPayload<Probe> {};
     bool delivered = false;
     c.network().set_ncu_sink(far, [&delivered](const hw::Delivery& d) {
         delivered = hw::payload_as<Probe>(d) != nullptr;

@@ -9,7 +9,7 @@
 namespace fastnet::node {
 namespace {
 
-struct Note final : hw::Payload {
+struct Note final : hw::TypedPayload<Note> {
     explicit Note(int v) : value(v) {}
     int value;
 };

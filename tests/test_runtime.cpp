@@ -10,7 +10,7 @@
 namespace fastnet::node {
 namespace {
 
-struct Note : hw::Payload {
+struct Note : hw::TypedPayload<Note> {
     explicit Note(int v) : value(v) {}
     int value;
 };

@@ -1,6 +1,10 @@
 // Tests for the deterministic discrete-event core.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "sim/simulator.hpp"
@@ -67,6 +71,137 @@ TEST(EventQueue, ReentrantScheduling) {
     EXPECT_EQ(order, (std::vector<int>{1, 2}));
 }
 
+// ---- pooled-queue edge cases -------------------------------------------
+
+TEST(EventQueue, StaleIdDoesNotCancelSlotReuse) {
+    EventQueue q;
+    bool a = false, b = false;
+    const EventId ida = q.schedule(1, [&] { a = true; });
+    q.cancel(ida);
+    // The freed slot is recycled immediately (LIFO free list); the new
+    // tenant must be immune to the stale handle.
+    const EventId idb = q.schedule(1, [&] { b = true; });
+    EXPECT_NE(ida, idb);
+    q.cancel(ida);  // stale: must be a no-op
+    EXPECT_EQ(q.size(), 1u);
+    while (!q.empty()) q.run_next();
+    EXPECT_FALSE(a);
+    EXPECT_TRUE(b);
+}
+
+TEST(EventQueue, IdOfRanEventIsStale) {
+    EventQueue q;
+    bool b = false;
+    const EventId ida = q.schedule(1, [] {});
+    q.run_next();
+    const EventId idb = q.schedule(2, [&] { b = true; });  // reuses the slot
+    EXPECT_NE(ida, idb);
+    q.cancel(ida);  // already ran; must not hit the new tenant
+    EXPECT_EQ(q.size(), 1u);
+    q.run_next();
+    EXPECT_TRUE(b);
+}
+
+TEST(EventQueue, CancelFrontEvent) {
+    EventQueue q;
+    std::vector<int> order;
+    const EventId front = q.schedule(1, [&] { order.push_back(1); });
+    q.schedule(2, [&] { order.push_back(2); });
+    q.schedule(3, [&] { order.push_back(3); });
+    ASSERT_EQ(q.next_time(), 1);  // forces the front into the ordered structures
+    q.cancel(front);              // cancel *after* it reached the front
+    EXPECT_EQ(q.next_time(), 2);
+    while (!q.empty()) q.run_next();
+    EXPECT_EQ(order, (std::vector<int>{2, 3}));
+}
+
+TEST(EventQueue, FifoTieBreakSurvivesSlotRecycling) {
+    EventQueue q;
+    // Drive the pool through 2^16 tenancies of the same hot slot, so the
+    // sequence counter is far ahead of the slot's generation counter.
+    for (int i = 0; i < (1 << 16); ++i) {
+        q.schedule(0, [] {});
+        q.run_next();
+    }
+    // Equal-tick FIFO must still hold exactly.
+    std::vector<int> order;
+    for (int i = 0; i < 64; ++i)
+        q.schedule(7, [&order, i] { order.push_back(i); });
+    while (!q.empty()) q.run_next();
+    std::vector<int> expect(64);
+    for (int i = 0; i < 64; ++i) expect[i] = i;
+    EXPECT_EQ(order, expect);
+}
+
+TEST(EventQueue, HybridMergeKeepsGlobalOrder) {
+    // A large shuffled batch goes down the sort+merge path; a later small
+    // batch lands in the heap. Draining must interleave both into the
+    // exact (time, schedule-order) sequence.
+    EventQueue q;
+    std::vector<std::pair<Tick, int>> ran;
+    std::vector<std::pair<Tick, int>> batch;
+    int id = 0;
+    auto add = [&](Tick t) {
+        batch.emplace_back(t, id);
+        q.schedule(t, [&ran, t, seq = id] { ran.emplace_back(t, seq); });
+        ++id;
+    };
+    // ids follow schedule order, so sorting by (time, id) reproduces the
+    // queue's (time, seq) contract exactly.
+    auto by_time_then_seq = [](auto& v) {
+        std::sort(v.begin(), v.end());
+    };
+
+    for (int i = 0; i < 2000; ++i) add((i * 7919) % 1024);
+    by_time_then_seq(batch);
+    for (int i = 0; i < 1000; ++i) q.run_next();  // consume part of the sorted run
+    std::vector<std::pair<Tick, int>> expect(batch.begin(), batch.begin() + 1000);
+
+    // Stragglers land in the heap; times at/after the drained prefix's
+    // frontier so none is scheduled into the already-executed past.
+    std::vector<std::pair<Tick, int>> tail(batch.begin() + 1000, batch.end());
+    batch.clear();
+    for (int i = 0; i < 8; ++i) add(expect.back().first + 1 + (i * 131) % 512);
+    tail.insert(tail.end(), batch.begin(), batch.end());
+    by_time_then_seq(tail);
+    expect.insert(expect.end(), tail.begin(), tail.end());
+
+    while (!q.empty()) q.run_next();
+    EXPECT_EQ(ran, expect);
+}
+
+// ---- InlineFn ----------------------------------------------------------
+
+TEST(InlineFn, HeapFallbackForLargeCaptures) {
+    std::array<std::uint64_t, 16> big{};  // 128 B, past the inline buffer
+    big[15] = 42;
+    std::uint64_t got = 0;
+    InlineFn fn([big, &got] { got = big[15]; });
+    fn();
+    EXPECT_EQ(got, 42u);
+}
+
+TEST(InlineFn, MoveTransfersCallable) {
+    int calls = 0;
+    InlineFn a([&calls] { ++calls; });
+    InlineFn b(std::move(a));
+    EXPECT_FALSE(static_cast<bool>(a));
+    ASSERT_TRUE(static_cast<bool>(b));
+    b();
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(InlineFn, NonTrivialCaptureIsDestroyed) {
+    auto token = std::make_shared<int>(5);
+    std::weak_ptr<int> watch = token;
+    {
+        InlineFn fn([token] {});
+        token.reset();
+        EXPECT_FALSE(watch.expired());  // the closure keeps it alive
+    }
+    EXPECT_TRUE(watch.expired());  // InlineFn's dtor ran the capture's dtor
+}
+
 TEST(Simulator, NowAdvancesToEventTime) {
     Simulator s;
     Tick seen = -1;
@@ -101,6 +236,21 @@ TEST(Simulator, RunUntilStopsAtBoundary) {
     EXPECT_FALSE(s.idle());
     s.run();
     EXPECT_EQ(count, 10);
+    EXPECT_TRUE(s.idle());
+}
+
+TEST(Simulator, RunUntilBoundaryIsInclusiveAndClockIsExact) {
+    Simulator s;
+    std::vector<Tick> ran;
+    s.at(5, [&] { ran.push_back(s.now()); });
+    s.at(6, [&] { ran.push_back(s.now()); });
+    EXPECT_EQ(s.run_until(5), 1u);  // the boundary tick itself executes
+    EXPECT_EQ(ran, (std::vector<Tick>{5}));
+    EXPECT_EQ(s.now(), 5);
+    EXPECT_EQ(s.run_until(5), 0u);  // nothing left at or before the boundary
+    EXPECT_EQ(s.now(), 5);          // the clock does not jump to the horizon
+    EXPECT_EQ(s.run_until(6), 1u);
+    EXPECT_EQ(ran, (std::vector<Tick>{5, 6}));
     EXPECT_TRUE(s.idle());
 }
 
