@@ -17,13 +17,14 @@
 #include <iostream>
 
 #include "fastnet.hpp"
+#include "json_reporter.hpp"
 
 namespace {
 
 using namespace fastnet;
 using topo::BroadcastScheme;
 
-void experiment_e1() {
+void experiment_e1(bench::JsonReporter& rep) {
     util::Table t({"n", "m", "scheme", "system_calls", "time_units", "messages",
                    "bound_1+log2n"});
     for (NodeId n : {16u, 64u, 256u, 1024u, 4096u}) {
@@ -35,6 +36,12 @@ void experiment_e1() {
             FASTNET_ENSURES(out.all_received);
             t.add(n, g.edge_count(), topo::scheme_name(scheme), out.cost.system_calls,
                   out.time_units, out.cost.direct_messages, 1 + floor_log2(n));
+            if (scheme == BroadcastScheme::kBranchingPaths) {
+                rep.add("e1_bp_calls_n" + std::to_string(n),
+                        static_cast<double>(out.cost.system_calls), "calls");
+                rep.add("e1_bp_time_n" + std::to_string(n),
+                        static_cast<double>(out.time_units), "units");
+            }
         }
     }
     t.print(std::cout,
@@ -42,7 +49,7 @@ void experiment_e1() {
             "O(m) calls + O(n) time)");
 }
 
-void experiment_e1_density() {
+void experiment_e1_density(bench::JsonReporter& rep) {
     // Same n, growing density: branching-paths calls stay n-1 while
     // flooding tracks m.
     util::Table t({"n", "m", "bp_calls", "flood_calls", "flood/bp"});
@@ -55,17 +62,23 @@ void experiment_e1_density() {
         t.add(n, g.edge_count(), bp.cost.system_calls, fl.cost.system_calls,
               static_cast<double>(fl.cost.system_calls) /
                   static_cast<double>(bp.cost.system_calls));
+        rep.add("e1b_flood_over_bp_m" + std::to_string(g.edge_count()),
+                static_cast<double>(fl.cost.system_calls) /
+                    static_cast<double>(bp.cost.system_calls),
+                "x");
     }
     t.print(std::cout, "E1b: density sweep at n=512 — flooding scales with m, "
                        "branching-paths does not");
 }
 
-void experiment_e2() {
+void experiment_e2(bench::JsonReporter& rep) {
     util::Table t({"tree_shape", "n", "time_units", "bound_1+log2n", "within_bound"});
-    auto run_tree = [&t](const char* name, const graph::Graph& g) {
+    bool all_within = true;
+    auto run_tree = [&t, &all_within](const char* name, const graph::Graph& g) {
         const auto out = topo::run_broadcast(g, BroadcastScheme::kBranchingPaths, 0);
         FASTNET_ENSURES(out.all_received);
         const unsigned bound = 1 + floor_log2(g.node_count());
+        all_within &= out.time_units <= bound;
         t.add(name, g.node_count(), out.time_units, bound, out.time_units <= bound);
     };
     run_tree("path", graph::make_path(1024));
@@ -77,6 +90,7 @@ void experiment_e2() {
         Rng rng(seed);
         run_tree("random", graph::make_random_tree(1024, rng));
     }
+    rep.add("e2_all_within_bound", all_within ? 1 : 0, "bool");
     t.print(std::cout, "E2: Theorem 2 time bound across tree shapes");
 }
 
@@ -124,9 +138,11 @@ BENCHMARK(bm_full_broadcast_simulation)->Range(64, 1024);
 }  // namespace
 
 int main(int argc, char** argv) {
-    experiment_e1();
-    experiment_e1_density();
-    experiment_e2();
+    fastnet::bench::JsonReporter rep("broadcast");
+    experiment_e1(rep);
+    experiment_e1_density(rep);
+    experiment_e2(rep);
+    rep.write();
     std::cout << "\n";
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

@@ -11,13 +11,14 @@
 #include <iostream>
 
 #include "fastnet.hpp"
+#include "json_reporter.hpp"
 
 namespace {
 
 using namespace fastnet;
 using paris::CallRequest;
 
-void experiment_setup_latency() {
+void experiment_setup_latency(bench::JsonReporter& rep) {
     util::Table t({"path_hops", "copy_setup_ticks", "seq_setup_ticks", "slowdown",
                    "copy_calls", "seq_calls"});
     for (NodeId n : {4u, 8u, 16u, 32u, 64u}) {
@@ -36,13 +37,15 @@ void experiment_setup_latency() {
         const auto [t_seq, c_seq] = run_mode(false);
         t.add(n - 1, t_copy, t_seq,
               static_cast<double>(t_seq) / static_cast<double>(t_copy), c_copy, c_seq);
+        rep.add("a5_seq_over_copy_hops" + std::to_string(n - 1),
+                static_cast<double>(t_seq) / static_cast<double>(t_copy), "x");
     }
     t.print(std::cout,
             "A5: call establishment — selective copy is O(1) time units, the "
             "hop-by-hop software path is O(path)");
 }
 
-void experiment_admission() {
+void experiment_admission(bench::JsonReporter& rep) {
     util::Table t({"capacity", "offered", "carried", "rejected", "failed",
                    "capacity_leaks"});
     for (std::uint32_t cap : {1u, 2u, 4u, 8u}) {
@@ -71,6 +74,8 @@ void experiment_admission() {
                 if (a.free_capacity(e) != cap) leaks = true;
         }
         t.add(cap, offered, carried, rejected, failed, leaks);
+        rep.add("admission_carried_cap" + std::to_string(cap), carried, "calls");
+        FASTNET_ENSURES(!leaks);
     }
     t.print(std::cout,
             "call-churn workload (60 offered calls, hold-and-release): carried "
@@ -94,8 +99,10 @@ BENCHMARK(bm_call_setup_roundtrip)->Range(8, 128);
 }  // namespace
 
 int main(int argc, char** argv) {
-    experiment_setup_latency();
-    experiment_admission();
+    fastnet::bench::JsonReporter rep("calls");
+    experiment_setup_latency(rep);
+    experiment_admission(rep);
+    rep.write();
     std::cout << "\n";
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

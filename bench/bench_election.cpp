@@ -6,90 +6,171 @@
 //      Roberts (random priorities, expected Theta(n log n)) and
 //      Hirschberg-Sinclair (worst-case Theta(n log n)) versus 6n.
 // E13 — Lemma 6: capture histogram by victim phase (<= n / 2^p).
+//
+// The E6/E7 grids — dozens of independent elections — run through
+// exec::sweep_map; the E7 grid is additionally timed serial vs parallel
+// and everything lands in BENCH_election.json.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cmath>
 #include <iostream>
 
 #include "fastnet.hpp"
+#include "json_reporter.hpp"
 
 namespace {
 
 using namespace fastnet;
 using elect::ElectionOptions;
 
-void experiment_e6() {
-    util::Table t({"topology", "n", "messages", "6n", "within", "time_ticks",
-                   "max_anr_len"});
-    ElectionOptions opt;
-    opt.announce = false;
-    auto probe = [&](const char* name, const graph::Graph& g) {
-        const auto out = elect::run_election(g, opt);
-        FASTNET_ENSURES(out.unique_leader);
-        t.add(name, g.node_count(), out.election_messages, 6ull * g.node_count(),
-              out.election_messages <= 6ull * g.node_count(), out.cost.completion_time,
-              out.cost.max_header_len);
-    };
+struct E6Point {
+    std::string name;
+    graph::Graph graph;
+};
+
+void experiment_e6(bench::JsonReporter& out) {
+    std::vector<E6Point> grid;
     for (NodeId n : {64u, 256u, 1024u}) {
         Rng rng(n);
-        probe("ring", graph::make_cycle(n));
-        probe("random", graph::make_random_connected(n, 1, 20, rng));
-        probe("tree", graph::make_random_tree(n, rng));
+        grid.push_back({"ring" + std::to_string(n), graph::make_cycle(n)});
+        grid.push_back({"random" + std::to_string(n),
+                        graph::make_random_connected(n, 1, 20, rng)});
+        grid.push_back({"tree" + std::to_string(n), graph::make_random_tree(n, rng)});
     }
-    probe("complete128", graph::make_complete(128));
-    probe("grid32x32", graph::make_grid(32, 32));
-    probe("hypercube10", graph::make_hypercube(10));
+    grid.push_back({"complete128", graph::make_complete(128)});
+    grid.push_back({"grid32x32", graph::make_grid(32, 32)});
+    grid.push_back({"hypercube10", graph::make_hypercube(10)});
+
+    const auto rows = exec::sweep_map(grid, [](const E6Point& p, exec::TaskContext&) {
+        ElectionOptions opt;
+        opt.announce = false;
+        const auto r = elect::run_election(p.graph, opt);
+        FASTNET_ENSURES(r.unique_leader);
+        return r;
+    });
+
+    util::Table t({"topology", "n", "messages", "6n", "within", "time_ticks",
+                   "max_anr_len"});
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        const NodeId n = grid[i].graph.node_count();
+        t.add(grid[i].name.c_str(), n, rows[i].election_messages, 6ull * n,
+              rows[i].election_messages <= 6ull * n, rows[i].cost.completion_time,
+              rows[i].cost.max_header_len);
+        out.add("e6_messages_" + grid[i].name,
+                static_cast<double>(rows[i].election_messages), "messages");
+    }
     t.print(std::cout, "E6: new election — Theorem 5's 6n message bound and O(n) time");
 }
 
-void experiment_e7() {
+// ---- E7: ours vs ring baselines, one task per (n, algorithm, run) -------
+
+struct E7Point {
+    NodeId n = 0;
+    enum class Algo { kOurs, kChangRoberts, kHirschbergSinclair } algo = Algo::kOurs;
+    int run = 0;  ///< Priority-permutation seed for the baselines.
+};
+
+std::uint64_t run_e7_point(const E7Point& p) {
+    switch (p.algo) {
+        case E7Point::Algo::kOurs: {
+            ElectionOptions opt;
+            opt.announce = false;
+            return elect::run_election(graph::make_cycle(p.n), opt).election_messages;
+        }
+        case E7Point::Algo::kChangRoberts:
+            return elect::run_chang_roberts(p.n, {}, p.run).election_messages;
+        case E7Point::Algo::kHirschbergSinclair:
+            return elect::run_hirschberg_sinclair(p.n, {}, p.run).election_messages;
+    }
+    return 0;
+}
+
+void experiment_e7(bench::JsonReporter& out) {
+    const std::vector<NodeId> sizes{32u, 64u, 128u, 256u, 512u, 1024u};
+    const int runs = 5;
+    std::vector<E7Point> grid;
+    for (NodeId n : sizes) {
+        grid.push_back({n, E7Point::Algo::kOurs, 0});
+        for (int s = 1; s <= runs; ++s) grid.push_back({n, E7Point::Algo::kChangRoberts, s});
+        for (int s = 1; s <= runs; ++s)
+            grid.push_back({n, E7Point::Algo::kHirschbergSinclair, s});
+    }
+
+    using Clock = std::chrono::steady_clock;
+    auto run_grid = [&grid](unsigned threads) {
+        exec::SweepOptions opt;
+        opt.threads = threads;
+        return exec::sweep_map(
+            grid, [](const E7Point& p, exec::TaskContext&) { return run_e7_point(p); }, opt);
+    };
+    const auto t0 = Clock::now();
+    const auto serial = run_grid(1);
+    const auto t1 = Clock::now();
+    const auto rows = run_grid(exec::ThreadPool::hardware_threads());
+    const auto t2 = Clock::now();
+    FASTNET_ENSURES_MSG(serial == rows, "serial/parallel sweep divergence");
+
     util::Table t({"n", "ours", "chang_roberts_avg", "hirschberg_sinclair",
                    "n*log2n", "cr/ours", "hs/ours"});
-    ElectionOptions opt;
-    opt.announce = false;
-    for (NodeId n : {32u, 64u, 128u, 256u, 512u, 1024u}) {
-        const auto ours = elect::run_election(graph::make_cycle(n), opt);
-        // Baseline expected costs: average over priority permutations.
+    std::size_t i = 0;
+    for (NodeId n : sizes) {
+        const std::uint64_t ours = rows[i++];
         std::uint64_t cr_total = 0, hs_total = 0;
-        const int runs = 5;
-        for (int s = 1; s <= runs; ++s) {
-            cr_total += elect::run_chang_roberts(n, {}, s).election_messages;
-            hs_total += elect::run_hirschberg_sinclair(n, {}, s).election_messages;
-        }
+        for (int s = 0; s < runs; ++s) cr_total += rows[i++];
+        for (int s = 0; s < runs; ++s) hs_total += rows[i++];
         const std::uint64_t cr = cr_total / runs;
         const std::uint64_t hs_avg = hs_total / runs;
-        t.add(n, ours.election_messages, cr, hs_avg,
-              static_cast<std::uint64_t>(n * std::log2(n)),
-              static_cast<double>(cr) / static_cast<double>(ours.election_messages),
-              static_cast<double>(hs_avg) /
-                  static_cast<double>(ours.election_messages));
+        t.add(n, ours, cr, hs_avg, static_cast<std::uint64_t>(n * std::log2(n)),
+              static_cast<double>(cr) / static_cast<double>(ours),
+              static_cast<double>(hs_avg) / static_cast<double>(ours));
+        out.add("e7_ours_n" + std::to_string(n), static_cast<double>(ours), "messages");
+        out.add("e7_cr_avg_n" + std::to_string(n), static_cast<double>(cr), "messages");
+        out.add("e7_hs_avg_n" + std::to_string(n), static_cast<double>(hs_avg), "messages");
     }
     t.print(std::cout,
             "E7: rings — traditional algorithms pay Theta(n log n) system calls; "
             "the new algorithm stays <= 6n (crossover grows with n)");
+
+    const double serial_ms =
+        std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(t1 - t0).count();
+    const double parallel_ms =
+        std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(t2 - t1).count();
+    out.add("e7_sweep_serial_ms", serial_ms, "ms");
+    out.add("e7_sweep_parallel_ms", parallel_ms, "ms");
+    out.add("e7_sweep_threads", exec::ThreadPool::hardware_threads(), "threads");
+    out.add("e7_sweep_speedup", serial_ms / parallel_ms, "x");
 }
 
-void experiment_e13() {
+void experiment_e13(bench::JsonReporter& out) {
     const NodeId n = 2048;
     Rng rng(13);
     const graph::Graph g = graph::make_random_connected(n, 1, 100, rng);
-    const auto out = elect::run_election(g);
-    FASTNET_ENSURES(out.unique_leader);
+    const auto r = elect::run_election(g);
+    FASTNET_ENSURES(r.unique_leader);
     util::Table t({"victim_phase", "captures", "lemma6_bound_n/2^p", "within"});
-    for (std::size_t p = 0; p < out.captures_by_phase.size(); ++p)
-        t.add(p, out.captures_by_phase[p], static_cast<std::uint64_t>(n) >> p,
-              out.captures_by_phase[p] <= (static_cast<std::uint64_t>(n) >> p));
+    bool all_within = true;
+    for (std::size_t p = 0; p < r.captures_by_phase.size(); ++p) {
+        const bool within = r.captures_by_phase[p] <= (static_cast<std::uint64_t>(n) >> p);
+        all_within &= within;
+        t.add(p, r.captures_by_phase[p], static_cast<std::uint64_t>(n) >> p, within);
+    }
+    out.add("e13_lemma6_all_within", all_within ? 1 : 0, "bool");
     t.print(std::cout, "E13: Lemma 6 — captured domains per phase (n = 2048)");
 }
 
-void experiment_e6_time() {
-    util::Table t({"n", "completion_ticks", "ticks/n"});
-    for (NodeId n : {128u, 256u, 512u, 1024u, 2048u}) {
+void experiment_e6_time(bench::JsonReporter& out) {
+    const std::vector<NodeId> sizes{128u, 256u, 512u, 1024u, 2048u};
+    const auto rows = exec::sweep_map(sizes, [](NodeId n, exec::TaskContext&) {
         Rng rng(n + 3);
         const graph::Graph g = graph::make_random_connected(n, 1, 40, rng);
-        const auto out = elect::run_election(g);
-        t.add(n, out.cost.completion_time,
-              static_cast<double>(out.cost.completion_time) / n);
+        return elect::run_election(g).cost.completion_time;
+    });
+    util::Table t({"n", "completion_ticks", "ticks/n"});
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+        t.add(sizes[i], rows[i], static_cast<double>(rows[i]) / sizes[i]);
+        out.add("e6b_ticks_per_n_" + std::to_string(sizes[i]),
+                static_cast<double>(rows[i]) / sizes[i], "ticks_per_node");
     }
     t.print(std::cout, "E6b: election time grows O(n) (P = 1, C = 0)");
 }
@@ -125,10 +206,12 @@ BENCHMARK(bm_inout_absorb)->Range(64, 512);
 }  // namespace
 
 int main(int argc, char** argv) {
-    experiment_e6();
-    experiment_e6_time();
-    experiment_e7();
-    experiment_e13();
+    bench::JsonReporter out("election");
+    experiment_e6(out);
+    experiment_e6_time(out);
+    experiment_e7(out);
+    experiment_e13(out);
+    out.write();
     std::cout << "\n";
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

@@ -12,6 +12,7 @@
 #include <iostream>
 
 #include "fastnet.hpp"
+#include "json_reporter.hpp"
 
 namespace {
 
@@ -50,7 +51,7 @@ void experiment_e11_traditional_limit() {
             "E11b: as P -> 0 the optimum approaches the traditional model's star");
 }
 
-void experiment_e12() {
+void experiment_e12(bench::JsonReporter& rep) {
     util::Table t({"C", "P", "n", "optimal", "star", "binary", "8-ary",
                    "star/optimal"});
     for (auto [c, p] : std::vector<std::pair<Tick, Tick>>{{0, 1}, {1, 1}, {4, 1}, {1, 2}}) {
@@ -68,6 +69,11 @@ void experiment_e12() {
                   k8.completion,
                   static_cast<double>(star.completion) /
                       static_cast<double>(opt.completion));
+            if (n == 256u)
+                rep.add("e12_star_over_opt_c" + std::to_string(c) + "_p" + std::to_string(p),
+                        static_cast<double>(star.completion) /
+                            static_cast<double>(opt.completion),
+                        "x");
         }
     }
     t.print(std::cout,
@@ -75,7 +81,7 @@ void experiment_e12() {
             "star and k-ary baselines; the gap grows with n and with P/C");
 }
 
-void experiment_e12_crossover() {
+void experiment_e12_crossover(bench::JsonReporter& rep) {
     // Where does the star stop being competitive? For tiny n the star IS
     // the optimal tree; find the first n where it is strictly worse.
     util::Table t({"C", "P", "first_n_star_suboptimal"});
@@ -90,6 +96,7 @@ void experiment_e12_crossover() {
             }
         }
         t.add(c, p, crossover);
+        rep.add("e12b_crossover_c" + std::to_string(c), crossover, "n");
     }
     t.print(std::cout,
             "E12b: star-vs-optimal crossover — larger C/P keeps the star "
@@ -113,10 +120,12 @@ BENCHMARK(bm_predicted_completion)->Range(256, 65536);
 }  // namespace
 
 int main(int argc, char** argv) {
+    fastnet::bench::JsonReporter rep("gsf_opt");
     experiment_e11();
     experiment_e11_traditional_limit();
-    experiment_e12();
-    experiment_e12_crossover();
+    experiment_e12(rep);
+    experiment_e12_crossover(rep);
+    rep.write();
     std::cout << "\n";
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

@@ -12,6 +12,7 @@
 #include <iostream>
 
 #include "fastnet.hpp"
+#include "json_reporter.hpp"
 
 namespace {
 
@@ -24,12 +25,14 @@ ModelParams params_of(Tick c, Tick p) {
     return m;
 }
 
-void experiment_e8() {
+void experiment_e8(bench::JsonReporter& rep) {
     gsf::ScheduleSolver solver(0, 1);
     util::Table t({"k", "S(k)_recursion", "2^(k-1)", "match", "simulated_time"});
+    bool all_match = true;
     for (unsigned k = 1; k <= 20; ++k) {
         const std::uint64_t s = solver.size_at(static_cast<Tick>(k));
         const std::uint64_t closed = gsf::binomial_size(k);
+        all_match &= s == closed;
         Tick sim = -1;
         if (s >= 1 && s <= 4096) {
             const auto r = gsf::build_optimal_tree(s, 0, 1);
@@ -37,16 +40,19 @@ void experiment_e8() {
         }
         t.add(k, s, closed, s == closed, sim);
     }
+    rep.add("e8_binomial_matches", all_match ? 1 : 0, "bool");
     t.print(std::cout, "E8: C=0,P=1 — binomial trees, S(k) = 2^(k-1) (eq. 6)");
 }
 
-void experiment_e9() {
+void experiment_e9(bench::JsonReporter& rep) {
     gsf::ScheduleSolver solver(1, 1);
     util::Table t({"k", "S(k)_recursion", "fibonacci", "golden_ratio_est", "simulated_time"});
     const double phi = (1 + std::sqrt(5.0)) / 2;
+    bool all_match = true;
     for (unsigned k = 1; k <= 25; ++k) {
         const std::uint64_t s = solver.size_at(static_cast<Tick>(k));
         const double est = std::pow(phi, k) / std::sqrt(5.0);
+        all_match &= s == gsf::fibonacci_size(k);
         Tick sim = -1;
         if (s >= 1 && s <= 4096) {
             const auto r = gsf::build_optimal_tree(s, 1, 1);
@@ -54,16 +60,21 @@ void experiment_e9() {
         }
         t.add(k, s, gsf::fibonacci_size(k), est, sim);
     }
+    rep.add("e9_fibonacci_matches", all_match ? 1 : 0, "bool");
     t.print(std::cout, "E9: C=1,P=1 — Fibonacci trees (eq. 9-11)");
 }
 
-void experiment_e10() {
+void experiment_e10(bench::JsonReporter& rep) {
     util::Table t({"n", "star_time_P0", "equals_C", "star_time_P1", "optimal_time_P1"});
     for (NodeId n : {4u, 16u, 64u, 256u}) {
         const auto trad = gsf::run_tree_gather(gsf::make_star_tree(n), params_of(1, 0));
         const auto star_p1 = gsf::run_tree_gather(gsf::make_star_tree(n), params_of(1, 1));
         const Tick opt_p1 = gsf::optimal_gather_time(n, 1, 1);
         t.add(n, trad.completion, trad.completion == 1, star_p1.completion, opt_p1);
+        if (n == 256u)
+            rep.add("e10_star_over_optimal_n256",
+                    static_cast<double>(star_p1.completion) / static_cast<double>(opt_p1),
+                    "x");
     }
     t.print(std::cout,
             "E10: C=1,P=0 (traditional) — any n finishes at t=C via a star; the "
@@ -114,10 +125,12 @@ BENCHMARK(bm_simulated_gather)->Range(16, 256);
 }  // namespace
 
 int main(int argc, char** argv) {
-    experiment_e8();
-    experiment_e9();
-    experiment_e10();
+    fastnet::bench::JsonReporter rep("gsf_trees");
+    experiment_e8(rep);
+    experiment_e9(rep);
+    experiment_e10(rep);
     experiment_growth_rates();
+    rep.write();
     std::cout << "\n";
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

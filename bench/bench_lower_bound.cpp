@@ -7,14 +7,16 @@
 #include <iostream>
 
 #include "fastnet.hpp"
+#include "json_reporter.hpp"
 
 namespace {
 
 using namespace fastnet;
 
-void experiment_e3() {
+void experiment_e3(bench::JsonReporter& rep) {
     util::Table t({"depth", "n", "lower_bound", "branching_paths_units",
                    "simulated_units", "certificate_ok"});
+    bool all_certified = true;
     for (unsigned depth = 2; depth <= 14; ++depth) {
         const std::uint64_t n = (1ull << (depth + 1)) - 1;
         const unsigned lb = topo::one_way_lower_bound(depth);
@@ -27,8 +29,14 @@ void experiment_e3() {
             FASTNET_ENSURES(out.all_received);
             sim_units = out.time_units;
         }
+        all_certified &= topo::lower_bound_certificate_holds(depth);
         t.add(depth, n, lb, ub, sim_units, topo::lower_bound_certificate_holds(depth));
+        if (depth == 12) {
+            rep.add("e3_lb_depth12", lb, "units");
+            rep.add("e3_ub_depth12", ub, "units");
+        }
     }
+    rep.add("e3_all_certificates_hold", all_certified ? 1 : 0, "bool");
     t.print(std::cout,
             "E3: one-way broadcast on complete binary trees — Omega(log n) lower "
             "bound vs branching-paths upper bound (both Theta(log n))");
@@ -62,8 +70,10 @@ BENCHMARK(bm_branching_paths_on_binary_tree)->Arg(8)->Arg(12)->Arg(16);
 }  // namespace
 
 int main(int argc, char** argv) {
-    experiment_e3();
+    fastnet::bench::JsonReporter rep("lower_bound");
+    experiment_e3(rep);
     experiment_e3_asymptotics();
+    rep.write();
     std::cout << "\n";
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 gate: build and run the full test suite in the regular
-# configuration and under ASan+LSan and UBSan (see CMakePresets.json).
-# Run from anywhere; exits non-zero on the first failing configuration.
+# configuration and under ASan+LSan, UBSan and TSan (see
+# CMakePresets.json). TSan matters since src/exec/: the sweep engine
+# runs protocol simulations on a worker pool, and every parallel-sweep
+# test exercises it. Run from anywhere; exits non-zero on the first
+# failing configuration.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -18,7 +21,7 @@ run_preset() {
     ctest --preset "$preset" -j "$jobs"
 }
 
-for preset in default asan ubsan; do
+for preset in default asan ubsan tsan; do
     run_preset "$preset"
 done
 

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Determinism smoke for the parallel sweep engine: run the same tiny sweep
+# at 1 thread, 2 threads and hardware_concurrency, then byte-diff the JSON
+# outputs. Wired in as the SweepSmoke ctest; also runnable by hand:
+#
+#   scripts/sweep_smoke.sh [path/to/fastnet_sweep_smoke]
+#
+# Exits non-zero if the sweep fails or any pair of outputs differs.
+set -euo pipefail
+
+bin="${1:-}"
+if [[ -z "$bin" ]]; then
+    cd "$(dirname "$0")/.."
+    for candidate in build/tests/fastnet_sweep_smoke build-*/tests/fastnet_sweep_smoke; do
+        if [[ -x "$candidate" ]]; then
+            bin="$candidate"
+            break
+        fi
+    done
+fi
+if [[ -z "$bin" || ! -x "$bin" ]]; then
+    echo "sweep_smoke: binary not found (build first, or pass its path)" >&2
+    exit 2
+fi
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+"$bin" --threads 1 --out "$tmp/t1.json"
+"$bin" --threads 2 --out "$tmp/t2.json"
+"$bin" --threads 0 --out "$tmp/tN.json"   # 0 = hardware_concurrency
+
+diff -u "$tmp/t1.json" "$tmp/t2.json"
+diff -u "$tmp/t1.json" "$tmp/tN.json"
+echo "sweep_smoke: byte-identical at 1, 2 and hardware_concurrency threads."

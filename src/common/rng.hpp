@@ -92,7 +92,22 @@ public:
     }
 
     /// Derive an independent child generator (for per-node streams).
+    /// NOTE: consumes one draw from the parent, so the child depends on
+    /// how many forks preceded it. For order-independent derivation (the
+    /// parallel sweep engine's per-task streams) use stream() instead.
     Rng fork() { return Rng(next() ^ 0xa5a5a5a5a5a5a5a5ULL); }
+
+    /// The generator for stream `index` under `master_seed` — a pure
+    /// function of its arguments. Unlike fork(), the result is
+    /// independent of call order, thread, or how many other streams were
+    /// derived, which is what makes parallel sweep results bit-identical
+    /// to the serial order (see exec/sweep_runner.hpp).
+    static Rng stream(std::uint64_t master_seed, std::uint64_t index) {
+        std::uint64_t s = master_seed;
+        const std::uint64_t mixed = splitmix64(s);
+        std::uint64_t t = mixed ^ (index * 0x9e3779b97f4a7c15ULL + 0x243f6a8885a308d3ULL);
+        return Rng(splitmix64(t));
+    }
 
 private:
     static constexpr std::uint64_t rotl(std::uint64_t x, int k) {

@@ -1,0 +1,118 @@
+#include "exec/result.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+
+#include "common/expect.hpp"
+
+namespace fastnet::exec {
+
+Aggregate aggregate(std::vector<double> values) {
+    Aggregate a;
+    a.count = values.size();
+    if (values.empty()) return a;
+    std::sort(values.begin(), values.end());
+    a.min = values.front();
+    a.max = values.back();
+    double sum = 0;
+    for (double v : values) sum += v;
+    a.mean = sum / static_cast<double>(values.size());
+    const std::size_t mid = values.size() / 2;
+    a.median = values.size() % 2 == 1 ? values[mid] : (values[mid - 1] + values[mid]) / 2.0;
+    return a;
+}
+
+std::string format_double(double v) {
+    char buf[64];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    FASTNET_ENSURES(res.ec == std::errc());
+    return std::string(buf, res.ptr);
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+    for (char c : s) {
+        if (c == '"' || c == '\\') out.push_back('\\');
+        out.push_back(c);
+    }
+}
+
+void append_aggregate(std::string& out, const std::string& key, const Aggregate& a,
+                      bool last) {
+    out += "    {\"name\": \"";
+    append_escaped(out, key);
+    out += "\", \"count\": " + std::to_string(a.count);
+    out += ", \"min\": " + format_double(a.min);
+    out += ", \"mean\": " + format_double(a.mean);
+    out += ", \"median\": " + format_double(a.median);
+    out += ", \"max\": " + format_double(a.max);
+    out += last ? "}\n" : "},\n";
+}
+
+}  // namespace
+
+std::string sweep_json(const std::string& sweep_name, std::uint64_t master_seed,
+                       const std::vector<CaseResult>& rows) {
+    std::string out;
+    out += "{\n  \"sweep\": \"";
+    append_escaped(out, sweep_name);
+    out += "\",\n  \"master_seed\": " + std::to_string(master_seed);
+    out += ",\n  \"tasks\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const CaseResult& r = rows[i];
+        out += "    {\"index\": " + std::to_string(r.index) + ", \"name\": \"";
+        append_escaped(out, r.name);
+        out += "\", \"ok\": ";
+        out += r.ok ? "true" : "false";
+        out += ", \"completion\": " + std::to_string(r.completion);
+        out += ", \"system_calls\": " + std::to_string(r.system_calls);
+        out += ", \"direct_messages\": " + std::to_string(r.direct_messages);
+        out += ", \"hops\": " + std::to_string(r.hops);
+        for (const auto& [key, value] : r.values) {
+            out += ", \"";
+            append_escaped(out, key);
+            out += "\": " + format_double(value);
+        }
+        out += i + 1 < rows.size() ? "},\n" : "}\n";
+    }
+    out += "  ],\n  \"aggregates\": [\n";
+
+    // Built-in counters first, then every probe key in first-appearance
+    // order (a stable, content-derived order — never a hash order).
+    std::vector<double> completion, calls, direct, hops;
+    for (const CaseResult& r : rows) {
+        completion.push_back(static_cast<double>(r.completion));
+        calls.push_back(static_cast<double>(r.system_calls));
+        direct.push_back(static_cast<double>(r.direct_messages));
+        hops.push_back(static_cast<double>(r.hops));
+    }
+    std::vector<std::string> keys;
+    for (const CaseResult& r : rows)
+        for (const auto& [key, value] : r.values)
+            if (std::find(keys.begin(), keys.end(), key) == keys.end()) keys.push_back(key);
+
+    append_aggregate(out, "completion", aggregate(std::move(completion)), false);
+    append_aggregate(out, "system_calls", aggregate(std::move(calls)), false);
+    append_aggregate(out, "direct_messages", aggregate(std::move(direct)), false);
+    append_aggregate(out, "hops", aggregate(std::move(hops)), keys.empty());
+    for (std::size_t k = 0; k < keys.size(); ++k) {
+        std::vector<double> vals;
+        for (const CaseResult& r : rows)
+            for (const auto& [key, value] : r.values)
+                if (key == keys[k]) vals.push_back(value);
+        append_aggregate(out, keys[k], aggregate(std::move(vals)), k + 1 == keys.size());
+    }
+    out += "  ]\n}\n";
+    return out;
+}
+
+bool write_text_file(const std::string& path, const std::string& contents) {
+    std::ofstream f(path, std::ios::binary);
+    if (!f) return false;
+    f << contents;
+    return static_cast<bool>(f);
+}
+
+}  // namespace fastnet::exec

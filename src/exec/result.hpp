@@ -1,0 +1,46 @@
+// Result aggregation + canonical JSON for sweeps.
+//
+// Benches and stress tests share one vocabulary for summarizing a sweep:
+// per-value aggregates (min / mean / median / max) and a *canonical*
+// JSON serialization whose bytes depend only on the result values — the
+// determinism tests and scripts/sweep_smoke.sh literally diff the files
+// produced at different thread counts. Doubles are printed with
+// std::to_chars (shortest round-trip form), so equal values always print
+// to equal bytes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exec/sweep_runner.hpp"
+
+namespace fastnet::exec {
+
+/// Order statistics over one named value across a sweep's rows.
+struct Aggregate {
+    std::size_t count = 0;
+    double min = 0;
+    double max = 0;
+    double mean = 0;
+    double median = 0;  ///< Midpoint average for even counts.
+};
+
+/// Computes the aggregate of `values` (copies + sorts internally).
+Aggregate aggregate(std::vector<double> values);
+
+/// Canonical shortest-round-trip formatting: "7" prints as "7", not
+/// "7.000000"; bit-equal doubles always yield byte-equal strings.
+std::string format_double(double v);
+
+/// Serializes a sweep: the rows in task order with their counters and
+/// probe values, then aggregates of every value key (first-appearance
+/// order) plus the built-in counters. Deliberately excludes anything
+/// scheduling-dependent (thread count, wall time, hostnames): two runs of
+/// the same sweep must produce byte-identical output at any parallelism.
+std::string sweep_json(const std::string& sweep_name, std::uint64_t master_seed,
+                       const std::vector<CaseResult>& rows);
+
+/// Writes `contents` to `path`; returns false on I/O failure.
+bool write_text_file(const std::string& path, const std::string& contents);
+
+}  // namespace fastnet::exec

@@ -1,0 +1,35 @@
+#include "exec/sweep_runner.hpp"
+
+namespace fastnet::exec {
+
+std::size_t SweepRunner::add(ClusterCase c) {
+    FASTNET_EXPECTS(c.protocol != nullptr);
+    cases_.push_back(std::move(c));
+    return cases_.size() - 1;
+}
+
+std::vector<CaseResult> SweepRunner::run() {
+    return sweep_map(
+        cases_,
+        [](const ClusterCase& c, TaskContext& ctx) {
+            node::ClusterConfig cfg = c.config;
+            if (c.derive_seed) cfg.seed = ctx.rng.next();
+            node::Cluster cluster(c.graph, c.protocol, cfg);
+            c.scenario.apply(cluster);
+            if (c.start_all) cluster.start_all(c.start_at);
+            const Tick done = cluster.run();
+
+            CaseResult r;
+            r.name = c.name;
+            r.index = ctx.index;
+            r.completion = done;
+            r.system_calls = cluster.metrics().total_message_system_calls();
+            r.direct_messages = cluster.metrics().total_direct_messages();
+            r.hops = cluster.metrics().net().hops;
+            if (c.probe) c.probe(cluster, r);
+            return r;
+        },
+        opt_);
+}
+
+}  // namespace fastnet::exec

@@ -1,0 +1,102 @@
+#include "exec/thread_pool.hpp"
+
+#include "common/expect.hpp"
+
+namespace fastnet::exec {
+
+unsigned ThreadPool::hardware_threads() {
+    const unsigned hc = std::thread::hardware_concurrency();
+    return hc == 0 ? 1u : hc;
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+    const unsigned n = threads == 0 ? hardware_threads() : threads;
+    queues_.reserve(n);
+    for (unsigned i = 0; i < n; ++i) queues_.push_back(std::make_unique<Queue>());
+    workers_.reserve(n);
+    for (unsigned i = 0; i < n; ++i) workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+    }
+    wake_cv_.notify_all();
+    for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+    FASTNET_EXPECTS(task != nullptr);
+    std::uint64_t slot;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        FASTNET_EXPECTS_MSG(!stop_, "submit() on a stopping ThreadPool");
+        slot = next_queue_++ % queues_.size();
+        ++unclaimed_;
+        ++in_flight_;
+    }
+    {
+        Queue& q = *queues_[slot];
+        std::lock_guard<std::mutex> lk(q.mu);
+        q.tasks.push_back(std::move(task));
+    }
+    wake_cv_.notify_one();
+}
+
+std::function<void()> ThreadPool::try_take(unsigned self) {
+    // Own queue first, front (most recently placed there by round-robin
+    // still close in submission order); then sweep the other queues as a
+    // thief, taking from the back.
+    {
+        Queue& q = *queues_[self];
+        std::lock_guard<std::mutex> lk(q.mu);
+        if (!q.tasks.empty()) {
+            auto t = std::move(q.tasks.front());
+            q.tasks.pop_front();
+            return t;
+        }
+    }
+    const unsigned n = static_cast<unsigned>(queues_.size());
+    for (unsigned d = 1; d < n; ++d) {
+        Queue& q = *queues_[(self + d) % n];
+        std::lock_guard<std::mutex> lk(q.mu);
+        if (!q.tasks.empty()) {
+            auto t = std::move(q.tasks.back());
+            q.tasks.pop_back();
+            return t;
+        }
+    }
+    return nullptr;
+}
+
+void ThreadPool::worker_loop(unsigned self) {
+    for (;;) {
+        std::function<void()> task = try_take(self);
+        if (task == nullptr) {
+            std::unique_lock<std::mutex> lk(mu_);
+            wake_cv_.wait(lk, [this] { return stop_ || unclaimed_ > 0; });
+            // Drain everything before honoring stop so the destructor
+            // never abandons queued work.
+            if (stop_ && unclaimed_ == 0) return;
+            continue;
+        }
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            --unclaimed_;
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            --in_flight_;
+            if (in_flight_ == 0) idle_cv_.notify_all();
+        }
+    }
+}
+
+void ThreadPool::wait_idle() {
+    std::unique_lock<std::mutex> lk(mu_);
+    idle_cv_.wait(lk, [this] { return in_flight_ == 0; });
+}
+
+}  // namespace fastnet::exec

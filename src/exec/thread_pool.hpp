@@ -1,0 +1,80 @@
+// Work-stealing thread pool for the parallel experiment engine.
+//
+// The simulator itself stays single-threaded and deterministic; what we
+// parallelize is *across* independent simulations (sweeps over the
+// paper's (C, P) grid, topology families, seeds — see exec/sweep_runner).
+// Each worker owns a deque: submissions are distributed round-robin,
+// a worker pops its own queue from the front and steals from the back
+// of a victim's queue when it runs dry. All coordination uses plain
+// mutexes and condition variables so the pool is trivially clean under
+// ThreadSanitizer (the `tsan` CMake preset builds the whole suite with
+// it; see scripts/check.sh).
+//
+// Determinism note: the pool makes NO ordering promises — tasks may run
+// in any order on any worker. Determinism of sweep results is the
+// responsibility of the layer above (exec::sweep_map): tasks must be
+// independent and write only to their own slot, with per-task RNG
+// streams derived from the task *index*, never from the worker.
+#pragma once
+
+#include <cstdint>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fastnet::exec {
+
+class ThreadPool {
+public:
+    /// Spawns `threads` workers; 0 means hardware_threads().
+    explicit ThreadPool(unsigned threads = 0);
+
+    /// Joins after draining every queued task.
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Enqueues one task. Tasks must not throw (wrap and capture errors
+    /// at the call site — exec::sweep_map does); they may submit further
+    /// tasks. Safe to call from any thread, including workers.
+    void submit(std::function<void()> task);
+
+    /// Blocks until every submitted task (including tasks submitted by
+    /// running tasks) has finished. The pool is reusable afterwards.
+    void wait_idle();
+
+    unsigned thread_count() const { return static_cast<unsigned>(workers_.size()); }
+
+    /// std::thread::hardware_concurrency with a floor of 1.
+    static unsigned hardware_threads();
+
+private:
+    /// One worker's deque. Own pops come off the front (LIFO relative to
+    /// round-robin placement keeps caches warm); thieves take the back.
+    struct Queue {
+        std::mutex mu;
+        std::deque<std::function<void()>> tasks;
+    };
+
+    void worker_loop(unsigned self);
+    std::function<void()> try_take(unsigned self);
+
+    std::vector<std::unique_ptr<Queue>> queues_;
+    std::vector<std::thread> workers_;
+
+    // Coordination state, all guarded by mu_.
+    std::mutex mu_;
+    std::condition_variable wake_cv_;   ///< Signals "task available" / stop.
+    std::condition_variable idle_cv_;   ///< Signals in_flight_ hitting 0.
+    std::uint64_t unclaimed_ = 0;       ///< Queued, not yet picked up.
+    std::uint64_t in_flight_ = 0;       ///< Queued or currently running.
+    std::uint64_t next_queue_ = 0;      ///< Round-robin submission cursor.
+    bool stop_ = false;
+};
+
+}  // namespace fastnet::exec

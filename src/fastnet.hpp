@@ -15,6 +15,7 @@
 //   hw/      — packets, ANR headers, switches, links, the network fabric
 //   node/    — NCU runtime, protocol API, cluster assembly
 //   cost/    — the paper's cost measures
+//   exec/    — multi-core sweep engine (deterministic parallel experiments)
 //   topo/    — Section 3: labelling, branching-paths broadcast,
 //              topology maintenance, the Omega(log n) lower bound
 //   election/— Section 4: domains/tours election + ring baselines
@@ -27,6 +28,9 @@
 #include "common/types.hpp"
 #include "cost/metrics.hpp"
 #include "election/election.hpp"
+#include "exec/result.hpp"
+#include "exec/sweep_runner.hpp"
+#include "exec/thread_pool.hpp"
 #include "election/inout_tree.hpp"
 #include "election/ring_election.hpp"
 #include "graph/algorithms.hpp"

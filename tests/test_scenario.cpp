@@ -79,6 +79,56 @@ TEST(Scenario, HealAllUsesTimeOrderNotInsertionOrder) {
     for (const auto& a : s.actions()) EXPECT_NE(a.at, 100);
 }
 
+TEST(Scenario, RandomChurnSameSeedSameActions) {
+    const graph::Graph g = graph::make_grid(4, 4);
+    Rng a(31), b(31);
+    const Scenario s1 = Scenario::random_churn(g, 40, 5, 200, a, {2, 3});
+    const Scenario s2 = Scenario::random_churn(g, 40, 5, 200, b, {2, 3});
+    ASSERT_EQ(s1.size(), s2.size());
+    for (std::size_t i = 0; i < s1.size(); ++i) {
+        EXPECT_EQ(s1.actions()[i].at, s2.actions()[i].at);
+        EXPECT_EQ(s1.actions()[i].kind, s2.actions()[i].kind);
+        EXPECT_EQ(s1.actions()[i].edge, s2.actions()[i].edge);
+    }
+    // And a different seed actually changes the script.
+    Rng c(32);
+    const Scenario s3 = Scenario::random_churn(g, 40, 5, 200, c, {2, 3});
+    bool differs = false;
+    for (std::size_t i = 0; i < s1.size(); ++i)
+        differs |= s1.actions()[i].at != s3.actions()[i].at ||
+                   s1.actions()[i].edge != s3.actions()[i].edge ||
+                   s1.actions()[i].kind != s3.actions()[i].kind;
+    EXPECT_TRUE(differs);
+}
+
+TEST(Scenario, RandomChurnHealedLeavesEveryLinkActive) {
+    // The property heal_all guarantees, checked against the network truth
+    // (not just the action list): after apply + run, every link is up,
+    // protected links included (they were never touched at all).
+    const graph::Graph g = graph::make_cycle(10);
+    const std::vector<EdgeId> protect{0, 4};
+    Rng chaos(91);
+    Scenario s = Scenario::random_churn(g, 30, 10, 400, chaos, protect);
+    s.heal_all(450);
+    Cluster c(g, [](NodeId) { return std::make_unique<Idle>(); });
+    s.apply(c);
+    c.run();
+    for (EdgeId e = 0; e < g.edge_count(); ++e)
+        EXPECT_TRUE(c.network().link_active(e)) << "edge " << e;
+}
+
+TEST(Scenario, HealAllIsIdempotent) {
+    Rng chaos(17);
+    const graph::Graph g = graph::make_cycle(6);
+    Scenario s = Scenario::random_churn(g, 12, 0, 100, chaos);
+    s.heal_all(200);
+    const std::size_t after_first = s.size();
+    // Every link's last action is now a restore, so a second heal pass
+    // must add nothing.
+    s.heal_all(300);
+    EXPECT_EQ(s.size(), after_first);
+}
+
 TEST(Scenario, ChaosChurnThenHealConvergesMaintenance) {
     // End-to-end chaos test: random churn over a ring, healed at t=600,
     // maintenance keeps broadcasting — Theorem 1 requires convergence.
