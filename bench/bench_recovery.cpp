@@ -1,0 +1,157 @@
+// Experiment R1 (docs/ROBUSTNESS.md): ticks-to-reconvergence vs churn.
+//
+// A healed fault burst — link flaps plus hard node crash/restarts over a
+// fixed window — hits a maintenance cluster that keeps broadcasting.
+// Theorem 1 says every view becomes exact again after the last
+// topological change; this bench measures *how long* that takes as the
+// churn intensity grows, for local-topology vs full-knowledge payloads,
+// and holds every run against the convergence oracle. Results go to
+// BENCH_recovery.json (see docs/PERF.md, "Reading BENCH_*.json").
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "fastnet.hpp"
+#include "json_reporter.hpp"
+
+namespace {
+
+using namespace fastnet;
+
+constexpr Tick kHealAt = 600;
+constexpr Tick kProbeStep = 25;  // reconvergence-time resolution
+
+struct ChurnLevel {
+    const char* name;
+    unsigned crashes;
+    unsigned flaps;
+};
+
+const std::vector<ChurnLevel> kLevels{
+    {"calm", 0, 0}, {"light", 1, 2}, {"medium", 2, 4}, {"heavy", 4, 8}, {"extreme", 8, 16}};
+
+struct Point {
+    ChurnLevel level;
+    bool full_knowledge = false;
+    std::uint64_t seed = 0;
+};
+
+struct Row {
+    Tick recovery_ticks = -1;  ///< -1: never reconverged within the run
+    bool oracle_ok = false;
+    std::uint64_t crashes = 0;
+};
+
+Row run_point(const Point& p) {
+    Rng rng(33);
+    const graph::Graph g = graph::make_random_connected(32, 2, 10, rng);
+
+    fault::FaultModel model;
+    model.link_flaps = p.level.flaps;
+    model.node_crashes = p.level.crashes;
+    model.window_from = 50;
+    model.window_to = 500;
+    model.heal_at = kHealAt;
+    const fault::FaultInjector inj(model, 1988 + p.seed);
+
+    topo::TopologyOptions topt;
+    topt.rounds = 60;
+    topt.period = 50;
+    topt.full_knowledge = p.full_knowledge;
+
+    node::ClusterConfig cfg;
+    inj.configure(cfg);
+    node::Cluster c(g, topo::make_topology_maintenance(g.node_count(), topt), cfg);
+    c.start_all(0);
+    inj.compile(c.graph()).apply(c);
+
+    // Step past the heal and probe every kProbeStep ticks: the first
+    // instant all views are exact again, relative to the heal.
+    Row row;
+    for (Tick t = kHealAt + kProbeStep; t <= kHealAt + 60 * 50; t += kProbeStep) {
+        c.run_until(t);
+        if (topo::all_views_converged(c)) {
+            row.recovery_ticks = t - kHealAt;
+            break;
+        }
+    }
+    c.run();
+    row.oracle_ok = fault::check_theorem1(c).ok();
+    for (NodeId u = 0; u < c.node_count(); ++u) row.crashes += c.metrics().node(u).crashes;
+    return row;
+}
+
+void experiment_r1(bench::JsonReporter& out) {
+    constexpr unsigned kSeeds = 5;
+    std::vector<Point> grid;
+    for (const ChurnLevel& lvl : kLevels)
+        for (int full = 0; full < 2; ++full)
+            for (std::uint64_t s = 0; s < kSeeds; ++s)
+                grid.push_back({lvl, full == 1, s});
+
+    const auto rows =
+        exec::sweep_map(grid, [](const Point& p, exec::TaskContext&) { return run_point(p); });
+
+    util::Table t({"churn", "crashes_mean", "recovery_local", "recovery_full", "oracle"});
+    for (std::size_t lvl = 0; lvl < kLevels.size(); ++lvl) {
+        double mean[2] = {0, 0};
+        double crashes = 0;
+        bool all_ok = true;
+        bool all_recovered = true;
+        for (std::size_t i = 0; i < grid.size(); ++i) {
+            if (std::string(grid[i].level.name) != kLevels[lvl].name) continue;
+            const int m = grid[i].full_knowledge ? 1 : 0;
+            all_ok &= rows[i].oracle_ok;
+            all_recovered &= rows[i].recovery_ticks >= 0;
+            mean[m] += static_cast<double>(rows[i].recovery_ticks) / kSeeds;
+            if (m == 0) crashes += static_cast<double>(rows[i].crashes) / kSeeds;
+        }
+        FASTNET_ENSURES_MSG(all_ok && all_recovered,
+                            "a recovery run violated the convergence oracle");
+        t.add(kLevels[lvl].name, crashes, mean[0], mean[1], all_ok);
+        out.add(std::string("r1_recovery_ticks_local_") + kLevels[lvl].name, mean[0], "ticks");
+        out.add(std::string("r1_recovery_ticks_full_") + kLevels[lvl].name, mean[1], "ticks");
+    }
+    t.print(std::cout,
+            "R1: mean ticks from heal to exact views (5 seeds, n=32) — Theorem 1's "
+            "reconvergence vs churn intensity and payload mode");
+}
+
+void bm_crash_restart_cycle(benchmark::State& state) {
+    const graph::Graph g = graph::make_cycle(8);
+    node::Cluster c(g, [](NodeId) { return std::make_unique<node::Protocol>(); });
+    c.run();
+    for (auto _ : state) {
+        c.crash_node(3);
+        c.restart_node(3);
+        c.run();
+        benchmark::DoNotOptimize(c.metrics().node(3).restarts);
+    }
+}
+BENCHMARK(bm_crash_restart_cycle);
+
+void bm_chaos_maintenance_run(benchmark::State& state) {
+    const auto level = kLevels[3];  // heavy
+    for (auto _ : state) {
+        Point p;
+        p.level = level;
+        p.full_knowledge = true;
+        const Row r = run_point(p);
+        benchmark::DoNotOptimize(r.recovery_ticks);
+    }
+}
+BENCHMARK(bm_chaos_maintenance_run)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bench::JsonReporter out("recovery");
+    experiment_r1(out);
+    out.write();
+    std::cout << "\n";
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Chaos gate: run the seeded fault-injection sweep (hard node
+# crash/restart, link flaps, loss, duplication, NCU stalls — see
+# tests/chaos_smoke_main.cpp) at 1 thread, 2 threads and
+# hardware_concurrency, hold every seed against the convergence oracle,
+# then byte-diff the JSON outputs. Chaos must be deterministic: the same
+# seeds produce the same faults and the same verdicts at any parallelism.
+# Wired in as the ChaosSmoke ctest; also runnable by hand:
+#
+#   scripts/chaos_smoke.sh [path/to/fastnet_chaos_smoke] [--seeds N]
+#
+# Exits non-zero if any seed violates its oracle or any pair of outputs
+# differs.
+set -euo pipefail
+
+bin="${1:-}"
+seeds="${2:-}"
+if [[ -z "$bin" ]]; then
+    cd "$(dirname "$0")/.."
+    for candidate in build/tests/fastnet_chaos_smoke build-*/tests/fastnet_chaos_smoke; do
+        if [[ -x "$candidate" ]]; then
+            bin="$candidate"
+            break
+        fi
+    done
+fi
+if [[ -z "$bin" || ! -x "$bin" ]]; then
+    echo "chaos_smoke: binary not found (build first, or pass its path)" >&2
+    exit 2
+fi
+
+extra=()
+if [[ -n "$seeds" ]]; then
+    extra=(--seeds "${seeds#--seeds=}")
+fi
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+"$bin" --threads 1 --out "$tmp/t1.json" "${extra[@]}"
+"$bin" --threads 2 --out "$tmp/t2.json" "${extra[@]}"
+"$bin" --threads 0 --out "$tmp/tN.json" "${extra[@]}"   # 0 = hardware_concurrency
+
+diff -u "$tmp/t1.json" "$tmp/t2.json"
+diff -u "$tmp/t1.json" "$tmp/tN.json"
+echo "chaos_smoke: every seed passed its oracle; byte-identical at 1, 2 and hardware_concurrency threads."

@@ -3,7 +3,9 @@
 # configuration and under ASan+LSan, UBSan and TSan (see
 # CMakePresets.json). TSan matters since src/exec/: the sweep engine
 # runs protocol simulations on a worker pool, and every parallel-sweep
-# test exercises it. Run from anywhere; exits non-zero on the first
+# test exercises it — including the seeded ChaosSmoke fault-injection
+# sweep (scripts/chaos_smoke.sh), which therefore runs under every
+# sanitizer too. Run from anywhere; exits non-zero on the first
 # failing configuration.
 set -euo pipefail
 

@@ -23,6 +23,8 @@ struct NodeCounters {
     std::uint64_t timer_fires = 0;
     std::uint64_t link_events = 0;         ///< Data-link state notifications.
     std::uint64_t sends = 0;               ///< Packets this NCU injected.
+    std::uint64_t crashes = 0;             ///< Hard failures (soft state lost).
+    std::uint64_t restarts = 0;            ///< Recoveries (on_restart invocations).
     Tick busy_time = 0;                    ///< Total time the NCU was occupied.
 
     /// System-call complexity contribution of this node: the number of
@@ -30,7 +32,7 @@ struct NodeCounters {
     /// 2/3/5 count; starts/timers/link events are tracked separately and
     /// reported alongside (they are O(n) one-offs in all our protocols).
     std::uint64_t invocations() const {
-        return message_deliveries + starts + timer_fires + link_events;
+        return message_deliveries + starts + restarts + timer_fires + link_events;
     }
 };
 
@@ -48,6 +50,8 @@ struct NetCounters {
     /// hardware bandwidth consumed by source routing itself — the
     /// quantity whose growth motivates the dmax restriction.
     std::uint64_t header_bits = 0;
+    std::uint64_t drops_injected = 0;  ///< Fault injection: lossy-link drops.
+    std::uint64_t dup_copies = 0;      ///< Fault injection: duplicated packets.
 };
 
 /// One experiment's ledger; owned by the Cluster, shared by reference.

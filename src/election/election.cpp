@@ -68,8 +68,20 @@ hw::AnrHeader ElectionProtocol::route_back_to(const TourToken& tok) {
 
 void ElectionProtocol::send_home_inactive(node::Context& ctx, const TourToken& tok) {
     auto ret = std::make_shared<ReturnToken>();
+    ret->origin_inc = tok.origin_inc;
     ret->captured = false;
     ctx.send(route_back_to(tok), std::move(ret));
+}
+
+void ElectionProtocol::gossip_leader(node::Context& ctx, const TourToken& tok) {
+    // Crash recovery: a candidate still touring after the election ended
+    // can only come from a restarted node (or a partition that healed).
+    // Piggyback the outcome on the bounce so the latecomer's origin
+    // learns the leader instead of staying undecided forever.
+    if (known_leader_ == kNoNode || !options_.announce) return;
+    auto lead = std::make_shared<LeaderToken>();
+    lead->leader = known_leader_;
+    ctx.send(route_back_to(tok), std::move(lead));
 }
 
 void ElectionProtocol::capture_me(node::Context& ctx, const TourToken& tok) {
@@ -79,6 +91,7 @@ void ElectionProtocol::capture_me(node::Context& ctx, const TourToken& tok) {
     active_ = false;
     on_tour_ = false;
     auto ret = std::make_shared<ReturnToken>();
+    ret->origin_inc = tok.origin_inc;
     ret->captured = true;
     ret->victim = ctx.self();
     ret->victim_size = size_;
@@ -91,7 +104,13 @@ void ElectionProtocol::handle_tour_token(node::Context& ctx, const TourToken& to
     if (!is_origin()) {
         // Rule (1): a limited-length climb up the virtual tree.
         if (tok.hops_used > tok.phase) {
+            // Crash recovery guard: a token that entered through a domain
+            // we no longer remember (our pre-capture tree died with a
+            // restart) cannot be routed home. Dropping it costs the stale
+            // candidate liveness, never safety.
+            if (!tree_.contains(tok.entry)) return;
             send_home_inactive(ctx, tok);
+            gossip_leader(ctx, tok);
             return;
         }
         TourToken fwd = tok;
@@ -101,11 +120,30 @@ void ElectionProtocol::handle_tour_token(node::Context& ctx, const TourToken& to
         return;
     }
 
+    if (tok.origin == ctx.self()) {
+        // Our own token walked home. Impossible in a crash-free run (a
+        // candidate's climb never cycles), but after a crash-restart our
+        // fresh 1-node domain can tour straight into the wreckage of our
+        // previous life — whose F-pointers lead right back to us. Tokens
+        // of the dead incarnation are simply dropped; our current one is
+        // taken as an unsuccessful tour (the territory it found is stale
+        // state pointing at ourselves, not a capturable domain).
+        if (tok.origin_inc == ctx.incarnation() && on_tour_) {
+            on_tour_ = false;
+            active_ = false;
+            resolve_waiter(ctx);
+        }
+        return;
+    }
+    // Crash recovery guard: every response below routes home through
+    // tok.entry, which the chain invariant puts in our tree — unless the
+    // token predates a crash that wiped that tree. Unroutable: drop.
+    if (!tree_.contains(tok.entry)) return;
     const Level mine{size_, ctx.self()};
-    FASTNET_ENSURES_MSG(mine != tok.level, "a candidate reached its own origin");
     if (mine > tok.level) {
         // Rule (2.1).
         send_home_inactive(ctx, tok);
+        gossip_leader(ctx, tok);
         return;
     }
     // mine < tok.level.
@@ -130,7 +168,11 @@ void ElectionProtocol::handle_tour_token(node::Context& ctx, const TourToken& to
 }
 
 void ElectionProtocol::handle_return_token(node::Context& ctx, const ReturnToken& tok) {
-    FASTNET_ENSURES_MSG(is_origin() && on_tour_, "stray return token");
+    // In a crash-free run a return token always finds its origin on tour.
+    // With crash recovery, answers addressed to a dead incarnation (or to
+    // a node that was since captured) straggle in — drop them; acting on
+    // one would resurrect the dead candidate's state.
+    if (!is_origin() || !on_tour_ || tok.origin_inc != ctx.incarnation()) return;
     on_tour_ = false;
     if (tok.captured) {
         // Lemma 6 statistics: a capture retires one domain; histogram by
@@ -177,6 +219,7 @@ void ElectionProtocol::begin_tour(node::Context& ctx) {
     max_phase_ = std::max(max_phase_, phase());
     auto tok = std::make_shared<TourToken>();
     tok->origin = ctx.self();
+    tok->origin_inc = ctx.incarnation();
     tok->level = Level{size_, ctx.self()};
     tok->phase = phase();
     tok->hops_used = 1;

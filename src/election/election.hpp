@@ -52,6 +52,10 @@ struct ElectionOptions {
 /// A candidate on tour (or climbing the virtual tree).
 struct TourToken final : hw::TypedPayload<TourToken> {
     NodeId origin = kNoNode;        ///< The candidate's origin node i.
+    /// The origin's incarnation when the tour left (crash recovery: a
+    /// restarted origin ignores its dead life's tokens, see
+    /// Context::incarnation).
+    std::uint64_t origin_inc = 0;
     Level level;                    ///< L_i at tour start.
     unsigned phase = 0;             ///< PH_i at tour start.
     unsigned hops_used = 0;         ///< Direct messages spent so far.
@@ -66,6 +70,10 @@ struct TourToken final : hw::TypedPayload<TourToken> {
 
 /// A candidate returning home.
 struct ReturnToken final : hw::TypedPayload<ReturnToken> {
+    /// Copied from the answered TourToken: the returning candidate's
+    /// incarnation. A restarted origin drops returns addressed to its
+    /// previous life.
+    std::uint64_t origin_inc = 0;
     bool captured = false;          ///< False: unsuccessful tour -> inactive.
     NodeId victim = kNoNode;        ///< The captured origin v.
     std::uint64_t victim_size = 0;  ///< S_v.
@@ -115,6 +123,7 @@ private:
     void resolve_waiter(node::Context& ctx);
     void capture_me(node::Context& ctx, const TourToken& tok);
     void send_home_inactive(node::Context& ctx, const TourToken& tok);
+    void gossip_leader(node::Context& ctx, const TourToken& tok);
     hw::AnrHeader route_back_to(const TourToken& tok);
 
     ElectionOptions options_;

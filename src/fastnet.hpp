@@ -16,6 +16,7 @@
 //   node/    — NCU runtime, protocol API, cluster assembly
 //   cost/    — the paper's cost measures
 //   exec/    — multi-core sweep engine (deterministic parallel experiments)
+//   fault/   — crash-recovery fault injection + convergence oracle
 //   topo/    — Section 3: labelling, branching-paths broadcast,
 //              topology maintenance, the Omega(log n) lower bound
 //   election/— Section 4: domains/tours election + ring baselines
@@ -32,6 +33,8 @@
 #include "exec/sweep_runner.hpp"
 #include "exec/thread_pool.hpp"
 #include "election/inout_tree.hpp"
+#include "fault/injector.hpp"
+#include "fault/oracle.hpp"
 #include "election/ring_election.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/dot.hpp"

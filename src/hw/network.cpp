@@ -14,6 +14,9 @@ Network::Network(sim::Simulator& sim, const graph::Graph& g, ModelParams params,
       metrics_(metrics),
       config_(config),
       rng_(config.seed),
+      fault_rng_(Rng::stream(config.seed, 0xfa017ULL)),
+      node_down_(g.node_count(), 0),
+      node_downed_(g.node_count()),
       ports_(g.node_count()),
       edge_ports_(g.edge_count(), {kNoPort, kNoPort}),
       links_(g.edge_count()),
@@ -158,6 +161,17 @@ void Network::transmit(NodeId from, EdgeId e, Packet* pkt) {
         release_packet(pkt);
         return;
     }
+    // Injected loss: the frame is corrupted beyond the data-link CRC and
+    // never arrives. Drawn before the delay draw from a dedicated stream,
+    // so fault-free configurations keep byte-identical schedules.
+    if (config_.loss_ppm > 0 && fault_rng_.below(1'000'000) < config_.loss_ppm) {
+        metrics_.net().drops_injected += 1;
+        if (config_.trace)
+            config_.trace->record(sim_.now(), from, sim::TraceKind::kDrop,
+                                  "injected loss on link " + std::to_string(e));
+        release_packet(pkt);
+        return;
+    }
     const graph::Edge& edge = graph_.edge(e);
     const NodeId to = edge.other(from);
     const int direction = (from == edge.a) ? 0 : 1;
@@ -177,6 +191,29 @@ void Network::transmit(NodeId from, EdgeId e, Packet* pkt) {
     // 32-byte capture — fits sim::InlineFn's inline storage, so the
     // steady-state hop schedules without touching the allocator.
     sim_.at(arrival, [this, to, e, epoch, pkt] { arrive(to, e, epoch, pkt); });
+
+    // Injected duplication: a spurious link-layer retransmit. The copy is
+    // a second cursor over the same route blob (both copies traverse the
+    // identical remaining path, so their write-once reverse tracks write
+    // identical values) and joins the same FIFO behind the original,
+    // stamped with the same epoch — a flap kills both.
+    if (config_.dup_ppm > 0 && fault_rng_.below(1'000'000) < config_.dup_ppm) {
+        Packet* dup = alloc_packet();
+        dup->route = pkt->route;
+        dup->offset = pkt->offset;
+        dup->reverse_len = pkt->reverse_len;
+        dup->payload = pkt->payload;
+        dup->origin = pkt->origin;
+        dup->id = next_packet_id_++;
+        dup->hops = pkt->hops;
+        metrics_.net().dup_copies += 1;
+        metrics_.net().header_bits +=
+            static_cast<std::uint64_t>(dup->remaining_len()) * label_bits_;
+        Tick dup_arrival = link.fifo_arrival(direction, arrival + params_.hop_delay);
+        if (config_.link_spacing > 0)
+            dup_arrival = link.spaced_arrival(direction, dup_arrival, config_.link_spacing);
+        sim_.at(dup_arrival, [this, to, e, epoch, dup] { arrive(to, e, epoch, dup); });
+    }
 }
 
 void Network::arrive(NodeId at, EdgeId e, std::uint64_t epoch, Packet* pkt) {
@@ -237,11 +274,39 @@ void Network::set_link_active(EdgeId e, bool active) {
 }
 
 void Network::fail_node(NodeId u) {
-    for (const graph::IncidentEdge& ie : graph_.incident(u)) set_link_active(ie.edge, false);
+    FASTNET_EXPECTS(u < graph_.node_count());
+    auto& rec = node_downed_[u];
+    if (!node_down_[u]) rec.clear();
+    node_down_[u] = 1;
+    for (const graph::IncidentEdge& ie : graph_.incident(u)) {
+        // A link that is already down failed for some other reason (its
+        // own failure, or the other endpoint's); this node's restore has
+        // no claim on it.
+        if (!links_[ie.edge].active()) continue;
+        set_link_active(ie.edge, false);
+        rec.push_back({ie.edge, links_[ie.edge].epoch()});
+    }
 }
 
 void Network::restore_node(NodeId u) {
-    for (const graph::IncidentEdge& ie : graph_.incident(u)) set_link_active(ie.edge, true);
+    FASTNET_EXPECTS(u < graph_.node_count());
+    if (!node_down_[u]) return;
+    node_down_[u] = 0;
+    std::vector<DownedLink> rec = std::move(node_downed_[u]);
+    node_downed_[u].clear();
+    for (const DownedLink& d : rec) {
+        // The epoch moved on: something else failed/restored the link in
+        // the meantime, so its current state is not ours to overwrite.
+        if (links_[d.edge].epoch() != d.epoch) continue;
+        const NodeId other = graph_.edge(d.edge).other(u);
+        if (node_down_[other]) {
+            // Both endpoints went down; hand the claim to the peer so the
+            // link returns when the *last* failed endpoint recovers.
+            node_downed_[other].push_back(d);
+            continue;
+        }
+        set_link_active(d.edge, true);
+    }
 }
 
 }  // namespace fastnet::hw

@@ -45,6 +45,18 @@ struct NetworkConfig {
     std::uint64_t seed = 1;
     /// Optional observational trace (send / drop records).
     std::shared_ptr<sim::Trace> trace;
+    /// Fault injection: per-transmission loss probability in parts per
+    /// million (the data-link CRC rejects the frame and no retransmit
+    /// succeeds). Drawn from a stream independent of the delay jitter, so
+    /// enabling loss never perturbs delay schedules.
+    std::uint32_t loss_ppm = 0;
+    /// Fault injection: per-transmission duplication probability in ppm
+    /// (a spurious link-layer retransmit although the original survived).
+    /// The copy follows the same route, arrives after the original under
+    /// the same FIFO + epoch discipline, and is observationally a second
+    /// identical delivery — exactly the duplicate Section 2's
+    /// sequence-numbered protocols must tolerate.
+    std::uint32_t dup_ppm = 0;
 };
 
 class Network {
@@ -84,9 +96,23 @@ public:
     bool link_active(EdgeId e) const { return links_[e].active(); }
 
     /// Fails every link incident to `u` (the paper models an inactive
-    /// node as a node all of whose links are inactive).
+    /// node as a node all of whose links are inactive). Links that were
+    /// already down stay attributed to their original cause.
     void fail_node(NodeId u);
+    /// Brings back exactly the links that `u`'s failure took down and
+    /// that nothing else touched in between: a link that also failed
+    /// independently (epoch moved on) stays down, and a link whose other
+    /// endpoint is still a failed node stays down until *that* node is
+    /// restored. No-op unless the node is currently failed.
     void restore_node(NodeId u);
+    bool node_failed(NodeId u) const { return node_down_[u] != 0; }
+
+    /// Live packet cursors (allocated, not yet released). At quiescence
+    /// this must be zero — the convergence oracle's guard against
+    /// resurrected in-flight packets.
+    std::size_t packets_in_flight() const {
+        return packet_slabs_.size() * kPacketSlabSize - packet_free_.size();
+    }
 
     // ---- port geometry (static, known to each local NCU) -------------
     /// Port at `node` for incident edge `e`; kNoPort if not incident.
@@ -131,6 +157,18 @@ private:
     cost::Metrics& metrics_;
     NetworkConfig config_;
     Rng rng_;
+    /// Separate stream for loss/duplication draws — see NetworkConfig.
+    Rng fault_rng_;
+
+    /// One link downed by a node failure: restore_node honours the record
+    /// only if the link's epoch still matches (nothing else happened to
+    /// the link since).
+    struct DownedLink {
+        EdgeId edge = kNoEdge;
+        std::uint64_t epoch = 0;
+    };
+    std::vector<std::uint8_t> node_down_;
+    std::vector<std::vector<DownedLink>> node_downed_;
 
     unsigned label_bits_ = 1;
     std::vector<PortTable> ports_;

@@ -3,8 +3,8 @@
 namespace fastnet::node {
 
 Cluster::Cluster(graph::Graph g, ProtocolFactory factory, ClusterConfig config)
-    : graph_(std::move(g)) {
-    FASTNET_EXPECTS(factory != nullptr);
+    : graph_(std::move(g)), factory_(std::move(factory)) {
+    FASTNET_EXPECTS(factory_ != nullptr);
     metrics_ = std::make_unique<cost::Metrics>(graph_.node_count());
     hw::NetworkConfig net_cfg = config.net;
     net_cfg.seed = config.seed ^ 0x9e3779b97f4a7c15ULL;
@@ -14,7 +14,7 @@ Cluster::Cluster(graph::Graph g, ProtocolFactory factory, ClusterConfig config)
     Rng master(config.seed);
     runtimes_.reserve(graph_.node_count());
     for (NodeId u = 0; u < graph_.node_count(); ++u) {
-        auto rt = std::make_unique<NodeRuntime>(u, *net_, factory(u), master.fork(),
+        auto rt = std::make_unique<NodeRuntime>(u, *net_, factory_(u), master.fork(),
                                                 config.ncu_delay_min, config.free_multisend);
         rt->set_trace(config.trace);
         net_->set_ncu_sink(u, [raw = rt.get()](const hw::Delivery& d) { raw->on_delivery(d); });
@@ -32,6 +32,32 @@ void Cluster::start(NodeId u, Tick at) {
 
 void Cluster::start_all(Tick at) {
     for (NodeId u = 0; u < runtimes_.size(); ++u) start(u, at);
+}
+
+void Cluster::crash_node(NodeId u) {
+    FASTNET_EXPECTS(u < runtimes_.size());
+    if (runtimes_[u]->crashed()) return;
+    // Hardware first (links drop, epochs bump, in-flight packets die),
+    // then software: the NCU loses queue, timers and protocol state.
+    net_->fail_node(u);
+    runtimes_[u]->crash();
+}
+
+void Cluster::restart_node(NodeId u) {
+    FASTNET_EXPECTS(u < runtimes_.size());
+    if (!runtimes_[u]->crashed()) return;
+    net_->restore_node(u);
+    runtimes_[u]->restart(factory_(u));
+}
+
+bool Cluster::crashed(NodeId u) const {
+    FASTNET_EXPECTS(u < runtimes_.size());
+    return runtimes_[u]->crashed();
+}
+
+void Cluster::stall_node(NodeId u, Tick extra) {
+    FASTNET_EXPECTS(u < runtimes_.size());
+    runtimes_[u]->set_stall(extra);
 }
 
 Tick Cluster::run() {

@@ -58,6 +58,28 @@ public:
     void start(NodeId u, Tick at = 0);
     void start_all(Tick at = 0);
 
+    // ---- crash-recovery ----------------------------------------------
+    /// Crashes node `u` *now* (call from a scheduled event to crash at a
+    /// simulated time): every incident link goes down (with the usual
+    /// epoch bump, so in-flight packets die) AND the NCU loses all soft
+    /// state — queued work, pending timers, the protocol instance. This
+    /// is the hard failure Theorem 1's eventual consistency must survive;
+    /// contrast fail_node, which downs links but leaves software state.
+    /// Idempotent.
+    void crash_node(NodeId u);
+
+    /// Restarts a crashed node: links this node's crash took down come
+    /// back (only those — see Network::restore_node), a fresh protocol
+    /// instance is built by the factory, and its on_restart hook runs
+    /// under a bumped incarnation. No-op for live nodes.
+    void restart_node(NodeId u);
+
+    bool crashed(NodeId u) const;
+
+    /// Fault injection: inflates node `u`'s per-invocation processing
+    /// delay by `extra` ticks (0 clears the stall).
+    void stall_node(NodeId u, Tick extra);
+
     /// Runs to quiescence; returns the simulated completion time.
     Tick run();
     /// Runs until simulated `until`; returns the current time afterwards.
@@ -80,6 +102,9 @@ public:
 private:
     sim::Simulator sim_;
     graph::Graph graph_;
+    /// Retained past construction: restart_node builds the replacement
+    /// protocol instance for a recovering NCU from the same factory.
+    ProtocolFactory factory_;
     std::unique_ptr<cost::Metrics> metrics_;
     std::unique_ptr<hw::Network> net_;
     std::vector<std::unique_ptr<NodeRuntime>> runtimes_;

@@ -59,6 +59,12 @@ public:
 
     /// Deterministic per-node randomness (workload shaping only).
     virtual Rng& rng() = 0;
+
+    /// How many times this node has crashed so far (0 before the first
+    /// crash). The model's one word of stable storage: a boot counter in
+    /// NVRAM, which is what lets recovery protocols generate sequence
+    /// numbers that dominate everything issued before the crash.
+    virtual std::uint64_t incarnation() const { return 0; }
 };
 
 /// Base class for node software. Handlers run serialized per node; each
@@ -69,6 +75,13 @@ public:
 
     /// Spontaneous start (the paper's START message from outside).
     virtual void on_start(Context&) {}
+
+    /// First invocation after a crash-restart. The runtime constructs a
+    /// *fresh* protocol instance on restart (a crash wipes all soft
+    /// state), then calls this instead of on_start so recovery-aware
+    /// protocols can re-announce under a new incarnation (see
+    /// Context::incarnation). The default treats recovery as a cold start.
+    virtual void on_restart(Context& ctx) { on_start(ctx); }
 
     /// A packet reached this NCU.
     virtual void on_message(Context&, const hw::Delivery&) {}

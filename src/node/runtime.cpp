@@ -29,10 +29,45 @@ NodeRuntime::NodeRuntime(NodeId self, hw::Network& net, std::unique_ptr<Protocol
 Tick NodeRuntime::now() const { return net_.simulator().now(); }
 
 void NodeRuntime::request_start(Tick at) {
-    net_.simulator().at(at, [this] { enqueue(StartWork{}); });
+    net_.simulator().at(at, [this, inc = incarnation_] {
+        if (inc != incarnation_) return;  // node crashed since the request
+        enqueue(StartWork{});
+    });
 }
 
 void NodeRuntime::on_delivery(const hw::Delivery& d) { enqueue(d); }
+
+void NodeRuntime::crash() {
+    if (crashed_) return;
+    crashed_ = true;
+    ++incarnation_;
+    busy_ = false;
+    extra_busy_ = 0;
+    sends_this_call_ = 0;
+    queue_.clear();
+    for (const auto& [id, ev] : pending_timers_) net_.simulator().cancel(ev);
+    pending_timers_.clear();
+    cancelled_timers_.clear();
+    net_.metrics().node(self_).crashes += 1;
+    if (trace_) trace_->record(now(), self_, sim::TraceKind::kCrash);
+}
+
+void NodeRuntime::restart(std::unique_ptr<Protocol> fresh) {
+    FASTNET_EXPECTS_MSG(crashed_, "restart of a node that is not down");
+    FASTNET_EXPECTS(fresh != nullptr);
+    crashed_ = false;
+    protocol_ = std::move(fresh);
+    // Data-link re-initialization: the fresh incarnation learns the
+    // *current* state of its links, not the state at crash time.
+    for (LocalLink& l : links_) l.active = net_.link_active(l.edge);
+    if (trace_) trace_->record(now(), self_, sim::TraceKind::kRestart);
+    enqueue(RestartWork{});
+}
+
+void NodeRuntime::set_stall(Tick extra) {
+    FASTNET_EXPECTS(extra >= 0);
+    stall_extra_ = extra;
+}
 
 void NodeRuntime::on_link_notification(EdgeId e, bool up) {
     for (std::size_t i = 0; i < links_.size(); ++i) {
@@ -45,14 +80,16 @@ void NodeRuntime::on_link_notification(EdgeId e, bool up) {
 }
 
 void NodeRuntime::enqueue(Work w) {
+    if (crashed_) return;  // a dead NCU accepts no work
     queue_.push_back(std::move(w));
     begin_next_if_idle();
 }
 
 Tick NodeRuntime::processing_delay() {
     const Tick p = net_.params().ncu_delay;
-    if (ncu_delay_min_ >= 0 && ncu_delay_min_ < p) return rng_.range(ncu_delay_min_, p);
-    return p;
+    Tick d = p;
+    if (ncu_delay_min_ >= 0 && ncu_delay_min_ < p) d = rng_.range(ncu_delay_min_, p);
+    return d + stall_extra_;
 }
 
 void NodeRuntime::begin_next_if_idle() {
@@ -62,7 +99,8 @@ void NodeRuntime::begin_next_if_idle() {
     queue_.pop_front();
     const Tick delay = processing_delay();
     net_.metrics().node(self_).busy_time += delay;
-    net_.simulator().after(delay, [this, w = std::move(w)]() mutable {
+    net_.simulator().after(delay, [this, inc = incarnation_, w = std::move(w)]() mutable {
+        if (inc != incarnation_) return;  // crashed mid-handler: never completes
         busy_ = false;
         sends_this_call_ = 0;
         extra_busy_ = 0;
@@ -71,7 +109,8 @@ void NodeRuntime::begin_next_if_idle() {
             // Ablation A1: serialized sends keep the processor occupied.
             busy_ = true;
             net_.metrics().node(self_).busy_time += extra_busy_;
-            net_.simulator().after(extra_busy_, [this] {
+            net_.simulator().after(extra_busy_, [this, inc] {
+                if (inc != incarnation_) return;
                 busy_ = false;
                 begin_next_if_idle();
             });
@@ -87,6 +126,9 @@ void NodeRuntime::complete(Work w) {
         counters.starts += 1;
         if (trace_) trace_->record(now(), self_, sim::TraceKind::kStart);
         protocol_->on_start(*this);
+    } else if (std::holds_alternative<RestartWork>(w)) {
+        counters.restarts += 1;
+        protocol_->on_restart(*this);
     } else if (auto* d = std::get_if<hw::Delivery>(&w)) {
         counters.message_deliveries += 1;
         if (trace_)
@@ -125,7 +167,9 @@ void NodeRuntime::send(hw::AnrHeader header, std::shared_ptr<const hw::Payload> 
     // processing slot: it leaves index * P later.
     const Tick wait = static_cast<Tick>(index) * net_.params().ncu_delay;
     extra_busy_ = std::max(extra_busy_, wait);
-    net_.simulator().after(wait, [this, h = std::move(header), p = std::move(payload)]() mutable {
+    net_.simulator().after(wait, [this, inc = incarnation_, h = std::move(header),
+                                  p = std::move(payload)]() mutable {
+        if (inc != incarnation_) return;  // crashed before the packet left
         net_.send(self_, std::move(h), std::move(p));
     });
 }
@@ -138,7 +182,8 @@ void NodeRuntime::reply(const hw::Delivery& to, std::shared_ptr<const hw::Payloa
 TimerId NodeRuntime::set_timer(Tick delay, std::uint64_t cookie) {
     FASTNET_EXPECTS(delay >= 0);
     const TimerId id = next_timer_++;
-    const sim::EventId ev = net_.simulator().after(delay, [this, id, cookie] {
+    const sim::EventId ev = net_.simulator().after(delay, [this, inc = incarnation_, id, cookie] {
+        if (inc != incarnation_) return;  // crash already cancelled it
         std::erase_if(pending_timers_, [id](const auto& p) { return p.first == id; });
         enqueue(TimerWork{id, cookie});
     });

@@ -56,6 +56,25 @@ public:
     /// True when no work is queued or in progress.
     bool ncu_idle() const { return !busy_ && queue_.empty(); }
 
+    // ---- crash-recovery (driven by Cluster) ---------------------------
+    /// Crash semantics, as opposed to mere link-down: all soft state dies.
+    /// Queued work is discarded, pending timers are cancelled, the
+    /// in-progress handler (if any) never completes, and anything the
+    /// previous incarnation scheduled is suppressed. Idempotent.
+    void crash();
+
+    /// Brings the node back with `fresh` as its protocol instance (the
+    /// old one is destroyed — crashes don't preserve protocol state).
+    /// Re-learns link states from the network (data-link re-init), then
+    /// enqueues one restart work item that runs Protocol::on_restart.
+    void restart(std::unique_ptr<Protocol> fresh);
+
+    bool crashed() const { return crashed_; }
+
+    /// Fault injection: adds `extra` ticks to every processing delay (an
+    /// overloaded/thermally-throttled NCU — inflated P). 0 clears.
+    void set_stall(Tick extra);
+
     // ---- Context ------------------------------------------------------
     NodeId self() const override { return self_; }
     Tick now() const override;
@@ -66,9 +85,11 @@ public:
     TimerId set_timer(Tick delay, std::uint64_t cookie) override;
     void cancel_timer(TimerId id) override;
     Rng& rng() override { return rng_; }
+    std::uint64_t incarnation() const override { return incarnation_; }
 
 private:
     struct StartWork {};
+    struct RestartWork {};
     struct TimerWork {
         TimerId id;
         std::uint64_t cookie;
@@ -77,7 +98,7 @@ private:
         std::size_t link_index;
         bool up;
     };
-    using Work = std::variant<StartWork, hw::Delivery, LinkWork, TimerWork>;
+    using Work = std::variant<StartWork, hw::Delivery, LinkWork, TimerWork, RestartWork>;
 
     void enqueue(Work w);
     void begin_next_if_idle();
@@ -92,6 +113,13 @@ private:
     bool free_multisend_;
     unsigned sends_this_call_ = 0;
     Tick extra_busy_ = 0;
+    Tick stall_extra_ = 0;
+    bool crashed_ = false;
+    /// Bumped on every crash. Every scheduled continuation (handler
+    /// completion, deferred A1 send, timer fire, scripted start) carries
+    /// the incarnation it was scheduled under and is dropped if the node
+    /// crashed in between — the previous incarnation's future never runs.
+    std::uint64_t incarnation_ = 0;
     std::shared_ptr<sim::Trace> trace_;
 
     std::vector<LocalLink> links_;

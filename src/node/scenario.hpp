@@ -15,11 +15,35 @@
 namespace fastnet::node {
 
 struct ScenarioAction {
-    enum class Kind { kFailLink, kRestoreLink, kFailNode, kRestoreNode, kStart };
+    enum class Kind {
+        kFailLink,
+        kRestoreLink,
+        kFailNode,     ///< Link-layer only: incident links drop, software survives.
+        kRestoreNode,
+        kStart,
+        kCrashNode,    ///< Hard failure: links drop AND all soft state dies.
+        kRestartNode,  ///< Recovery: fresh protocol instance, on_restart hook.
+        kStallNode,    ///< Inflate the node's processing delay by `amount` (0 clears).
+    };
     Tick at = 0;
     Kind kind = Kind::kFailLink;
     EdgeId edge = kNoEdge;   ///< For link actions.
     NodeId node = kNoNode;   ///< For node actions / start.
+    Tick amount = 0;         ///< For kStallNode: the extra delay.
+};
+
+/// Parameters for random_churn (see below). Separate from the call so
+/// fault models (fault/injector.hpp) can be built up declaratively.
+struct ChurnSpec {
+    unsigned link_events = 0;  ///< Random link fail/restore draws.
+    unsigned node_events = 0;  ///< Random node crash-or-restart draws.
+    Tick from = 0;             ///< Window start (inclusive).
+    Tick to = 0;               ///< Window end (inclusive).
+    std::vector<EdgeId> protect;       ///< Edges churn must not touch.
+    std::vector<NodeId> protect_nodes; ///< Nodes churn must not touch.
+    /// true → node events are hard crash/restart; false → link-layer
+    /// fail/restore (software state survives).
+    bool crash_nodes = true;
 };
 
 class Scenario {
@@ -29,9 +53,16 @@ public:
     Scenario& fail_node(Tick at, NodeId u);
     Scenario& restore_node(Tick at, NodeId u);
     Scenario& start(Tick at, NodeId u);
+    Scenario& crash_node(Tick at, NodeId u);
+    Scenario& restart_node(Tick at, NodeId u);
+    Scenario& stall_node(Tick at, NodeId u, Tick extra);
 
     const std::vector<ScenarioAction>& actions() const { return actions_; }
     std::size_t size() const { return actions_.size(); }
+
+    /// Latest scripted time, 0 for an empty scenario (benches use this as
+    /// the earliest moment recovery can be complete).
+    Tick last_action_at() const;
 
     /// Schedules every action on the cluster's simulator (idempotent per
     /// call; the caller still runs the cluster).
@@ -39,12 +70,21 @@ public:
 
     /// A random fail/restore churn: `events` actions over [from, to),
     /// never touching edges in `protect` (e.g. bridges you must keep).
+    /// Requires at least one unprotected edge when events > 0.
     static Scenario random_churn(const graph::Graph& g, unsigned events, Tick from, Tick to,
                                  Rng& rng, const std::vector<EdgeId>& protect = {});
 
-    /// Ensures the scenario leaves every link active at the end: appends
+    /// Generalized churn: spec.link_events link draws plus
+    /// spec.node_events node draws (crash/restart or fail/restore per
+    /// spec.crash_nodes), uniformly over [spec.from, spec.to], never
+    /// touching protected edges/nodes.
+    static Scenario random_churn(const graph::Graph& g, const ChurnSpec& spec, Rng& rng);
+
+    /// Ensures the scenario leaves the network whole at the end: appends
     /// a restore at `at` for every link whose last scripted action (in
-    /// simulated-time order) was a failure.
+    /// simulated-time order) was a failure, a restore/restart for every
+    /// node last left failed/crashed, and a stall-clear for every node
+    /// left with a nonzero stall.
     Scenario& heal_all(Tick at);
 
 private:

@@ -15,6 +15,8 @@ const char* trace_kind_name(TraceKind k) {
         case TraceKind::kTimer: return "timer";
         case TraceKind::kLinkChange: return "link";
         case TraceKind::kDrop: return "drop";
+        case TraceKind::kCrash: return "crash";
+        case TraceKind::kRestart: return "restart";
         case TraceKind::kCustom: return "custom";
     }
     return "?";
@@ -38,11 +40,11 @@ void Trace::record(Tick at, NodeId node, TraceKind kind, std::string detail) {
 }
 
 void Trace::set_enabled(TraceKind kind, bool on) {
-    const auto bit = static_cast<std::uint8_t>(1u << static_cast<unsigned>(kind));
+    const auto bit = static_cast<std::uint16_t>(1u << static_cast<unsigned>(kind));
     if (on)
         enabled_mask_ |= bit;
     else
-        enabled_mask_ &= static_cast<std::uint8_t>(~bit);
+        enabled_mask_ &= static_cast<std::uint16_t>(~bit);
 }
 
 bool Trace::enabled(TraceKind kind) const {

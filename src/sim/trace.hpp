@@ -23,6 +23,8 @@ enum class TraceKind : std::uint8_t {
     kTimer,
     kLinkChange,
     kDrop,
+    kCrash,
+    kRestart,
     kCustom,
 };
 
@@ -67,7 +69,7 @@ private:
     std::uint64_t count_ = 0;      ///< Total ever recorded.
     std::size_t next_ = 0;         ///< Ring write position.
     std::vector<TraceRecord> ring_;
-    std::uint8_t enabled_mask_ = 0xff;
+    std::uint16_t enabled_mask_ = 0xffff;
 };
 
 }  // namespace fastnet::sim

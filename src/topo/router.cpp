@@ -14,6 +14,17 @@ void RouterProtocol::on_start(node::Context& ctx) {
         ctx.set_timer(sends_[i].at, kSendCookieBase + i);
 }
 
+void RouterProtocol::on_restart(node::Context& ctx) {
+    // Crash recovery. Seqs restart incarnation-prefixed so they can never
+    // collide with the dead life's — receivers' duplicate filters keep
+    // working without any handshake. Scripted sends are NOT re-armed:
+    // requests that had not been issued (or acked) by crash time were
+    // soft state and died with the node, which is exactly what an
+    // application above the router would observe.
+    next_seq_ = (ctx.incarnation() << 32) + 1;
+    tm_.on_restart(ctx);
+}
+
 void RouterProtocol::try_send(node::Context& ctx, Pending& p) {
     // An attempt is an attempt even when the view cannot route yet —
     // otherwise an unreachable destination would be retried forever.

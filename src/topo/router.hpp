@@ -53,6 +53,7 @@ public:
                    std::vector<SendRequest> sends = {});
 
     void on_start(node::Context& ctx) override;
+    void on_restart(node::Context& ctx) override;
     void on_timer(node::Context& ctx, std::uint64_t cookie) override;
     void on_message(node::Context& ctx, const hw::Delivery& d) override;
     void on_link_state(node::Context& ctx, const node::LocalLink& link, bool up) override;

@@ -29,6 +29,17 @@ void TopologyMaintenance::on_start(node::Context& ctx) {
     if (rounds_left_ > 0) ctx.set_timer(options_.period, kRoundTimer);
 }
 
+void TopologyMaintenance::on_restart(node::Context& ctx) {
+    // Crash recovery (Section 3, "Changing topology"): the database died
+    // with the crash, but the incarnation counter — the one word of
+    // stable storage — lets the fresh instance seed its sequence numbers
+    // above everything the previous life ever broadcast, so peers' cached
+    // entries for us are dominated instead of shadowing us for up to
+    // 2^32 rounds.
+    my_seq_ = ctx.incarnation() << 32;
+    on_start(ctx);
+}
+
 void TopologyMaintenance::on_timer(node::Context& ctx, std::uint64_t cookie) {
     if (cookie != kRoundTimer || rounds_left_ == 0) return;
     do_round(ctx);

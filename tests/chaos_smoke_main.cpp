@@ -1,0 +1,223 @@
+// Seeded chaos sweep for the ChaosSmoke ctest (scripts/chaos_smoke.sh).
+//
+// Compiles fault models (link flaps, hard node crash/restart, message
+// loss and duplication, NCU stalls) into scenarios via fault::FaultInjector,
+// runs them at sweep scale through exec::SweepRunner, and holds every
+// seed against the fault::Oracle:
+//
+//   * maintenance cases — the full Theorem-1 bundle: quiescent, zero
+//     in-flight packet cursors, every live view exact after the heal;
+//   * router cases     — datagrams scripted before/during the faults must
+//     arrive (retried over the re-converged view) despite loss + dup;
+//   * election cases   — safety under crash churn: quiescent, no
+//     in-flight, at most one live leader (liveness may be lost to a
+//     killed token; safety never).
+//
+// The harness (scripts/chaos_smoke.sh) runs this binary at 1, 2 and
+// hardware_concurrency threads and byte-diffs the JSON — chaos itself
+// must be deterministic. Exits non-zero if any seed violates its oracle.
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "election/election.hpp"
+#include "exec/result.hpp"
+#include "exec/sweep_runner.hpp"
+#include "fault/injector.hpp"
+#include "fault/oracle.hpp"
+#include "graph/generators.hpp"
+#include "topo/router.hpp"
+#include "topo/topology_maintenance.hpp"
+
+using namespace fastnet;
+
+namespace {
+
+node::ClusterConfig base_config() {
+    node::ClusterConfig cfg;
+    cfg.params.hop_delay = 2;
+    cfg.params.ncu_delay = 2;
+    cfg.net.hop_delay_min = 0;
+    cfg.ncu_delay_min = 1;
+    return cfg;
+}
+
+graph::Graph shape_for(std::uint64_t seed) {
+    switch (seed % 4) {
+        case 0: return graph::make_cycle(10);
+        case 1: return graph::make_grid(3, 4);
+        case 2: {
+            Rng g(seed * 131 + 7);
+            return graph::make_random_connected(12, 2, 5, g);
+        }
+        default: {
+            Rng g(seed * 131 + 7);
+            return graph::make_random_connected(14, 3, 5, g);
+        }
+    }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    unsigned threads = 0;
+    unsigned seeds = 100;
+    std::string out_path = "chaos_smoke.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+            threads = static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
+            seeds = static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out_path = argv[++i];
+        } else {
+            std::cerr << "usage: " << argv[0] << " [--threads N] [--seeds N] [--out FILE]\n"
+                      << "  --threads 0 (default) uses hardware_concurrency\n";
+            return 2;
+        }
+    }
+
+    exec::SweepOptions opt;
+    opt.threads = threads;
+    opt.master_seed = 1988;  // the paper's year
+    exec::SweepRunner runner(opt);
+
+    // --- maintenance under crash churn: the Theorem-1 oracle -----------
+    for (std::uint64_t seed = 0; seed < seeds; ++seed) {
+        graph::Graph g = shape_for(seed);
+
+        fault::FaultModel model;
+        model.link_flaps = 4 + static_cast<unsigned>(seed % 5);
+        model.node_crashes = 2 + static_cast<unsigned>(seed % 3);
+        model.stalls = (seed % 3 == 0) ? 2 : 0;
+        model.stall_max = 6;
+        model.window_from = 50;
+        model.window_to = 600;
+        model.heal_at = 700;
+        if (seed % 5 == 1) model.loss_ppm = 20'000;   // 2% per transmission
+        if (seed % 5 == 2) model.dup_ppm = 20'000;
+        fault::FaultInjector inj(model, seed);
+
+        topo::TopologyOptions topo_opt;
+        topo_opt.rounds = 30;
+        topo_opt.period = 50;
+        // Mix modes: full-knowledge floods the database (fast recovery of
+        // a restarted node); plain mode makes it relearn peer by peer.
+        topo_opt.full_knowledge = (seed % 2 == 0);
+
+        node::ClusterConfig cfg = base_config();
+        inj.configure(cfg);
+
+        exec::ClusterCase c;
+        c.name = "maint/seed" + std::to_string(seed);
+        c.protocol = topo::make_topology_maintenance(g.node_count(), topo_opt);
+        c.config = cfg;
+        c.scenario = inj.compile(g);
+        c.graph = std::move(g);
+        c.probe = [](node::Cluster& cluster, exec::CaseResult& r) {
+            const fault::OracleReport rep = fault::check_theorem1(cluster);
+            r.ok = rep.ok();
+            if (!rep.ok()) std::cerr << "oracle: " << rep.summary() << "\n";
+        };
+        runner.add(std::move(c));
+    }
+
+    // --- router delivery across crash + loss + duplication -------------
+    const unsigned router_cases = seeds >= 20 ? 20 : seeds;
+    for (std::uint64_t seed = 0; seed < router_cases; ++seed) {
+        graph::Graph g = shape_for(seed + 3);
+        const NodeId src = 0;
+        const NodeId dst = g.node_count() - 1;
+
+        fault::FaultModel model;
+        model.link_flaps = 4;
+        model.node_crashes = 2;
+        model.window_from = 50;
+        model.window_to = 600;
+        model.heal_at = 700;
+        model.protect_nodes = {src, dst};  // the measured pair stays up
+        model.loss_ppm = 20'000;
+        model.dup_ppm = 20'000;
+        fault::FaultInjector inj(model, seed ^ 0x907e5ULL);
+
+        topo::RouterOptions ropt;
+        ropt.topology.rounds = 30;
+        ropt.topology.period = 50;
+        ropt.topology.full_knowledge = true;
+        ropt.retry_period = 128;
+        ropt.max_retries = 40;
+
+        std::map<NodeId, std::vector<topo::SendRequest>> sends;
+        sends[src] = {{40, dst, 7001}, {300, dst, 7002}};
+
+        node::ClusterConfig cfg = base_config();
+        inj.configure(cfg);
+
+        exec::ClusterCase c;
+        c.name = "router/seed" + std::to_string(seed);
+        c.protocol = topo::make_routers(g.node_count(), ropt, sends);
+        c.config = cfg;
+        c.scenario = inj.compile(g);
+        c.graph = std::move(g);
+        c.probe = [src, dst](node::Cluster& cluster, exec::CaseResult& r) {
+            fault::Oracle o(cluster);
+            o.require_quiescent()
+                .require_no_inflight()
+                .require_views_converged()
+                .require_received(dst, src, 7001)
+                .require_received(dst, src, 7002);
+            r.ok = o.ok();
+            if (!o.ok()) std::cerr << "oracle: " << o.report().summary() << "\n";
+        };
+        runner.add(std::move(c));
+    }
+
+    // --- election safety under crash churn ------------------------------
+    const unsigned election_cases = seeds >= 12 ? 12 : seeds;
+    for (std::uint64_t seed = 0; seed < election_cases; ++seed) {
+        graph::Graph g = shape_for(seed + 1);
+
+        fault::FaultModel model;
+        model.link_flaps = 3;
+        model.node_crashes = 3;
+        model.window_from = 20;
+        model.window_to = 400;
+        model.heal_at = 500;
+        // No loss/dup: duplicated tokens would break the election's
+        // mutual-exclusion premise (see fault/injector.hpp).
+        fault::FaultInjector inj(model, seed ^ 0xe1ec7ULL);
+
+        exec::ClusterCase c;
+        c.name = "election/seed" + std::to_string(seed);
+        c.protocol = [](NodeId) { return std::make_unique<elect::ElectionProtocol>(); };
+        c.config = base_config();
+        c.scenario = inj.compile(g);
+        c.graph = std::move(g);
+        c.probe = [](node::Cluster& cluster, exec::CaseResult& r) {
+            fault::Oracle o(cluster);
+            o.require_quiescent().require_no_inflight().require_at_most_one_leader();
+            r.ok = o.ok();
+            if (!o.ok()) std::cerr << "oracle: " << o.report().summary() << "\n";
+        };
+        runner.add(std::move(c));
+    }
+
+    const auto rows = runner.run();
+    bool all_ok = true;
+    for (const auto& r : rows)
+        if (!r.ok) {
+            std::cerr << "seed violated its oracle: " << r.name << "\n";
+            all_ok = false;
+        }
+    const std::string json = exec::sweep_json("chaos_smoke", opt.master_seed, rows);
+    if (!exec::write_text_file(out_path, json)) {
+        std::cerr << "cannot write " << out_path << "\n";
+        return 2;
+    }
+    std::cout << "wrote " << out_path << " (" << rows.size() << " cases, threads="
+              << (threads == 0 ? exec::ThreadPool::hardware_threads() : threads) << ")\n";
+    return all_ok ? 0 : 1;
+}

@@ -129,6 +129,124 @@ TEST(Scenario, HealAllIsIdempotent) {
     EXPECT_EQ(s.size(), after_first);
 }
 
+TEST(Scenario, RandomChurnThrowsWhenEveryEdgeIsProtected) {
+    // Regression: this used to rejection-sample forever. An impossible
+    // request must fail loudly instead of hanging the harness.
+    Rng rng(1);
+    const graph::Graph g = graph::make_path(3);  // edges 0, 1
+    EXPECT_THROW(Scenario::random_churn(g, 5, 0, 100, rng, {0, 1}), ContractViolation);
+    ChurnSpec spec;
+    spec.node_events = 5;
+    spec.to = 100;
+    spec.protect_nodes = {0, 1, 2};
+    EXPECT_THROW(Scenario::random_churn(g, spec, rng), ContractViolation);
+}
+
+TEST(Scenario, ChurnSpecNodeEventsAreCrashRestartAndRespectProtection) {
+    Rng rng(23);
+    const graph::Graph g = graph::make_cycle(8);
+    ChurnSpec spec;
+    spec.node_events = 40;
+    spec.from = 10;
+    spec.to = 300;
+    spec.protect_nodes = {0, 5};
+    const Scenario s = Scenario::random_churn(g, spec, rng);
+    EXPECT_EQ(s.size(), 40u);
+    bool saw_crash = false;
+    bool saw_restart = false;
+    for (const auto& a : s.actions()) {
+        ASSERT_TRUE(a.kind == ScenarioAction::Kind::kCrashNode ||
+                    a.kind == ScenarioAction::Kind::kRestartNode);
+        saw_crash |= a.kind == ScenarioAction::Kind::kCrashNode;
+        saw_restart |= a.kind == ScenarioAction::Kind::kRestartNode;
+        EXPECT_NE(a.node, NodeId{0});
+        EXPECT_NE(a.node, NodeId{5});
+        EXPECT_GE(a.at, 10);
+        EXPECT_LE(a.at, 300);
+    }
+    EXPECT_TRUE(saw_crash);
+    EXPECT_TRUE(saw_restart);
+}
+
+TEST(Scenario, ChurnSpecSoftModeEmitsLinkLayerNodeEvents) {
+    Rng rng(7);
+    const graph::Graph g = graph::make_cycle(6);
+    ChurnSpec spec;
+    spec.node_events = 12;
+    spec.to = 100;
+    spec.crash_nodes = false;
+    const Scenario s = Scenario::random_churn(g, spec, rng);
+    for (const auto& a : s.actions())
+        ASSERT_TRUE(a.kind == ScenarioAction::Kind::kFailNode ||
+                    a.kind == ScenarioAction::Kind::kRestoreNode);
+}
+
+TEST(Scenario, LastActionAt) {
+    EXPECT_EQ(Scenario().last_action_at(), 0);
+    Scenario s;
+    s.fail_link(120, 0).crash_node(40, 1).stall_node(80, 2, 5);
+    EXPECT_EQ(s.last_action_at(), 120);
+}
+
+TEST(Scenario, HealAllCoversNodesAndStalls) {
+    Scenario s;
+    s.fail_node(10, 1)        // left failed -> needs restore
+        .crash_node(20, 2)    // left crashed -> needs restart
+        .crash_node(30, 3)
+        .restart_node(40, 3)  // already recovered -> nothing to add
+        .stall_node(50, 4, 9) // left stalled -> needs a stall-clear
+        .stall_node(60, 5, 9)
+        .stall_node(70, 5, 0);  // already cleared -> nothing to add
+    s.heal_all(100);
+    unsigned restores = 0, restarts = 0, clears = 0;
+    for (const auto& a : s.actions()) {
+        if (a.at != 100) continue;
+        switch (a.kind) {
+            case ScenarioAction::Kind::kRestoreNode:
+                ++restores;
+                EXPECT_EQ(a.node, NodeId{1});
+                break;
+            case ScenarioAction::Kind::kRestartNode:
+                ++restarts;
+                EXPECT_EQ(a.node, NodeId{2});
+                break;
+            case ScenarioAction::Kind::kStallNode:
+                ++clears;
+                EXPECT_EQ(a.node, NodeId{4});
+                EXPECT_EQ(a.amount, 0);
+                break;
+            default:
+                ADD_FAILURE() << "unexpected heal action kind";
+        }
+    }
+    EXPECT_EQ(restores, 1u);
+    EXPECT_EQ(restarts, 1u);
+    EXPECT_EQ(clears, 1u);
+}
+
+TEST(Scenario, NodeChurnHealedLeavesEveryNodeLive) {
+    // heal_all's node guarantee against the cluster truth: after a healed
+    // crash/restart churn nothing is left crashed, failed or stalled.
+    const graph::Graph g = graph::make_cycle(8);
+    ChurnSpec spec;
+    spec.link_events = 10;
+    spec.node_events = 14;
+    spec.from = 10;
+    spec.to = 400;
+    Rng chaos(41);
+    Scenario s = Scenario::random_churn(g, spec, chaos);
+    s.heal_all(450);
+    Cluster c(g, [](NodeId) { return std::make_unique<Idle>(); });
+    s.apply(c);
+    c.run();
+    for (NodeId u = 0; u < g.node_count(); ++u) {
+        EXPECT_FALSE(c.crashed(u)) << "node " << u;
+        EXPECT_FALSE(c.network().node_failed(u)) << "node " << u;
+    }
+    for (EdgeId e = 0; e < g.edge_count(); ++e)
+        EXPECT_TRUE(c.network().link_active(e)) << "edge " << e;
+}
+
 TEST(Scenario, ChaosChurnThenHealConvergesMaintenance) {
     // End-to-end chaos test: random churn over a ring, healed at t=600,
     // maintenance keeps broadcasting — Theorem 1 requires convergence.
