@@ -1,0 +1,133 @@
+// Observability overhead gate (BENCH_obs_overhead.json).
+//
+// The tentpole promise of the tracing rework: with tracing *disabled*
+// the steady-state hop path costs the same as having no trace at all —
+// one pointer test, no allocation, no formatting. This bench measures
+// the per-hop cost of a long pure-relay route in four configurations:
+//
+//   hop_ns_no_trace        — no trace attached (PR 1's baseline shape).
+//   hop_ns_trace_disabled  — trace attached, every kind disabled. The
+//                            acceptance gate: within 5% of no_trace
+//                            (see trace_disabled_overhead_pct).
+//   hop_ns_trace_enabled   — trace attached, all kinds recording.
+//   hop_ns_sampling        — no trace, windowed metrics sampling on.
+//
+// Plus allocs_per_hop_trace_disabled via the global operator-new counter
+// (target: 0 — the same invariant Alloc.SteadyStateHopPath enforces).
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "fastnet.hpp"
+#include "json_reporter.hpp"
+
+// ---- global allocation counter (same trick as bench_sim_core) ----------
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}
+
+// These counting operators intentionally delegate storage to
+// malloc/free; once make_shared below is inlined against them, GCC
+// pairs the allocation sites with std::free and mis-reports a mismatch.
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void* operator new(std::size_t size) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::malloc(size ? size : 1)) return p;
+    throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t al) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    void* p = nullptr;
+    if (posix_memalign(&p, static_cast<std::size_t>(al), size ? size : 1) != 0)
+        throw std::bad_alloc();
+    return p;
+}
+void* operator new[](std::size_t size, std::align_val_t al) { return ::operator new(size, al); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace fastnet;
+
+struct HopMeasurement {
+    double ns_per_hop = 0;
+    double allocs_per_hop = 0;
+};
+
+/// Steady-state per-hop cost of a 4095-hop pure relay (identical to
+/// bench_sim_core's hop_ns rig) under the given observability config.
+HopMeasurement measure_hops(std::shared_ptr<sim::Trace> trace, Tick sample_window) {
+    constexpr NodeId kNodes = 4096;
+    const graph::Graph g = graph::make_path(kNodes);
+    sim::Simulator sim;
+    cost::Metrics metrics(g.node_count());
+    if (sample_window > 0) metrics.enable_sampling(sample_window);
+    hw::NetworkConfig cfg;
+    cfg.trace = std::move(trace);
+    hw::Network net(sim, g, ModelParams::traditional(), metrics, cfg);
+    std::uint64_t delivered = 0;
+    net.set_ncu_sink(kNodes - 1, [&](const hw::Delivery&) { ++delivered; });
+
+    std::vector<NodeId> path(kNodes);
+    for (NodeId u = 0; u < kNodes; ++u) path[u] = u;
+    const hw::AnrHeader header = net.route(path);
+
+    // Warm pools/caches, then count allocations over one warm send.
+    net.send(0, header, nullptr);
+    sim.run();
+    const std::uint64_t allocs_before = g_alloc_count.load();
+    net.send(0, header, nullptr);
+    sim.run();
+    const std::uint64_t allocs_one_send = g_alloc_count.load() - allocs_before;
+
+    const double ns = bench::min_time_ns([&] {
+        net.send(0, header, nullptr);
+        sim.run();
+    });
+    if (delivered == 0) std::abort();
+    const double hops = static_cast<double>(kNodes - 1);
+    return {ns / hops, static_cast<double>(allocs_one_send) / hops};
+}
+
+}  // namespace
+
+int main() {
+    bench::JsonReporter out("obs_overhead");
+    std::cout << "== observability overhead bench ==\n";
+
+    const HopMeasurement none = measure_hops(nullptr, 0);
+
+    auto disabled_trace = std::make_shared<sim::Trace>(std::size_t{1} << 16);
+    disabled_trace->disable_all();
+    const HopMeasurement disabled = measure_hops(disabled_trace, 0);
+
+    const HopMeasurement enabled =
+        measure_hops(std::make_shared<sim::Trace>(std::size_t{1} << 16), 0);
+
+    const HopMeasurement sampled = measure_hops(nullptr, 64);
+
+    out.add("hop_ns_no_trace", none.ns_per_hop, "ns");
+    out.add("hop_ns_trace_disabled", disabled.ns_per_hop, "ns");
+    out.add("hop_ns_trace_enabled", enabled.ns_per_hop, "ns");
+    out.add("hop_ns_sampling", sampled.ns_per_hop, "ns");
+    out.add("trace_disabled_overhead_pct",
+            100.0 * (disabled.ns_per_hop - none.ns_per_hop) / none.ns_per_hop, "pct");
+    out.add("trace_enabled_overhead_pct",
+            100.0 * (enabled.ns_per_hop - none.ns_per_hop) / none.ns_per_hop, "pct");
+    out.add("sampling_overhead_pct",
+            100.0 * (sampled.ns_per_hop - none.ns_per_hop) / none.ns_per_hop, "pct");
+    out.add("allocs_per_hop_no_trace", none.allocs_per_hop, "allocs");
+    out.add("allocs_per_hop_trace_disabled", disabled.allocs_per_hop, "allocs");
+    out.write();
+    return 0;
+}

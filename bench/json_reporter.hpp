@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/json.hpp"
+
 namespace fastnet::bench {
 
 class JsonReporter {
@@ -29,16 +31,18 @@ public:
     }
 
     /// Writes BENCH_<bench>.json into the current directory (the build
-    /// tree when run via ctest/cmake; .gitignore'd either way).
+    /// tree when run via ctest/cmake; .gitignore'd either way). Names and
+    /// units pass through JSON escaping — a quote or backslash in a bench
+    /// label must not corrupt the file (scripts/bench_diff.py parses it).
     void write() const {
         const std::string path = "BENCH_" + bench_name_ + ".json";
         std::ofstream out(path);
-        out << "{\n  \"bench\": \"" << bench_name_ << "\",\n  \"results\": [\n";
+        out << "{\n  \"bench\": " << obs::json_quote(bench_name_) << ",\n  \"results\": [\n";
         for (std::size_t i = 0; i < results_.size(); ++i) {
             const Result& r = results_[i];
-            out << "    {\"name\": \"" << r.name << "\", \"value\": " << r.value
-                << ", \"unit\": \"" << r.unit << "\"}" << (i + 1 < results_.size() ? "," : "")
-                << "\n";
+            out << "    {\"name\": " << obs::json_quote(r.name) << ", \"value\": " << r.value
+                << ", \"unit\": " << obs::json_quote(r.unit) << "}"
+                << (i + 1 < results_.size() ? "," : "") << "\n";
         }
         out << "  ]\n}\n";
         std::cout << "wrote " << path << "\n";

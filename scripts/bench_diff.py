@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json files (see bench/json_reporter.hpp).
+
+Prints every metric present in either file with old/new values and the
+relative change. With --threshold P, exits 1 when any shared metric
+regressed by more than P percent — "regressed" respects the unit's
+direction: throughput units (*_per_sec) regress downwards, everything
+else (ns, ms, allocs, pct, bytes) regresses upwards.
+
+  scripts/bench_diff.py old/BENCH_sim_core.json new/BENCH_sim_core.json
+  scripts/bench_diff.py --threshold 5 old.json new.json
+"""
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    results = {}
+    for entry in doc.get("results", []):
+        results[entry["name"]] = (float(entry["value"]), entry.get("unit", ""))
+    return doc.get("bench", "?"), results
+
+
+def higher_is_better(unit):
+    return "per_sec" in unit
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("old", help="baseline BENCH_*.json")
+    ap.add_argument("new", help="candidate BENCH_*.json")
+    ap.add_argument("--threshold", type=float, default=None, metavar="PCT",
+                    help="exit 1 if any metric regresses more than PCT percent")
+    args = ap.parse_args()
+
+    old_name, old = load(args.old)
+    new_name, new = load(args.new)
+    if old_name != new_name:
+        print(f"note: comparing different benches ({old_name} vs {new_name})")
+
+    names = list(old.keys()) + [n for n in new.keys() if n not in old]
+    width = max((len(n) for n in names), default=4)
+    regressions = []
+    print(f"{'metric':<{width}}  {'old':>14}  {'new':>14}  {'delta':>9}")
+    for name in names:
+        if name not in old:
+            value, unit = new[name]
+            print(f"{name:<{width}}  {'-':>14}  {value:>14.4g}  {'new':>9}  {unit}")
+            continue
+        if name not in new:
+            value, unit = old[name]
+            print(f"{name:<{width}}  {value:>14.4g}  {'-':>14}  {'gone':>9}  {unit}")
+            continue
+        (ov, unit), (nv, _) = old[name], new[name]
+        if ov == 0:
+            delta_str = "n/a" if nv == 0 else "inf"
+            delta = 0.0
+        else:
+            delta = 100.0 * (nv - ov) / abs(ov)
+            delta_str = f"{delta:+.2f}%"
+        print(f"{name:<{width}}  {ov:>14.4g}  {nv:>14.4g}  {delta_str:>9}  {unit}")
+        if args.threshold is not None and ov != 0:
+            regressed = (-delta if higher_is_better(unit) else delta) > args.threshold
+            if regressed:
+                regressions.append((name, delta, unit))
+
+    if regressions:
+        print(f"\n{len(regressions)} metric(s) regressed beyond "
+              f"{args.threshold}%:", file=sys.stderr)
+        for name, delta, unit in regressions:
+            print(f"  {name}: {delta:+.2f}% ({unit})", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,9 +16,39 @@ std::uint64_t Metrics::total_invocations() const {
     return total;
 }
 
+Sampling::Sampling(NodeId node_count, Tick window) : window_(window) {
+    FASTNET_EXPECTS(window >= 1);
+    nodes_.reserve(node_count);
+    for (NodeId u = 0; u < node_count; ++u)
+        nodes_.push_back(NodeSeries{TimeSeries(window), TimeSeries(window), TimeSeries(window),
+                                    TimeSeries(window)});
+    hops_ = TimeSeries(window);
+    sends_ = TimeSeries(window);
+    drops_ = TimeSeries(window);
+}
+
+void Sampling::phase_call(std::uint64_t phase) {
+    for (auto& [p, n] : phase_calls_) {
+        if (p == phase) {
+            ++n;
+            return;
+        }
+    }
+    phase_calls_.emplace_back(phase, 1);
+}
+
 void Metrics::reset() {
     for (NodeCounters& c : nodes_) c = NodeCounters{};
     net_ = NetCounters{};
+    phase_ = 0;
+    if (sampling_ != nullptr) {
+        const Tick w = sampling_->window();
+        sampling_ = std::make_unique<Sampling>(static_cast<NodeId>(nodes_.size()), w);
+    }
+}
+
+void Metrics::enable_sampling(Tick window) {
+    sampling_ = std::make_unique<Sampling>(static_cast<NodeId>(nodes_.size()), window);
 }
 
 CostReport snapshot(const Metrics& m, Tick completion_time) {

@@ -10,9 +10,12 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
+#include "cost/series.hpp"
 
 namespace fastnet::cost {
 
@@ -54,6 +57,62 @@ struct NetCounters {
     std::uint64_t dup_copies = 0;      ///< Fault injection: duplicated packets.
 };
 
+/// Optional windowed samplers riding the ledger (enable_sampling).
+/// Totals answer "how much"; these answer "when, where, and on which
+/// budget" — each tick of work is attributed to the hardware-C or
+/// software-P side per node, matching the (C, P) split of Section 5.
+class Sampling {
+public:
+    Sampling(NodeId node_count, Tick window);
+
+    Tick window() const { return window_; }
+
+    struct NodeSeries {
+        TimeSeries busy;         ///< Software (P) ticks spent per window.
+        TimeSeries hw_time;      ///< Hardware (C) ticks of hops carrying
+                                 ///< packets *this node injected*.
+        TimeSeries deliveries;   ///< System calls completed per window.
+        TimeSeries queue_depth;  ///< NCU queue depth at enqueue (see max).
+    };
+
+    NodeSeries& node(NodeId u) { return nodes_[u]; }
+    const NodeSeries& node(NodeId u) const { return nodes_[u]; }
+    NodeId node_count() const { return static_cast<NodeId>(nodes_.size()); }
+
+    TimeSeries& hops() { return hops_; }
+    const TimeSeries& hops() const { return hops_; }
+    TimeSeries& sends() { return sends_; }
+    const TimeSeries& sends() const { return sends_; }
+    TimeSeries& drops() { return drops_; }
+    const TimeSeries& drops() const { return drops_; }
+
+    LogHistogram& hop_latency() { return hop_latency_; }
+    const LogHistogram& hop_latency() const { return hop_latency_; }
+    LogHistogram& delivery_latency() { return delivery_latency_; }
+    const LogHistogram& delivery_latency() const { return delivery_latency_; }
+    LogHistogram& header_len() { return header_len_; }
+    const LogHistogram& header_len() const { return header_len_; }
+    LogHistogram& ncu_busy() { return ncu_busy_; }
+    const LogHistogram& ncu_busy() const { return ncu_busy_; }
+    LogHistogram& queue_depth() { return queue_depth_; }
+    const LogHistogram& queue_depth() const { return queue_depth_; }
+
+    /// Counts one system call under experiment phase `phase` (phases are
+    /// marked by the harness — Scenario::mark_phase / Metrics::set_phase).
+    /// Stored in first-use order, so serialization is deterministic.
+    void phase_call(std::uint64_t phase);
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>>& phase_calls() const {
+        return phase_calls_;
+    }
+
+private:
+    Tick window_;
+    std::vector<NodeSeries> nodes_;
+    TimeSeries hops_, sends_, drops_;
+    LogHistogram hop_latency_, delivery_latency_, header_len_, ncu_busy_, queue_depth_;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> phase_calls_;
+};
+
 /// One experiment's ledger; owned by the Cluster, shared by reference.
 class Metrics {
 public:
@@ -77,12 +136,28 @@ public:
     std::uint64_t total_direct_messages() const { return net_.injections; }
 
     /// Resets all counters (e.g. after a warm-up phase) without
-    /// disturbing the simulation state.
+    /// disturbing the simulation state. Sampling windows (if enabled)
+    /// restart empty with the same window width.
     void reset();
+
+    // ---- windowed samplers (optional; see Sampling) -------------------
+    /// Turns on time-series/histogram sampling with `window`-tick
+    /// windows. Off by default: an unsampled run pays only one null
+    /// check per hook.
+    void enable_sampling(Tick window);
+    Sampling* sampling() { return sampling_.get(); }
+    const Sampling* sampling() const { return sampling_.get(); }
+
+    /// Current experiment phase label; system calls completed while the
+    /// phase is `p` are counted under `p` when sampling is enabled.
+    void set_phase(std::uint64_t p) { phase_ = p; }
+    std::uint64_t phase() const { return phase_; }
 
 private:
     std::vector<NodeCounters> nodes_;
     NetCounters net_;
+    std::unique_ptr<Sampling> sampling_;
+    std::uint64_t phase_ = 0;
 };
 
 /// Snapshot of the headline costs for reporting.

@@ -14,6 +14,8 @@ std::vector<CaseResult> SweepRunner::run() {
         [](const ClusterCase& c, TaskContext& ctx) {
             node::ClusterConfig cfg = c.config;
             if (c.derive_seed) cfg.seed = ctx.rng.next();
+            if (c.trace_capacity > 0 && !cfg.trace)
+                cfg.trace = std::make_shared<sim::Trace>(c.trace_capacity);
             node::Cluster cluster(c.graph, c.protocol, cfg);
             c.scenario.apply(cluster);
             if (c.start_all) cluster.start_all(c.start_at);

@@ -111,6 +111,12 @@ struct ClusterCase {
     /// stream — sweep results then depend only on (master_seed, index).
     /// Set false to pin config.seed for a specific case.
     bool derive_seed = true;
+    /// When > 0 and config.trace is null, the worker attaches a fresh
+    /// sim::Trace of this capacity to the case's cluster before running —
+    /// each case records into its *own* trace, so exported traces stay
+    /// byte-identical at any thread count. Read it back in the probe via
+    /// Cluster::trace().
+    std::size_t trace_capacity = 0;
     /// Runs on the worker after the cluster quiesces; extracts whatever
     /// the experiment measures into the result row.
     std::function<void(node::Cluster&, CaseResult&)> probe;

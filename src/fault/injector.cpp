@@ -53,6 +53,8 @@ node::Scenario FaultInjector::compile(const graph::Graph& g) const {
 void FaultInjector::configure(node::ClusterConfig& config) const {
     config.net.loss_ppm = model_.loss_ppm;
     config.net.dup_ppm = model_.dup_ppm;
+    if (model_.trace_capacity > 0 && !config.trace)
+        config.trace = std::make_shared<sim::Trace>(model_.trace_capacity);
 }
 
 }  // namespace fastnet::fault

@@ -57,6 +57,12 @@ struct FaultModel {
     /// a duplicated election token breaks its mutual-exclusion premise.
     std::uint32_t loss_ppm = 0;
     std::uint32_t dup_ppm = 0;
+
+    /// When > 0, configure() attaches a fresh sim::Trace of this capacity
+    /// to the cluster config (unless one is already set) — every injected
+    /// fault and its consequences (drops, dups, crash/restart, timers)
+    /// become diagnosable from the exported trace (src/obs/).
+    std::size_t trace_capacity = 0;
 };
 
 /// Compiles fault models into runnable scripts.

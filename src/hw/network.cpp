@@ -13,6 +13,7 @@ Network::Network(sim::Simulator& sim, const graph::Graph& g, ModelParams params,
       params_(params),
       metrics_(metrics),
       config_(config),
+      trace_(config_.trace.get()),
       rng_(config.seed),
       fault_rng_(Rng::stream(config.seed, 0xfa017ULL)),
       node_down_(g.node_count(), 0),
@@ -91,8 +92,17 @@ void Network::release_packet(Packet* pkt) {
     packet_free_.push_back(pkt);
 }
 
+void Network::note_drop(NodeId node, EdgeId e, const Packet& pkt, sim::DropReason reason) {
+    if (trace_ != nullptr && trace_->enabled(sim::TraceKind::kDrop))
+        trace_->record(sim_.now(), node, sim::TraceKind::kDrop,
+                       {.lineage = pkt.lineage, .a = e, .b = 0,
+                        .flag = static_cast<std::uint8_t>(reason)});
+    if (cost::Sampling* s = metrics_.sampling()) s->drops().add(sim_.now(), 1);
+}
+
 std::uint64_t Network::send(NodeId from, AnrHeader header,
-                            std::shared_ptr<const Payload> payload) {
+                            std::shared_ptr<const Payload> payload,
+                            std::uint64_t parent_lineage) {
     FASTNET_EXPECTS(from < graph_.node_count());
     FASTNET_EXPECTS_MSG(!header.empty(), "empty ANR header");
     if (params_.dmax != 0) {
@@ -100,9 +110,6 @@ std::uint64_t Network::send(NodeId from, AnrHeader header,
                             "ANR header exceeds dmax — path length restriction violated");
     }
     metrics_.net().injections += 1;
-    if (config_.trace)
-        config_.trace->record(sim_.now(), from, sim::TraceKind::kSend,
-                              "header_len=" + std::to_string(header.size()));
     metrics_.net().max_header_len =
         std::max(metrics_.net().max_header_len, header_length(header));
     metrics_.node(from).sends += 1;
@@ -114,17 +121,28 @@ std::uint64_t Network::send(NodeId from, AnrHeader header,
     pkt->payload = std::move(payload);
     pkt->origin = from;
     pkt->id = next_packet_id_++;
+    pkt->lineage = pkt->id;
+    pkt->sent_at = sim_.now();
     pkt->hops = 0;
-    const std::uint64_t id = pkt->id;
+    if (trace_ != nullptr && trace_->enabled(sim::TraceKind::kSend))
+        trace_->record(sim_.now(), from, sim::TraceKind::kSend,
+                       {.lineage = pkt->lineage, .a = header.size(), .b = parent_lineage,
+                        .flag = 0});
+    if (cost::Sampling* s = metrics_.sampling()) {
+        s->sends().add(sim_.now(), 1);
+        s->header_len().add(header.size());
+    }
+    const std::uint64_t lineage = pkt->lineage;
     // The injecting node's own switch consumes the first label immediately
     // (switching delay is folded into the per-hop cost C).
     process_at_switch(from, pkt);
-    return id;
+    return lineage;
 }
 
 void Network::process_at_switch(NodeId node, Packet* pkt) {
     if (pkt->header_empty()) {
         metrics_.net().drops_empty_header += 1;
+        note_drop(node, kNoEdge, *pkt, sim::DropReason::kEmptyHeader);
         release_packet(pkt);
         return;
     }
@@ -134,6 +152,7 @@ void Network::process_at_switch(NodeId node, Packet* pkt) {
     const SwitchDecision d = ss.match(label);
     if (!d.matched()) {
         metrics_.net().drops_no_match += 1;
+        note_drop(node, kNoEdge, *pkt, sim::DropReason::kNoMatch);
         release_packet(pkt);
         return;
     }
@@ -155,9 +174,7 @@ void Network::transmit(NodeId from, EdgeId e, Packet* pkt) {
     LinkState& link = links_[e];
     if (!link.active()) {
         metrics_.net().drops_inactive_link += 1;
-        if (config_.trace)
-            config_.trace->record(sim_.now(), from, sim::TraceKind::kDrop,
-                                  "inactive link " + std::to_string(e));
+        note_drop(from, e, *pkt, sim::DropReason::kInactiveLink);
         release_packet(pkt);
         return;
     }
@@ -166,9 +183,7 @@ void Network::transmit(NodeId from, EdgeId e, Packet* pkt) {
     // so fault-free configurations keep byte-identical schedules.
     if (config_.loss_ppm > 0 && fault_rng_.below(1'000'000) < config_.loss_ppm) {
         metrics_.net().drops_injected += 1;
-        if (config_.trace)
-            config_.trace->record(sim_.now(), from, sim::TraceKind::kDrop,
-                                  "injected loss on link " + std::to_string(e));
+        note_drop(from, e, *pkt, sim::DropReason::kInjectedLoss);
         release_packet(pkt);
         return;
     }
@@ -187,6 +202,13 @@ void Network::transmit(NodeId from, EdgeId e, Packet* pkt) {
     // this hop.
     metrics_.net().header_bits +=
         static_cast<std::uint64_t>(pkt->remaining_len()) * label_bits_;
+    pkt->hop_sent_at = sim_.now();
+    if (cost::Sampling* s = metrics_.sampling()) {
+        // Hardware (C) budget, attributed to the node whose send put the
+        // packet on the wire; the wait includes FIFO/spacing queueing.
+        s->node(pkt->origin).hw_time.add(sim_.now(),
+                                         static_cast<double>(arrival - sim_.now()));
+    }
 
     // 32-byte capture — fits sim::InlineFn's inline storage, so the
     // steady-state hop schedules without touching the allocator.
@@ -205,10 +227,16 @@ void Network::transmit(NodeId from, EdgeId e, Packet* pkt) {
         dup->payload = pkt->payload;
         dup->origin = pkt->origin;
         dup->id = next_packet_id_++;
+        dup->lineage = pkt->lineage;  // the duplicate stays causally traceable
+        dup->sent_at = pkt->sent_at;
+        dup->hop_sent_at = sim_.now();
         dup->hops = pkt->hops;
         metrics_.net().dup_copies += 1;
         metrics_.net().header_bits +=
             static_cast<std::uint64_t>(dup->remaining_len()) * label_bits_;
+        if (trace_ != nullptr && trace_->enabled(sim::TraceKind::kDup))
+            trace_->record(sim_.now(), from, sim::TraceKind::kDup,
+                           {.lineage = dup->lineage, .a = e, .b = dup->id, .flag = 0});
         Tick dup_arrival = link.fifo_arrival(direction, arrival + params_.hop_delay);
         if (config_.link_spacing > 0)
             dup_arrival = link.spaced_arrival(direction, dup_arrival, config_.link_spacing);
@@ -221,11 +249,19 @@ void Network::arrive(NodeId at, EdgeId e, std::uint64_t epoch, Packet* pkt) {
     if (!link.active() || link.epoch() != epoch) {
         // The link failed (or flapped) while the packet was in flight.
         metrics_.net().drops_inactive_link += 1;
+        note_drop(at, e, *pkt, sim::DropReason::kStaleEpoch);
         release_packet(pkt);
         return;
     }
     pkt->hops += 1;
     metrics_.net().hops += 1;
+    if (trace_ != nullptr && trace_->enabled(sim::TraceKind::kHop))
+        trace_->record(sim_.now(), at, sim::TraceKind::kHop,
+                       {.lineage = pkt->lineage, .a = e, .b = pkt->hops, .flag = 0});
+    if (cost::Sampling* s = metrics_.sampling()) {
+        s->hops().add(sim_.now(), 1);
+        s->hop_latency().add(static_cast<std::uint64_t>(sim_.now() - pkt->hop_sent_at));
+    }
     // Accumulate reverse-path information (Section 2 grants the receiver
     // the ability to reply; we realize it as per-hop reverse labels on
     // the route blob's write-once track).
@@ -254,7 +290,10 @@ void Network::deliver_to_ncu(NodeId node, const Packet& pkt) {
     d.reverse.push_back(AnrLabel::normal(kNcuPort));
     d.payload = pkt.payload;
     d.origin = pkt.origin;
+    d.lineage = pkt.lineage;
     d.hops = pkt.hops;
+    if (cost::Sampling* s = metrics_.sampling())
+        s->delivery_latency().add(static_cast<std::uint64_t>(sim_.now() - pkt.sent_at));
     ncu_sinks_[node](d);
 }
 

@@ -86,8 +86,13 @@ public:
 
     /// Injects a packet from `from`'s NCU. The header's first label is
     /// matched at `from`'s own switch. Enforces dmax when configured.
-    /// Returns the packet id (diagnostics).
-    std::uint64_t send(NodeId from, AnrHeader header, std::shared_ptr<const Payload> payload);
+    /// Returns the packet's lineage id — monotonically assigned, stamped
+    /// on the packet and inherited by every copy/duplicate, so traces can
+    /// causally link deliveries back to this send. `parent_lineage` is
+    /// the lineage of the delivery/timer whose handler performed this
+    /// send (0 for spontaneous sends); purely observational.
+    std::uint64_t send(NodeId from, AnrHeader header, std::shared_ptr<const Payload> payload,
+                       std::uint64_t parent_lineage = 0);
 
     // ---- topology dynamics -------------------------------------------
     void fail_link(EdgeId e) { set_link_active(e, false); }
@@ -150,12 +155,18 @@ private:
 
     Packet* alloc_packet();
     void release_packet(Packet* pkt);
+    /// Records one packet death (trace + drop series); the caller still
+    /// bumps the specific metrics counter and releases the packet.
+    void note_drop(NodeId node, EdgeId e, const Packet& pkt, sim::DropReason reason);
 
     sim::Simulator& sim_;
     const graph::Graph& graph_;
     ModelParams params_;
     cost::Metrics& metrics_;
     NetworkConfig config_;
+    /// Raw view of config_.trace — one pointer test on the hot paths
+    /// instead of a shared_ptr dereference.
+    sim::Trace* trace_ = nullptr;
     Rng rng_;
     /// Separate stream for loss/duplication draws — see NetworkConfig.
     Rng fault_rng_;

@@ -159,7 +159,13 @@ struct Packet {
     std::uint32_t reverse_len = 0;            ///< Reverse labels recorded so far.
     std::shared_ptr<const Payload> payload;   ///< Opaque content.
     NodeId origin = kNoNode;                  ///< Injecting node (diagnostics only).
-    std::uint64_t id = 0;                     ///< Unique per injection (diagnostics).
+    std::uint64_t id = 0;                     ///< Unique per in-flight copy (diagnostics).
+    /// Causal lineage: assigned at injection, inherited by every
+    /// hardware copy and link-layer duplicate of this packet — the key
+    /// the trace toolchain (src/obs/) reconstructs causal chains by.
+    std::uint64_t lineage = 0;
+    Tick sent_at = 0;                         ///< Injection time (latency sampling).
+    Tick hop_sent_at = 0;                     ///< Transmit time of the current hop.
     unsigned hops = 0;                        ///< Links traversed so far.
 
     bool header_empty() const { return offset >= route.size(); }
@@ -178,6 +184,9 @@ struct Delivery {
     std::shared_ptr<const Payload> payload;
     NodeId origin = kNoNode;                  ///< Diagnostics only — protocols must carry
                                               ///< sender identity in the payload.
+    /// Causal lineage of the packet that produced this delivery
+    /// (observability only; protocols must not branch on it).
+    std::uint64_t lineage = 0;
     unsigned hops = 0;                        ///< Hardware hops travelled.
 };
 

@@ -3,9 +3,10 @@
 namespace fastnet::node {
 
 Cluster::Cluster(graph::Graph g, ProtocolFactory factory, ClusterConfig config)
-    : graph_(std::move(g)), factory_(std::move(factory)) {
+    : graph_(std::move(g)), factory_(std::move(factory)), trace_(config.trace) {
     FASTNET_EXPECTS(factory_ != nullptr);
     metrics_ = std::make_unique<cost::Metrics>(graph_.node_count());
+    if (config.sample_window > 0) metrics_->enable_sampling(config.sample_window);
     hw::NetworkConfig net_cfg = config.net;
     net_cfg.seed = config.seed ^ 0x9e3779b97f4a7c15ULL;
     if (config.trace && !net_cfg.trace) net_cfg.trace = config.trace;
@@ -22,6 +23,14 @@ Cluster::Cluster(graph::Graph g, ProtocolFactory factory, ClusterConfig config)
     }
     net_->set_link_sink([this](NodeId at, EdgeId e, bool up) {
         runtimes_[at]->on_link_notification(e, up);
+    });
+}
+
+void Cluster::mark_phase(Tick at, std::uint64_t phase) {
+    sim_.at(at, [this, phase] {
+        metrics_->set_phase(phase);
+        if (trace_ && trace_->enabled(sim::TraceKind::kPhase))
+            trace_->record(sim_.now(), kNoNode, sim::TraceKind::kPhase, {.a = phase});
     });
 }
 

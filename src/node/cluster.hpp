@@ -30,9 +30,14 @@ struct ClusterConfig {
     /// Master seed; per-node streams are forked deterministically.
     std::uint64_t seed = 42;
     /// Optional observational trace, shared with the network fabric and
-    /// every node runtime (starts, deliveries, timers, link events,
-    /// sends, drops).
+    /// every node runtime (starts, sends, hops, deliveries, timers, link
+    /// events, drops, duplicates, crash/restart) — see sim/trace.hpp and
+    /// docs/OBSERVABILITY.md.
     std::shared_ptr<sim::Trace> trace;
+    /// When > 0, enables cost::Metrics windowed sampling with this
+    /// window width (ticks): per-node busy/queue/delivery series, hop
+    /// and delivery latency histograms, C-vs-P budget attribution.
+    Tick sample_window = 0;
 };
 
 /// Creates the protocol instance for one node.
@@ -53,6 +58,15 @@ public:
     const cost::Metrics& metrics() const { return *metrics_; }
     const graph::Graph& graph() const { return net_->graph(); }
     NodeId node_count() const { return graph().node_count(); }
+
+    /// The observational trace this cluster records into (null when
+    /// tracing is off) — probes/harnesses export it via src/obs/.
+    const std::shared_ptr<sim::Trace>& trace() const { return trace_; }
+
+    /// Marks experiment phase `phase` at simulated time `at`: system
+    /// calls completing afterwards are attributed to it (when sampling
+    /// is on) and a kPhase trace record is written (when tracing is on).
+    void mark_phase(Tick at, std::uint64_t phase);
 
     /// Schedules a spontaneous start for one node / all nodes.
     void start(NodeId u, Tick at = 0);
@@ -108,6 +122,7 @@ private:
     std::unique_ptr<cost::Metrics> metrics_;
     std::unique_ptr<hw::Network> net_;
     std::vector<std::unique_ptr<NodeRuntime>> runtimes_;
+    std::shared_ptr<sim::Trace> trace_;
 };
 
 }  // namespace fastnet::node

@@ -44,12 +44,14 @@ void NodeRuntime::crash() {
     busy_ = false;
     extra_busy_ = 0;
     sends_this_call_ = 0;
+    current_lineage_ = 0;
     queue_.clear();
     for (const auto& [id, ev] : pending_timers_) net_.simulator().cancel(ev);
     pending_timers_.clear();
     cancelled_timers_.clear();
     net_.metrics().node(self_).crashes += 1;
-    if (trace_) trace_->record(now(), self_, sim::TraceKind::kCrash);
+    if (trace_)
+        trace_->record(now(), self_, sim::TraceKind::kCrash, {.a = incarnation_ - 1});
 }
 
 void NodeRuntime::restart(std::unique_ptr<Protocol> fresh) {
@@ -60,7 +62,7 @@ void NodeRuntime::restart(std::unique_ptr<Protocol> fresh) {
     // Data-link re-initialization: the fresh incarnation learns the
     // *current* state of its links, not the state at crash time.
     for (LocalLink& l : links_) l.active = net_.link_active(l.edge);
-    if (trace_) trace_->record(now(), self_, sim::TraceKind::kRestart);
+    if (trace_) trace_->record(now(), self_, sim::TraceKind::kRestart, {.a = incarnation_});
     enqueue(RestartWork{});
 }
 
@@ -82,6 +84,11 @@ void NodeRuntime::on_link_notification(EdgeId e, bool up) {
 void NodeRuntime::enqueue(Work w) {
     if (crashed_) return;  // a dead NCU accepts no work
     queue_.push_back(std::move(w));
+    if (cost::Sampling* s = net_.metrics().sampling()) {
+        const auto depth = static_cast<double>(queue_.size() + (busy_ ? 1 : 0));
+        s->node(self_).queue_depth.add(now(), depth);
+        s->queue_depth().add(static_cast<std::uint64_t>(depth));
+    }
     begin_next_if_idle();
 }
 
@@ -99,12 +106,19 @@ void NodeRuntime::begin_next_if_idle() {
     queue_.pop_front();
     const Tick delay = processing_delay();
     net_.metrics().node(self_).busy_time += delay;
-    net_.simulator().after(delay, [this, inc = incarnation_, w = std::move(w)]() mutable {
+    if (cost::Sampling* s = net_.metrics().sampling()) {
+        // Software (P) budget: the processing window this invocation
+        // occupies, attributed to its start tick.
+        s->node(self_).busy.add(now(), static_cast<double>(delay));
+        s->ncu_busy().add(static_cast<std::uint64_t>(delay));
+    }
+    net_.simulator().after(delay, [this, inc = incarnation_, delay,
+                                   w = std::move(w)]() mutable {
         if (inc != incarnation_) return;  // crashed mid-handler: never completes
         busy_ = false;
         sends_this_call_ = 0;
         extra_busy_ = 0;
-        complete(std::move(w));
+        complete(std::move(w), delay);
         if (extra_busy_ > 0) {
             // Ablation A1: serialized sends keep the processor occupied.
             busy_ = true;
@@ -120,28 +134,38 @@ void NodeRuntime::begin_next_if_idle() {
     });
 }
 
-void NodeRuntime::complete(Work w) {
+void NodeRuntime::complete(Work w, Tick busy) {
     cost::NodeCounters& counters = net_.metrics().node(self_);
     if (std::holds_alternative<StartWork>(w)) {
         counters.starts += 1;
-        if (trace_) trace_->record(now(), self_, sim::TraceKind::kStart);
+        if (trace_ && trace_->enabled(sim::TraceKind::kStart))
+            trace_->record(now(), self_, sim::TraceKind::kStart,
+                           {.b = static_cast<std::uint64_t>(busy)});
         protocol_->on_start(*this);
     } else if (std::holds_alternative<RestartWork>(w)) {
         counters.restarts += 1;
         protocol_->on_restart(*this);
     } else if (auto* d = std::get_if<hw::Delivery>(&w)) {
         counters.message_deliveries += 1;
-        if (trace_)
+        if (trace_ && trace_->enabled(sim::TraceKind::kDeliver))
             trace_->record(now(), self_, sim::TraceKind::kDeliver,
-                           "hops=" + std::to_string(d->hops));
+                           {.lineage = d->lineage, .a = d->hops,
+                            .b = static_cast<std::uint64_t>(busy)});
+        if (cost::Sampling* s = net_.metrics().sampling()) {
+            s->node(self_).deliveries.add(now(), 1);
+            s->phase_call(net_.metrics().phase());
+        }
+        current_lineage_ = d->lineage;
         protocol_->on_message(*this, *d);
+        current_lineage_ = 0;
     } else if (auto* l = std::get_if<LinkWork>(&w)) {
         counters.link_events += 1;
         links_[l->link_index].active = l->up;
-        if (trace_)
+        if (trace_ && trace_->enabled(sim::TraceKind::kLinkChange))
             trace_->record(now(), self_, sim::TraceKind::kLinkChange,
-                           "edge=" + std::to_string(links_[l->link_index].edge) +
-                               (l->up ? " up" : " down"));
+                           {.a = links_[l->link_index].edge,
+                            .b = static_cast<std::uint64_t>(busy),
+                            .flag = l->up ? std::uint8_t{1} : std::uint8_t{0}});
         protocol_->on_link_state(*this, links_[l->link_index], l->up);
     } else if (auto* t = std::get_if<TimerWork>(&w)) {
         auto it = std::find(cancelled_timers_.begin(), cancelled_timers_.end(), t->id);
@@ -150,43 +174,47 @@ void NodeRuntime::complete(Work w) {
             return;  // cancelled after the fire event queued the work
         }
         counters.timer_fires += 1;
-        if (trace_)
+        if (trace_ && trace_->enabled(sim::TraceKind::kTimer))
             trace_->record(now(), self_, sim::TraceKind::kTimer,
-                           "cookie=" + std::to_string(t->cookie));
+                           {.lineage = t->lineage, .a = t->cookie,
+                            .b = static_cast<std::uint64_t>(busy)});
+        current_lineage_ = t->lineage;
         protocol_->on_timer(*this, t->cookie);
+        current_lineage_ = 0;
     }
 }
 
 void NodeRuntime::send(hw::AnrHeader header, std::shared_ptr<const hw::Payload> payload) {
     const unsigned index = sends_this_call_++;
     if (free_multisend_ || index == 0) {
-        net_.send(self_, std::move(header), std::move(payload));
+        net_.send(self_, std::move(header), std::move(payload), current_lineage_);
         return;
     }
     // Without the free multi-link send, each further packet needs its own
     // processing slot: it leaves index * P later.
     const Tick wait = static_cast<Tick>(index) * net_.params().ncu_delay;
     extra_busy_ = std::max(extra_busy_, wait);
-    net_.simulator().after(wait, [this, inc = incarnation_, h = std::move(header),
-                                  p = std::move(payload)]() mutable {
+    net_.simulator().after(wait, [this, inc = incarnation_, lin = current_lineage_,
+                                  h = std::move(header), p = std::move(payload)]() mutable {
         if (inc != incarnation_) return;  // crashed before the packet left
-        net_.send(self_, std::move(h), std::move(p));
+        net_.send(self_, std::move(h), std::move(p), lin);
     });
 }
 
 void NodeRuntime::reply(const hw::Delivery& to, std::shared_ptr<const hw::Payload> payload) {
     FASTNET_EXPECTS_MSG(!to.reverse.empty(), "delivery has no reverse route");
-    net_.send(self_, to.reverse, std::move(payload));
+    net_.send(self_, to.reverse, std::move(payload), current_lineage_);
 }
 
 TimerId NodeRuntime::set_timer(Tick delay, std::uint64_t cookie) {
     FASTNET_EXPECTS(delay >= 0);
     const TimerId id = next_timer_++;
-    const sim::EventId ev = net_.simulator().after(delay, [this, inc = incarnation_, id, cookie] {
-        if (inc != incarnation_) return;  // crash already cancelled it
-        std::erase_if(pending_timers_, [id](const auto& p) { return p.first == id; });
-        enqueue(TimerWork{id, cookie});
-    });
+    const sim::EventId ev = net_.simulator().after(
+        delay, [this, inc = incarnation_, lin = current_lineage_, id, cookie] {
+            if (inc != incarnation_) return;  // crash already cancelled it
+            std::erase_if(pending_timers_, [id](const auto& p) { return p.first == id; });
+            enqueue(TimerWork{id, cookie, lin});
+        });
     pending_timers_.emplace_back(id, ev);
     return id;
 }

@@ -93,6 +93,9 @@ private:
     struct TimerWork {
         TimerId id;
         std::uint64_t cookie;
+        /// Causal lineage of the invocation that armed the timer (0 if it
+        /// was armed outside a handler) — traces link a fire back to it.
+        std::uint64_t lineage;
     };
     struct LinkWork {
         std::size_t link_index;
@@ -102,7 +105,7 @@ private:
 
     void enqueue(Work w);
     void begin_next_if_idle();
-    void complete(Work w);
+    void complete(Work w, Tick busy);
     Tick processing_delay();
 
     NodeId self_;
@@ -121,6 +124,10 @@ private:
     /// crashed in between — the previous incarnation's future never runs.
     std::uint64_t incarnation_ = 0;
     std::shared_ptr<sim::Trace> trace_;
+    /// Lineage of the work item whose handler is currently executing
+    /// (0 outside handlers): the causal parent stamped on sends and
+    /// armed timers.
+    std::uint64_t current_lineage_ = 0;
 
     std::vector<LocalLink> links_;
     std::deque<Work> queue_;

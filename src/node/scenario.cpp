@@ -48,6 +48,12 @@ Scenario& Scenario::stall_node(Tick at, NodeId u, Tick extra) {
     return *this;
 }
 
+Scenario& Scenario::mark_phase(Tick at, std::uint64_t phase) {
+    actions_.push_back({at, ScenarioAction::Kind::kMarkPhase, kNoEdge, kNoNode,
+                        static_cast<Tick>(phase)});
+    return *this;
+}
+
 Tick Scenario::last_action_at() const {
     Tick last = 0;
     for (const ScenarioAction& a : actions_) last = std::max(last, a.at);
@@ -94,6 +100,9 @@ void Scenario::apply(Cluster& cluster) const {
                 cluster.simulator().at(a.at, [&cluster, u = a.node, x = a.amount] {
                     cluster.stall_node(u, x);
                 });
+                break;
+            case ScenarioAction::Kind::kMarkPhase:
+                cluster.mark_phase(a.at, static_cast<std::uint64_t>(a.amount));
                 break;
         }
     }
@@ -182,6 +191,7 @@ Scenario& Scenario::heal_all(Tick at) {
                 break;
             case ScenarioAction::Kind::kStallNode: last_stall[a.node] = a.amount; break;
             case ScenarioAction::Kind::kStart: break;
+            case ScenarioAction::Kind::kMarkPhase: break;  // purely observational
         }
     }
     for (const auto& [e, failed] : last_is_fail)

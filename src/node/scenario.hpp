@@ -24,12 +24,13 @@ struct ScenarioAction {
         kCrashNode,    ///< Hard failure: links drop AND all soft state dies.
         kRestartNode,  ///< Recovery: fresh protocol instance, on_restart hook.
         kStallNode,    ///< Inflate the node's processing delay by `amount` (0 clears).
+        kMarkPhase,    ///< Observability: tag later system calls with phase `amount`.
     };
     Tick at = 0;
     Kind kind = Kind::kFailLink;
     EdgeId edge = kNoEdge;   ///< For link actions.
     NodeId node = kNoNode;   ///< For node actions / start.
-    Tick amount = 0;         ///< For kStallNode: the extra delay.
+    Tick amount = 0;         ///< For kStallNode: the extra delay. For kMarkPhase: the phase id.
 };
 
 /// Parameters for random_churn (see below). Separate from the call so
@@ -56,6 +57,9 @@ public:
     Scenario& crash_node(Tick at, NodeId u);
     Scenario& restart_node(Tick at, NodeId u);
     Scenario& stall_node(Tick at, NodeId u, Tick extra);
+    /// Observability marker: from `at` on, system calls are attributed to
+    /// experiment phase `phase` (see Cluster::mark_phase). No network effect.
+    Scenario& mark_phase(Tick at, std::uint64_t phase);
 
     const std::vector<ScenarioAction>& actions() const { return actions_; }
     std::size_t size() const { return actions_.size(); }

@@ -1,0 +1,308 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+namespace fastnet::obs {
+
+void append_json_escaped(std::string& out, std::string_view s) {
+    for (char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            case '\r': out += "\\r"; break;
+            case '\b': out += "\\b"; break;
+            case '\f': out += "\\f"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out.push_back(c);
+                }
+        }
+    }
+}
+
+std::string json_quote(std::string_view s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    out.push_back('"');
+    append_json_escaped(out, s);
+    out.push_back('"');
+    return out;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+    if (type != Type::kObject) return nullptr;
+    for (const auto& [k, v] : object)
+        if (k == key) return &v;
+    return nullptr;
+}
+
+double JsonValue::as_double() const {
+    switch (type) {
+        case Type::kUInt: return static_cast<double>(uint_value);
+        case Type::kInt: return static_cast<double>(int_value);
+        case Type::kDouble: return number;
+        default: return 0;
+    }
+}
+
+namespace {
+
+/// Strict recursive-descent parser over a string_view. Depth-limited so
+/// malformed deeply-nested input cannot blow the stack.
+class Parser {
+public:
+    Parser(std::string_view text, std::string* error) : text_(text), error_(error) {}
+
+    bool parse_document(JsonValue& out) {
+        skip_ws();
+        if (!parse_value(out, 0)) return false;
+        skip_ws();
+        if (pos_ != text_.size()) return fail("trailing content after JSON value");
+        return true;
+    }
+
+private:
+    static constexpr int kMaxDepth = 64;
+
+    bool fail(const char* msg) {
+        if (error_) *error_ = std::string(msg) + " at byte " + std::to_string(pos_);
+        return false;
+    }
+
+    void skip_ws() {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+            ++pos_;
+        }
+    }
+
+    bool consume_literal(std::string_view lit) {
+        if (text_.substr(pos_, lit.size()) != lit) return fail("invalid literal");
+        pos_ += lit.size();
+        return true;
+    }
+
+    bool parse_value(JsonValue& out, int depth) {
+        if (depth > kMaxDepth) return fail("nesting too deep");
+        if (pos_ >= text_.size()) return fail("unexpected end of input");
+        switch (text_[pos_]) {
+            case '{': return parse_object(out, depth);
+            case '[': return parse_array(out, depth);
+            case '"':
+                out.type = JsonValue::Type::kString;
+                return parse_string(out.string);
+            case 't':
+                out.type = JsonValue::Type::kBool;
+                out.boolean = true;
+                return consume_literal("true");
+            case 'f':
+                out.type = JsonValue::Type::kBool;
+                out.boolean = false;
+                return consume_literal("false");
+            case 'n':
+                out.type = JsonValue::Type::kNull;
+                return consume_literal("null");
+            default: return parse_number(out);
+        }
+    }
+
+    bool parse_object(JsonValue& out, int depth) {
+        out.type = JsonValue::Type::kObject;
+        ++pos_;  // '{'
+        skip_ws();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skip_ws();
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail("expected object key");
+            std::string key;
+            if (!parse_string(key)) return false;
+            skip_ws();
+            if (pos_ >= text_.size() || text_[pos_] != ':') return fail("expected ':'");
+            ++pos_;
+            skip_ws();
+            JsonValue value;
+            if (!parse_value(value, depth + 1)) return false;
+            out.object.emplace_back(std::move(key), std::move(value));
+            skip_ws();
+            if (pos_ >= text_.size()) return fail("unterminated object");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool parse_array(JsonValue& out, int depth) {
+        out.type = JsonValue::Type::kArray;
+        ++pos_;  // '['
+        skip_ws();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skip_ws();
+            JsonValue value;
+            if (!parse_value(value, depth + 1)) return false;
+            out.array.push_back(std::move(value));
+            skip_ws();
+            if (pos_ >= text_.size()) return fail("unterminated array");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool parse_string(std::string& out) {
+        ++pos_;  // '"'
+        out.clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("raw control character in string");
+            if (c != '\\') {
+                out.push_back(c);
+                ++pos_;
+                continue;
+            }
+            if (pos_ + 1 >= text_.size()) return fail("dangling escape");
+            const char esc = text_[pos_ + 1];
+            pos_ += 2;
+            switch (esc) {
+                case '"': out.push_back('"'); break;
+                case '\\': out.push_back('\\'); break;
+                case '/': out.push_back('/'); break;
+                case 'n': out.push_back('\n'); break;
+                case 't': out.push_back('\t'); break;
+                case 'r': out.push_back('\r'); break;
+                case 'b': out.push_back('\b'); break;
+                case 'f': out.push_back('\f'); break;
+                case 'u': {
+                    if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = text_[pos_ + static_cast<std::size_t>(i)];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+                        else return fail("invalid \\u escape");
+                    }
+                    pos_ += 4;
+                    // UTF-8 encode the code point (BMP only; the exporters
+                    // never emit surrogate pairs).
+                    if (code < 0x80) {
+                        out.push_back(static_cast<char>(code));
+                    } else if (code < 0x800) {
+                        out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+                        out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+                    } else {
+                        out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+                        out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+                        out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+                    }
+                    break;
+                }
+                default: return fail("invalid escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool parse_number(JsonValue& out) {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+        if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+            return fail("invalid number");
+        // Leading zeros are forbidden by RFC 8259.
+        if (text_[pos_] == '0' && pos_ + 1 < text_.size() &&
+            std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])))
+            return fail("leading zero in number");
+        while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+        bool integral = true;
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            integral = false;
+            ++pos_;
+            if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                return fail("invalid fraction");
+            while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            integral = false;
+            ++pos_;
+            if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+            if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                return fail("invalid exponent");
+            while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        const std::string_view tok = text_.substr(start, pos_ - start);
+        if (integral && tok[0] != '-') {
+            std::uint64_t v = 0;
+            const auto res = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+            if (res.ec == std::errc() && res.ptr == tok.data() + tok.size()) {
+                out.type = JsonValue::Type::kUInt;
+                out.uint_value = v;
+                return true;
+            }
+        } else if (integral) {
+            std::int64_t v = 0;
+            const auto res = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+            if (res.ec == std::errc() && res.ptr == tok.data() + tok.size()) {
+                out.type = JsonValue::Type::kInt;
+                out.int_value = v;
+                return true;
+            }
+        }
+        double d = 0;
+        const auto res = std::from_chars(tok.data(), tok.data() + tok.size(), d);
+        if (res.ec != std::errc() || res.ptr != tok.data() + tok.size())
+            return fail("number out of range");
+        out.type = JsonValue::Type::kDouble;
+        out.number = d;
+        return true;
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+    std::string* error_;
+};
+
+}  // namespace
+
+bool json_parse(std::string_view text, JsonValue& out, std::string* error) {
+    out = JsonValue{};
+    return Parser(text, error).parse_document(out);
+}
+
+}  // namespace fastnet::obs

@@ -1,0 +1,66 @@
+// Minimal JSON building blocks for the observability exporters.
+//
+// Two halves. Writing: escape helpers that make any string safe inside a
+// JSON string literal (quotes, backslashes and control characters — the
+// bench reporter and the trace exporters share them). Reading: a small
+// strict recursive-descent parser used by the trace loaders and the
+// `fastnet_trace --check` validator. The parser keeps non-negative
+// integers as exact std::uint64_t (trace timestamps, lineage ids and
+// packet ids do not survive a double round-trip), preserves object key
+// order, and rejects anything outside RFC 8259 (trailing commas,
+// comments, unquoted keys, NaN...). No external dependencies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace fastnet::obs {
+
+/// Appends `s` escaped for inclusion inside a JSON string literal:
+/// `"` and `\` get a backslash, control characters become \n, \t, \r,
+/// \b, \f or \u00XX.
+void append_json_escaped(std::string& out, std::string_view s);
+
+/// `s` as a complete JSON string literal, quotes included.
+std::string json_quote(std::string_view s);
+
+/// One parsed JSON value. A discriminated struct rather than a variant:
+/// the trace schemas are shallow and the explicit accessors below keep
+/// validation code readable.
+struct JsonValue {
+    enum class Type { kNull, kBool, kUInt, kInt, kDouble, kString, kArray, kObject };
+
+    Type type = Type::kNull;
+    bool boolean = false;
+    std::uint64_t uint_value = 0;  ///< Exact value when type == kUInt.
+    std::int64_t int_value = 0;    ///< Exact value when type == kInt (negative).
+    double number = 0;             ///< Value when type == kDouble.
+    std::string string;
+    std::vector<JsonValue> array;
+    /// Key order preserved as written (canonical exports rely on it).
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    bool is_uint() const { return type == Type::kUInt; }
+    bool is_number() const {
+        return type == Type::kUInt || type == Type::kInt || type == Type::kDouble;
+    }
+    bool is_string() const { return type == Type::kString; }
+    bool is_array() const { return type == Type::kArray; }
+    bool is_object() const { return type == Type::kObject; }
+
+    /// Member lookup on an object; nullptr when absent or not an object.
+    const JsonValue* find(std::string_view key) const;
+
+    /// Numeric value as a double regardless of integer/double storage.
+    double as_double() const;
+};
+
+/// Parses exactly one JSON document (leading/trailing whitespace
+/// allowed, nothing else after the value). On failure returns false and,
+/// when `error` is non-null, stores a message with a byte offset.
+bool json_parse(std::string_view text, JsonValue& out, std::string* error = nullptr);
+
+}  // namespace fastnet::obs

@@ -1,0 +1,120 @@
+#include "obs/metrics_export.hpp"
+
+#include "exec/result.hpp"
+#include "obs/json.hpp"
+
+namespace fastnet::obs {
+
+// NOTE: the serialization below deliberately appends literals and
+// numbers as separate += statements (never `"lit" + std::to_string(x)`):
+// GCC 12 mis-fires -Wrestrict on the temporary-concatenation form.
+namespace {
+
+void append_kv(std::string& out, const char* key, std::uint64_t v) {
+    out += key;
+    out += std::to_string(v);
+}
+
+void append_series(std::string& out, const char* key, const cost::TimeSeries& s) {
+    out += "\"";
+    out += key;
+    out += "\":{";
+    append_kv(out, "\"window\":", static_cast<std::uint64_t>(s.window()));
+    append_kv(out, ",\"overflow\":", s.overflow());
+    out += ",\"windows\":[";
+    const auto& ws = s.windows();
+    for (std::size_t i = 0; i < ws.size(); ++i) {
+        if (i != 0) out += ",";
+        out += "[";
+        out += exec::format_double(ws[i].sum);
+        out += ",";
+        out += exec::format_double(ws[i].max);
+        out += ",";
+        out += std::to_string(ws[i].count);
+        out += "]";
+    }
+    out += "]}";
+}
+
+void append_histogram(std::string& out, const char* key, const cost::LogHistogram& h) {
+    out += "\"";
+    out += key;
+    out += "\":{";
+    append_kv(out, "\"count\":", h.count());
+    append_kv(out, ",\"sum\":", h.sum());
+    append_kv(out, ",\"min\":", h.min());
+    append_kv(out, ",\"max\":", h.max());
+    append_kv(out, ",\"p50\":", h.quantile_bound(0.5));
+    append_kv(out, ",\"p99\":", h.quantile_bound(0.99));
+    out += ",\"buckets\":[";
+    const unsigned top = h.highest_bucket();
+    for (unsigned b = 0; b <= top; ++b) {
+        if (b != 0) out += ",";
+        out += std::to_string(h.bucket(b));
+    }
+    out += "]}";
+}
+
+}  // namespace
+
+std::string metrics_json(const cost::Metrics& metrics, const std::string& name) {
+    std::string out;
+    out += "{\n\"fastnet_metrics\": 1,\n\"name\": ";
+    out += json_quote(name);
+    append_kv(out, ",\n\"nodes\": ", metrics.node_count());
+    append_kv(out, ",\n\"system_calls\": ", metrics.total_message_system_calls());
+    append_kv(out, ",\n\"invocations\": ", metrics.total_invocations());
+    append_kv(out, ",\n\"direct_messages\": ", metrics.total_direct_messages());
+    append_kv(out, ",\n\"hops\": ", metrics.net().hops);
+    const cost::Sampling* s = metrics.sampling();
+    if (s == nullptr) {
+        out += ",\n\"sampling\": null\n}\n";
+        return out;
+    }
+    append_kv(out, ",\n\"sampling\": {\n\"window\": ",
+              static_cast<std::uint64_t>(s->window()));
+    out += ",\n\"net\": {";
+    append_series(out, "hops", s->hops());
+    out += ",";
+    append_series(out, "sends", s->sends());
+    out += ",";
+    append_series(out, "drops", s->drops());
+    out += "},\n\"histograms\": {";
+    append_histogram(out, "hop_latency", s->hop_latency());
+    out += ",";
+    append_histogram(out, "delivery_latency", s->delivery_latency());
+    out += ",";
+    append_histogram(out, "header_len", s->header_len());
+    out += ",";
+    append_histogram(out, "ncu_busy", s->ncu_busy());
+    out += ",";
+    append_histogram(out, "queue_depth", s->queue_depth());
+    out += "},\n\"phase_calls\": [";
+    const auto& phases = s->phase_calls();
+    for (std::size_t i = 0; i < phases.size(); ++i) {
+        if (i != 0) out += ",";
+        out += "[";
+        out += std::to_string(phases[i].first);
+        out += ",";
+        out += std::to_string(phases[i].second);
+        out += "]";
+    }
+    out += "],\n\"per_node\": [\n";
+    for (NodeId u = 0; u < s->node_count(); ++u) {
+        const cost::Sampling::NodeSeries& ns = s->node(u);
+        append_kv(out, "{\"node\":", u);
+        out += ",";
+        append_series(out, "busy", ns.busy);
+        out += ",";
+        append_series(out, "hw_time", ns.hw_time);
+        out += ",";
+        append_series(out, "deliveries", ns.deliveries);
+        out += ",";
+        append_series(out, "queue_depth", ns.queue_depth);
+        out += u + 1 < s->node_count() ? "},\n" : "}\n";
+    }
+    out += "]\n}\n}\n";
+    return out;
+}
+
+}  // namespace fastnet::obs

@@ -1,0 +1,23 @@
+// JSON export of the sampled cost ledger (cost::Sampling).
+//
+// Serializes the windowed time-series and log-scale histograms that
+// Metrics::enable_sampling collects: per-node software-P and hardware-C
+// budgets over time, delivery/queue series, the latency/header/queue
+// histograms, and per-phase system-call counts. Deterministic bytes —
+// doubles go through exec::format_double (shortest round-trip form) and
+// every collection is serialized in index / first-use order, never hash
+// order, so sampled sweeps stay diffable across thread counts.
+#pragma once
+
+#include <string>
+
+#include "cost/metrics.hpp"
+
+namespace fastnet::obs {
+
+/// Serializes `metrics`'s sampling block (plus the headline totals).
+/// `name` labels the run. Works with sampling disabled too — the
+/// "sampling" member is then null.
+std::string metrics_json(const cost::Metrics& metrics, const std::string& name);
+
+}  // namespace fastnet::obs

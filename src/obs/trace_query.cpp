@@ -1,0 +1,128 @@
+#include "obs/trace_query.hpp"
+
+#include <algorithm>
+
+namespace fastnet::obs {
+
+std::vector<sim::TraceRecord> filter_records(std::span<const sim::TraceRecord> records,
+                                             const TraceFilter& f) {
+    std::vector<sim::TraceRecord> out;
+    for (const sim::TraceRecord& r : records) {
+        if (f.node && r.node != *f.node) continue;
+        if (f.kind && r.kind != *f.kind) continue;
+        if (f.lineage && r.lineage != *f.lineage) continue;
+        if (f.from && r.at < *f.from) continue;
+        if (f.to && r.at > *f.to) continue;
+        out.push_back(r);
+    }
+    return out;
+}
+
+namespace {
+
+/// The causal parent of `lineage` (the lineage whose handler performed
+/// its send), or 0 when unknown / spontaneous.
+std::uint64_t parent_of(std::span<const sim::TraceRecord> records, std::uint64_t lineage) {
+    for (const sim::TraceRecord& r : records)
+        if (r.kind == sim::TraceKind::kSend && r.lineage == lineage) return r.b;
+    return 0;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> lineage_ancestry(std::span<const sim::TraceRecord> records,
+                                            std::uint64_t lineage) {
+    std::vector<std::uint64_t> chain;
+    std::uint64_t cur = lineage;
+    while (cur != 0) {
+        // Cycle guard: lineage ids are assigned monotonically so a real
+        // trace cannot cycle, but a hand-edited file must not hang us.
+        if (std::find(chain.begin(), chain.end(), cur) != chain.end()) break;
+        chain.push_back(cur);
+        cur = parent_of(records, cur);
+    }
+    std::reverse(chain.begin(), chain.end());
+    return chain;
+}
+
+std::vector<sim::TraceRecord> causal_chain(std::span<const sim::TraceRecord> records,
+                                           std::uint64_t lineage) {
+    const std::vector<std::uint64_t> lineages = lineage_ancestry(records, lineage);
+    std::vector<sim::TraceRecord> out;
+    for (const sim::TraceRecord& r : records) {
+        if (r.lineage == 0) continue;
+        if (std::find(lineages.begin(), lineages.end(), r.lineage) != lineages.end())
+            out.push_back(r);
+    }
+    return out;  // records is chronological, so out is too
+}
+
+std::vector<CrashEpisode> crash_episodes(std::span<const sim::TraceRecord> records) {
+    std::vector<CrashEpisode> out;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const sim::TraceRecord& r = records[i];
+        if (r.kind != sim::TraceKind::kCrash) continue;
+        CrashEpisode ep;
+        ep.node = r.node;
+        ep.crashed_at = r.at;
+        for (std::size_t j = i + 1; j < records.size(); ++j) {
+            const sim::TraceRecord& s = records[j];
+            if (ep.restarted_at == kNever) {
+                if (s.kind == sim::TraceKind::kDrop) ++ep.drops_while_down;
+                if (s.kind == sim::TraceKind::kRestart && s.node == r.node)
+                    ep.restarted_at = s.at;
+                continue;
+            }
+            ep.settled_at = s.at;
+            if (s.kind == sim::TraceKind::kDeliver && s.node == r.node)
+                ++ep.deliveries_after_restart;
+        }
+        if (ep.restarted_at != kNever && ep.settled_at == kNever)
+            ep.settled_at = ep.restarted_at;
+        out.push_back(ep);
+    }
+    return out;
+}
+
+std::array<std::uint64_t, sim::kTraceKindCount> kind_counts(
+    std::span<const sim::TraceRecord> records) {
+    std::array<std::uint64_t, sim::kTraceKindCount> counts{};
+    for (const sim::TraceRecord& r : records)
+        counts[static_cast<std::size_t>(r.kind)] += 1;
+    return counts;
+}
+
+std::string format_records(std::span<const sim::TraceRecord> records) {
+    std::string out;
+    for (const sim::TraceRecord& r : records) {
+        out += sim::format_record(r);
+        out += '\n';
+    }
+    return out;
+}
+
+std::string format_reconvergence(std::span<const sim::TraceRecord> records) {
+    const std::vector<CrashEpisode> episodes = crash_episodes(records);
+    if (episodes.empty()) return "no crashes in trace\n";
+    std::string out;
+    for (const CrashEpisode& ep : episodes) {
+        out += "node " + std::to_string(ep.node) + " crashed at t=" +
+               std::to_string(ep.crashed_at);
+        if (ep.restarted_at == kNever) {
+            out += ", never restarted";
+        } else {
+            out += ", restarted at t=" + std::to_string(ep.restarted_at) + " (down " +
+                   std::to_string(ep.restarted_at - ep.crashed_at) + " ticks)";
+        }
+        out += "; drops while down: " + std::to_string(ep.drops_while_down);
+        if (ep.restarted_at != kNever) {
+            out += "; deliveries after restart: " +
+                   std::to_string(ep.deliveries_after_restart);
+            out += "; last trace activity t=" + std::to_string(ep.settled_at);
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+}  // namespace fastnet::obs

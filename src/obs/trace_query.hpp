@@ -1,0 +1,72 @@
+// Offline trace querying: filtering, causal reconstruction, timelines.
+//
+// Operates on materialized record vectors (a live Trace::snapshot() or a
+// canonical export read back via load_canonical) — the same functions
+// serve the tests and the fastnet_trace CLI, so anything diagnosable
+// in-process is diagnosable from the exported file alone.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/trace.hpp"
+
+namespace fastnet::obs {
+
+/// Conjunctive record filter; unset fields match everything.
+struct TraceFilter {
+    std::optional<NodeId> node{};
+    std::optional<sim::TraceKind> kind{};
+    std::optional<std::uint64_t> lineage{};
+    std::optional<Tick> from{};  ///< at >= from
+    std::optional<Tick> to{};    ///< at <= to
+};
+
+std::vector<sim::TraceRecord> filter_records(std::span<const sim::TraceRecord> records,
+                                             const TraceFilter& f);
+
+/// Reconstructs the causal history of lineage `lineage`: every record of
+/// that lineage (send, hops, duplicates, drops, deliveries, timers) plus
+/// — transitively — the full history of each causal ancestor, i.e. the
+/// lineage whose handler performed the send (a kSend record's `b`).
+/// Chronological; empty when the lineage never appears.
+std::vector<sim::TraceRecord> causal_chain(std::span<const sim::TraceRecord> records,
+                                           std::uint64_t lineage);
+
+/// The ancestry path of `lineage` itself, oldest ancestor first (ending
+/// with `lineage`). A lineage with no recorded kSend parent is a root.
+std::vector<std::uint64_t> lineage_ancestry(std::span<const sim::TraceRecord> records,
+                                            std::uint64_t lineage);
+
+/// One crash episode of one node, as reconstructed from the trace.
+struct CrashEpisode {
+    NodeId node = kNoNode;
+    Tick crashed_at = 0;
+    Tick restarted_at = kNever;       ///< kNever = never restarted in-trace.
+    /// Last trace activity (any kind, any node) at/after the restart —
+    /// an upper bound on when the network reconverged.
+    Tick settled_at = kNever;
+    std::uint64_t drops_while_down = 0;       ///< Network-wide kDrop count in the gap.
+    std::uint64_t deliveries_after_restart = 0;  ///< At this node, post-restart.
+};
+
+/// Crash/restart episodes in crash order (pairs each kCrash with the
+/// next kRestart of the same node).
+std::vector<CrashEpisode> crash_episodes(std::span<const sim::TraceRecord> records);
+
+/// Per-kind record counts, indexed by TraceKind value.
+std::array<std::uint64_t, sim::kTraceKindCount> kind_counts(
+    std::span<const sim::TraceRecord> records);
+
+/// Renders records one per line via sim::format_record.
+std::string format_records(std::span<const sim::TraceRecord> records);
+
+/// Human-readable reconvergence report: every crash episode with its
+/// down-window, drop count and post-restart delivery count.
+std::string format_reconvergence(std::span<const sim::TraceRecord> records);
+
+}  // namespace fastnet::obs

@@ -11,32 +11,93 @@ const char* trace_kind_name(TraceKind k) {
     switch (k) {
         case TraceKind::kStart: return "start";
         case TraceKind::kSend: return "send";
+        case TraceKind::kHop: return "hop";
         case TraceKind::kDeliver: return "deliver";
         case TraceKind::kTimer: return "timer";
         case TraceKind::kLinkChange: return "link";
         case TraceKind::kDrop: return "drop";
         case TraceKind::kCrash: return "crash";
         case TraceKind::kRestart: return "restart";
+        case TraceKind::kDup: return "dup";
+        case TraceKind::kPhase: return "phase";
         case TraceKind::kCustom: return "custom";
     }
     return "?";
 }
 
-Trace::Trace(std::size_t capacity) : capacity_(capacity) {
+bool trace_kind_from_name(std::string_view name, TraceKind& out) {
+    for (unsigned k = 0; k < kTraceKindCount; ++k) {
+        const auto kind = static_cast<TraceKind>(k);
+        if (name == trace_kind_name(kind)) {
+            out = kind;
+            return true;
+        }
+    }
+    return false;
+}
+
+const char* drop_reason_name(DropReason r) {
+    switch (r) {
+        case DropReason::kNone: return "none";
+        case DropReason::kInactiveLink: return "inactive_link";
+        case DropReason::kStaleEpoch: return "stale_epoch";
+        case DropReason::kInjectedLoss: return "injected_loss";
+        case DropReason::kNoMatch: return "no_match";
+        case DropReason::kEmptyHeader: return "empty_header";
+    }
+    return "?";
+}
+
+Trace::Trace(std::size_t capacity, std::size_t detail_capacity)
+    : capacity_(capacity), detail_capacity_(detail_capacity) {
     FASTNET_EXPECTS(capacity >= 1);
     ring_.reserve(std::min<std::size_t>(capacity, 1024));
 }
 
-void Trace::record(Tick at, NodeId node, TraceKind kind, std::string detail) {
-    if (!enabled(kind)) return;
-    TraceRecord rec{at, node, kind, std::move(detail)};
+void Trace::push(Rec rec) {
     if (ring_.size() < capacity_) {
-        ring_.push_back(std::move(rec));
+        ring_.push_back(rec);
     } else {
-        ring_[next_] = std::move(rec);
+        ring_[next_] = rec;
     }
     next_ = (next_ + 1) % capacity_;
     ++count_;
+}
+
+void Trace::record(Tick at, NodeId node, TraceKind kind, TraceArgs args) {
+    if (!enabled(kind)) return;
+    Rec rec;
+    rec.at = at;
+    rec.node = node;
+    rec.kind = kind;
+    rec.flag = args.flag;
+    rec.lineage = args.lineage;
+    rec.a = args.a;
+    rec.b = args.b;
+    push(rec);
+}
+
+void Trace::record_detail(Tick at, NodeId node, TraceKind kind, std::string_view detail,
+                          TraceArgs args) {
+    if (!enabled(kind)) return;
+    Rec rec;
+    rec.at = at;
+    rec.node = node;
+    rec.kind = kind;
+    rec.flag = args.flag;
+    rec.lineage = args.lineage;
+    rec.a = args.a;
+    rec.b = args.b;
+    if (!detail.empty()) {
+        if (arena_.size() + detail.size() <= detail_capacity_) {
+            rec.detail_pos = static_cast<std::uint32_t>(arena_.size() + 1);
+            rec.detail_len = static_cast<std::uint32_t>(detail.size());
+            arena_.insert(arena_.end(), detail.begin(), detail.end());
+        } else {
+            ++detail_dropped_;
+        }
+    }
+    push(rec);
 }
 
 void Trace::set_enabled(TraceKind kind, bool on) {
@@ -51,15 +112,29 @@ bool Trace::enabled(TraceKind kind) const {
     return (enabled_mask_ >> static_cast<unsigned>(kind)) & 1u;
 }
 
+TraceRecord Trace::materialize(const Rec& r) const {
+    TraceRecord out;
+    out.at = r.at;
+    out.node = r.node;
+    out.kind = r.kind;
+    out.flag = r.flag;
+    out.lineage = r.lineage;
+    out.a = r.a;
+    out.b = r.b;
+    if (r.detail_pos != 0)
+        out.detail.assign(arena_.data() + (r.detail_pos - 1), r.detail_len);
+    return out;
+}
+
 std::vector<TraceRecord> Trace::snapshot() const {
     std::vector<TraceRecord> out;
     out.reserve(size());
     if (count_ <= capacity_) {
-        out = ring_;
+        for (const Rec& r : ring_) out.push_back(materialize(r));
     } else {
         // Ring wrapped: oldest record sits at next_.
-        out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(next_), ring_.end());
-        out.insert(out.end(), ring_.begin(), ring_.begin() + static_cast<std::ptrdiff_t>(next_));
+        for (std::size_t i = next_; i < ring_.size(); ++i) out.push_back(materialize(ring_[i]));
+        for (std::size_t i = 0; i < next_; ++i) out.push_back(materialize(ring_[i]));
     }
     return out;
 }
@@ -74,16 +149,64 @@ std::vector<TraceRecord> Trace::snapshot(NodeId node) const {
 
 void Trace::clear() {
     ring_.clear();
+    arena_.clear();
     next_ = 0;
     count_ = 0;
+    detail_dropped_ = 0;
+}
+
+std::string format_record(const TraceRecord& r) {
+    std::string line = "[t=" + std::to_string(r.at) + "] ";
+    line += r.node == kNoNode ? std::string("net") : "node " + std::to_string(r.node);
+    line += ' ';
+    line += trace_kind_name(r.kind);
+    if (r.lineage != 0) line += " lin=" + std::to_string(r.lineage);
+    switch (r.kind) {
+        case TraceKind::kSend:
+            line += " header_len=" + std::to_string(r.a);
+            if (r.b != 0) line += " parent=" + std::to_string(r.b);
+            break;
+        case TraceKind::kHop:
+            line += " edge=" + std::to_string(r.a) + " hops=" + std::to_string(r.b);
+            break;
+        case TraceKind::kDeliver:
+            line += " hops=" + std::to_string(r.a) + " busy=" + std::to_string(r.b);
+            break;
+        case TraceKind::kTimer:
+            line += " cookie=" + std::to_string(r.a) + " busy=" + std::to_string(r.b);
+            break;
+        case TraceKind::kLinkChange:
+            line += " edge=" + std::to_string(r.a);
+            line += r.flag ? " up" : " down";
+            break;
+        case TraceKind::kDrop:
+            if (r.a != kNoEdge) line += " edge=" + std::to_string(r.a);
+            line += " reason=";
+            line += drop_reason_name(static_cast<DropReason>(r.flag));
+            break;
+        case TraceKind::kDup:
+            line += " edge=" + std::to_string(r.a) + " copy_id=" + std::to_string(r.b);
+            break;
+        case TraceKind::kCrash:
+        case TraceKind::kRestart:
+            line += " incarnation=" + std::to_string(r.a);
+            break;
+        case TraceKind::kPhase:
+            line += " phase=" + std::to_string(r.a);
+            break;
+        case TraceKind::kStart:
+        case TraceKind::kCustom:
+            break;
+    }
+    if (!r.detail.empty()) {
+        line += ": ";
+        line += r.detail;
+    }
+    return line;
 }
 
 void Trace::print(std::ostream& os) const {
-    for (const TraceRecord& r : snapshot()) {
-        os << "[t=" << r.at << "] node " << r.node << ' ' << trace_kind_name(r.kind);
-        if (!r.detail.empty()) os << ": " << r.detail;
-        os << '\n';
-    }
+    for (const TraceRecord& r : snapshot()) os << format_record(r) << '\n';
 }
 
 }  // namespace fastnet::sim

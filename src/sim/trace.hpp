@@ -1,15 +1,32 @@
-// Lightweight event tracing for debugging protocols and for the
-// examples' timelines.
+// Structured, low-overhead event tracing — the repo's causal record of
+// what the hardware and the NCUs actually did.
 //
-// A Trace is a bounded ring of (time, node, kind, detail) records.
-// Components append through a shared pointer; recording can be filtered
-// by kind and is cheap enough to stay on in tests. Traces are purely
-// observational: they never influence the simulation.
+// A Trace is a bounded ring of typed records. Each record is a small
+// fixed-size POD — a timestamp, a node, a kind, a lineage id and three
+// kind-specific argument words — so the hot paths (per-hop, per-send)
+// never build a std::string. Free-form text goes through an optional
+// bounded detail *arena* (record_detail); callers must check
+// enabled(kind) before formatting such a detail, so a filtered-out or
+// detached trace costs nothing.
+//
+// Lineage: every packet injected into the network is stamped with a
+// monotonically assigned lineage id (hw::Network::send). The id rides
+// the packet through SS hops, selective copies, link-layer duplicates,
+// drops and NCU deliveries, and handler-caused sends record their
+// causal parent — so any delivery can be traced back to the send that
+// caused it, and any timer back to the invocation that armed it (see
+// docs/OBSERVABILITY.md for the full model and src/obs/ for the
+// exporters and the query toolchain).
+//
+// Traces are purely observational: they never influence the simulation,
+// and with recording disabled the steady-state hop path stays
+// zero-allocation (bench/bench_obs_overhead.cpp guards the cost).
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/types.hpp"
@@ -17,36 +34,87 @@
 namespace fastnet::sim {
 
 enum class TraceKind : std::uint8_t {
-    kStart,
-    kSend,
-    kDeliver,
-    kTimer,
-    kLinkChange,
-    kDrop,
-    kCrash,
-    kRestart,
-    kCustom,
+    kStart,       ///< Spontaneous protocol start ran.       b = busy ticks
+    kSend,        ///< NCU injected a packet.                a = header len, b = parent lineage
+    kHop,         ///< Packet traversed a link.              a = edge, b = hops so far
+    kDeliver,     ///< Delivery handler completed.           a = hops, b = busy ticks
+    kTimer,       ///< Timer handler completed.              a = cookie, b = busy ticks
+    kLinkChange,  ///< Data-link notification processed.     a = edge, flag = up, b = busy ticks
+    kDrop,        ///< Packet died.                          a = edge (kNoEdge off-link), flag = DropReason
+    kCrash,       ///< Node hard-crashed.                    a = incarnation being killed
+    kRestart,     ///< Node came back.                       a = new incarnation
+    kDup,         ///< Link-layer duplicate was minted.      a = edge, b = new packet id
+    kPhase,       ///< Experiment phase marker.              a = phase id (node = kNoNode)
+    kCustom,      ///< Free-form (detail arena).
 };
+
+inline constexpr unsigned kTraceKindCount = 12;
 
 const char* trace_kind_name(TraceKind k);
 
+/// Parses a kind name as printed by trace_kind_name; returns false on an
+/// unknown name (used by the obs loaders and the fastnet_trace CLI).
+bool trace_kind_from_name(std::string_view name, TraceKind& out);
+
+/// Why a packet died (TraceRecord::flag of a kDrop record).
+enum class DropReason : std::uint8_t {
+    kNone = 0,
+    kInactiveLink,  ///< Transmit attempted over a down link.
+    kStaleEpoch,    ///< Link failed/flapped while the packet was in flight.
+    kInjectedLoss,  ///< Fault injection: data-link CRC rejected the frame.
+    kNoMatch,       ///< Label matched no port at the switch.
+    kEmptyHeader,   ///< Header exhausted mid-switch.
+};
+
+const char* drop_reason_name(DropReason r);
+
+/// Kind-specific arguments of one record; see the TraceKind table above
+/// for what each kind stores where.
+struct TraceArgs {
+    std::uint64_t lineage = 0;  ///< Causal lineage id (0 = none).
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    std::uint8_t flag = 0;
+};
+
+/// One materialized record, as returned by snapshot(). The in-ring
+/// representation is a fixed-size POD; the detail string (if any) is
+/// copied out of the arena here.
 struct TraceRecord {
     Tick at = 0;
     NodeId node = kNoNode;
     TraceKind kind = TraceKind::kCustom;
-    std::string detail;
+    std::uint8_t flag = 0;
+    std::uint64_t lineage = 0;
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    std::string detail{};
 };
 
 class Trace {
 public:
-    /// `capacity` bounds memory; older records are discarded first.
-    explicit Trace(std::size_t capacity = 65536);
+    /// `capacity` bounds the record ring; older records are discarded
+    /// first. `detail_capacity` bounds the detail arena (bytes); once
+    /// full, further details are silently omitted (detail_dropped()).
+    explicit Trace(std::size_t capacity = 65536, std::size_t detail_capacity = 1 << 16);
 
-    void record(Tick at, NodeId node, TraceKind kind, std::string detail = {});
+    /// Appends one typed record. No allocation beyond amortized ring
+    /// growth up to `capacity`.
+    void record(Tick at, NodeId node, TraceKind kind, TraceArgs args = {});
+
+    /// Appends a record with a free-form detail. Callers on any path that
+    /// formats the detail must check enabled(kind) *before* building the
+    /// string — this function only pays for the arena copy.
+    void record_detail(Tick at, NodeId node, TraceKind kind, std::string_view detail,
+                       TraceArgs args = {});
 
     /// Enables/disables recording of one kind (all enabled initially).
     void set_enabled(TraceKind kind, bool enabled);
     bool enabled(TraceKind kind) const;
+    /// Disables every kind at once (an attached-but-silent trace; the
+    /// overhead gate runs in this configuration).
+    void disable_all() { enabled_mask_ = 0; }
+    void enable_all() { enabled_mask_ = 0xffff; }
 
     /// Records in chronological order (oldest first).
     std::vector<TraceRecord> snapshot() const;
@@ -55,21 +123,46 @@ public:
     std::vector<TraceRecord> snapshot(NodeId node) const;
 
     std::size_t size() const { return count_ < capacity_ ? count_ : capacity_; }
+    std::size_t capacity() const { return capacity_; }
     std::uint64_t total_recorded() const { return count_; }
     std::uint64_t dropped() const {
         return count_ > capacity_ ? count_ - capacity_ : 0;
     }
+    std::uint64_t detail_dropped() const { return detail_dropped_; }
     void clear();
 
     /// Human-readable dump (one line per record).
     void print(std::ostream& os) const;
 
 private:
+    /// In-ring representation: fixed size, no heap per record.
+    struct Rec {
+        Tick at = 0;
+        std::uint64_t lineage = 0;
+        std::uint64_t a = 0;
+        std::uint64_t b = 0;
+        NodeId node = kNoNode;
+        std::uint32_t detail_pos = 0;  ///< 1-based offset into arena_; 0 = none.
+        std::uint32_t detail_len = 0;
+        TraceKind kind = TraceKind::kCustom;
+        std::uint8_t flag = 0;
+    };
+
+    void push(Rec rec);
+    TraceRecord materialize(const Rec& r) const;
+
     std::size_t capacity_;
-    std::uint64_t count_ = 0;      ///< Total ever recorded.
-    std::size_t next_ = 0;         ///< Ring write position.
-    std::vector<TraceRecord> ring_;
+    std::size_t detail_capacity_;
+    std::uint64_t count_ = 0;  ///< Total ever recorded.
+    std::uint64_t detail_dropped_ = 0;
+    std::size_t next_ = 0;     ///< Ring write position.
+    std::vector<Rec> ring_;
+    std::vector<char> arena_;  ///< Append-only bounded detail storage.
     std::uint16_t enabled_mask_ = 0xffff;
 };
+
+/// Renders one record the way Trace::print does (shared with the
+/// fastnet_trace CLI, which renders records loaded from disk).
+std::string format_record(const TraceRecord& r);
 
 }  // namespace fastnet::sim

@@ -15,6 +15,11 @@ namespace {
 std::uint64_t g_allocs = 0;
 }
 
+// These counting operators intentionally delegate storage to
+// malloc/free; once make_shared below is inlined against them, GCC
+// pairs the allocation sites with std::free and mis-reports a mismatch.
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
 void* operator new(std::size_t size) {
     ++g_allocs;
     if (void* p = std::malloc(size ? size : 1)) return p;
@@ -45,7 +50,13 @@ int main() {
     const graph::Graph g = graph::make_path(kNodes);
     sim::Simulator sim;
     cost::Metrics metrics(g.node_count());
-    hw::Network net(sim, g, ModelParams::traditional(), metrics);
+    // A disabled trace must be free on the fast path: the guard runs with
+    // one attached so any record() sneaking past the enabled() gate (or
+    // allocating despite being filtered) trips the budget below.
+    hw::NetworkConfig net_cfg;
+    net_cfg.trace = std::make_shared<sim::Trace>(std::size_t{1} << 12);
+    net_cfg.trace->disable_all();
+    hw::Network net(sim, g, ModelParams::traditional(), metrics, net_cfg);
     std::uint64_t delivered = 0;
     net.set_ncu_sink(kNodes - 1, [&](const hw::Delivery&) { ++delivered; });
 

@@ -29,6 +29,8 @@
 #include "fault/injector.hpp"
 #include "fault/oracle.hpp"
 #include "graph/generators.hpp"
+#include "obs/metrics_export.hpp"
+#include "obs/trace_export.hpp"
 #include "topo/router.hpp"
 #include "topo/topology_maintenance.hpp"
 
@@ -66,6 +68,8 @@ int main(int argc, char** argv) {
     unsigned threads = 0;
     unsigned seeds = 100;
     std::string out_path = "chaos_smoke.json";
+    std::string trace_case;
+    std::string trace_prefix = "chaos_trace";
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
             threads = static_cast<unsigned>(std::atoi(argv[++i]));
@@ -73,9 +77,17 @@ int main(int argc, char** argv) {
             seeds = static_cast<unsigned>(std::atoi(argv[++i]));
         } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
             out_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--trace-case") == 0 && i + 1 < argc) {
+            trace_case = argv[++i];
+        } else if (std::strcmp(argv[i], "--trace-prefix") == 0 && i + 1 < argc) {
+            trace_prefix = argv[++i];
         } else {
-            std::cerr << "usage: " << argv[0] << " [--threads N] [--seeds N] [--out FILE]\n"
-                      << "  --threads 0 (default) uses hardware_concurrency\n";
+            std::cerr << "usage: " << argv[0]
+                      << " [--threads N] [--seeds N] [--out FILE]\n"
+                      << "  [--trace-case NAME] [--trace-prefix P]\n"
+                      << "  --threads 0 (default) uses hardware_concurrency\n"
+                      << "  --trace-case attaches a trace + sampling to the named case\n"
+                      << "  and exports P.canonical.json / P.chrome.json / P.metrics.json\n";
             return 2;
         }
     }
@@ -84,6 +96,35 @@ int main(int argc, char** argv) {
     opt.threads = threads;
     opt.master_seed = 1988;  // the paper's year
     exec::SweepRunner runner(opt);
+
+    // Observability hook: the named case records into its own trace and
+    // exports both formats (plus sampled metrics) from its probe. Export
+    // content derives only from the case's deterministic simulation, so
+    // the files byte-diff clean across thread counts — the TraceSmoke
+    // ctest (scripts/trace_smoke.sh) relies on it.
+    bool trace_case_found = false;
+    auto maybe_trace = [&](exec::ClusterCase& c) {
+        if (trace_case.empty() || c.name != trace_case) return;
+        trace_case_found = true;
+        c.config.trace = std::make_shared<sim::Trace>(std::size_t{1} << 20);
+        c.config.sample_window = 50;
+        auto inner = std::move(c.probe);
+        c.probe = [inner, prefix = trace_prefix, name = c.name](
+                      node::Cluster& cluster, exec::CaseResult& r) {
+            if (inner) inner(cluster, r);
+            const obs::ExportMeta meta = obs::make_meta(cluster.graph(), name);
+            const sim::Trace& trace = *cluster.trace();
+            if (!exec::write_text_file(prefix + ".canonical.json",
+                                       obs::canonical_trace_json(trace, meta)) ||
+                !exec::write_text_file(prefix + ".chrome.json",
+                                       obs::chrome_trace_json(trace, meta)) ||
+                !exec::write_text_file(prefix + ".metrics.json",
+                                       obs::metrics_json(cluster.metrics(), name))) {
+                std::cerr << "cannot write trace exports with prefix " << prefix << "\n";
+                r.ok = false;
+            }
+        };
+    };
 
     // --- maintenance under crash churn: the Theorem-1 oracle -----------
     for (std::uint64_t seed = 0; seed < seeds; ++seed) {
@@ -122,6 +163,7 @@ int main(int argc, char** argv) {
             r.ok = rep.ok();
             if (!rep.ok()) std::cerr << "oracle: " << rep.summary() << "\n";
         };
+        maybe_trace(c);
         runner.add(std::move(c));
     }
 
@@ -172,6 +214,7 @@ int main(int argc, char** argv) {
             r.ok = o.ok();
             if (!o.ok()) std::cerr << "oracle: " << o.report().summary() << "\n";
         };
+        maybe_trace(c);
         runner.add(std::move(c));
     }
 
@@ -202,7 +245,13 @@ int main(int argc, char** argv) {
             r.ok = o.ok();
             if (!o.ok()) std::cerr << "oracle: " << o.report().summary() << "\n";
         };
+        maybe_trace(c);
         runner.add(std::move(c));
+    }
+
+    if (!trace_case.empty() && !trace_case_found) {
+        std::cerr << "--trace-case " << trace_case << " matches no case\n";
+        return 2;
     }
 
     const auto rows = runner.run();

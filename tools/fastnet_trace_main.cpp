@@ -1,0 +1,161 @@
+// fastnet_trace: inspect exported traces from the command line.
+//
+// Reads a canonical trace export (see src/obs/trace_export.hpp) and
+// filters, summarizes or causally reconstructs it — everything the
+// in-process query API (src/obs/trace_query.hpp) offers, available
+// offline on the file alone. `--check` validates either export format
+// (canonical or Chrome trace-event JSON) and is what the TraceSmoke
+// ctest runs against freshly exported files.
+//
+//   fastnet_trace trace.json                      # print all records
+//   fastnet_trace trace.json --node 3 --kind drop # filter
+//   fastnet_trace trace.json --lineage 17         # one lineage's records
+//   fastnet_trace trace.json --chain 17           # full causal chain
+//   fastnet_trace trace.json --summary            # per-kind counts
+//   fastnet_trace trace.json --reconvergence      # crash/recovery timeline
+//   fastnet_trace trace.json --check              # schema validation only
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/trace_export.hpp"
+#include "obs/trace_query.hpp"
+
+using namespace fastnet;
+
+namespace {
+
+int usage(const char* argv0) {
+    std::cerr << "usage: " << argv0
+              << " FILE [--check] [--summary] [--reconvergence]\n"
+                 "       [--node N] [--kind NAME] [--lineage L] [--from T] [--to T]\n"
+                 "       [--chain L]\n";
+    return 2;
+}
+
+bool read_file(const std::string& path, std::string& out) {
+    std::ifstream f(path, std::ios::binary);
+    if (!f) return false;
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    out = ss.str();
+    return static_cast<bool>(f);
+}
+
+/// Validates either export format, detected by its top-level marker.
+int run_check(const std::string& path, const std::string& text) {
+    obs::JsonValue doc;
+    std::string error;
+    if (!obs::json_parse(text, doc, &error)) {
+        std::cerr << path << ": invalid JSON: " << error << "\n";
+        return 1;
+    }
+    const bool is_chrome = doc.is_object() && doc.find("traceEvents") != nullptr;
+    const bool ok = is_chrome ? obs::check_chrome(text, &error)
+                              : obs::check_canonical(text, &error);
+    if (!ok) {
+        std::cerr << path << ": invalid " << (is_chrome ? "chrome" : "canonical")
+                  << " trace: " << error << "\n";
+        return 1;
+    }
+    std::cout << path << ": valid " << (is_chrome ? "chrome" : "canonical")
+              << " trace\n";
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string path;
+    bool check = false, summary = false, reconvergence = false;
+    obs::TraceFilter filter;
+    std::optional<std::uint64_t> chain;
+
+    for (int i = 1; i < argc; ++i) {
+        const char* arg = argv[i];
+        const bool has_value = i + 1 < argc;
+        if (std::strcmp(arg, "--check") == 0) {
+            check = true;
+        } else if (std::strcmp(arg, "--summary") == 0) {
+            summary = true;
+        } else if (std::strcmp(arg, "--reconvergence") == 0) {
+            reconvergence = true;
+        } else if (std::strcmp(arg, "--node") == 0 && has_value) {
+            filter.node = static_cast<NodeId>(std::strtoull(argv[++i], nullptr, 10));
+        } else if (std::strcmp(arg, "--kind") == 0 && has_value) {
+            sim::TraceKind kind;
+            if (!sim::trace_kind_from_name(argv[++i], kind)) {
+                std::cerr << "unknown kind \"" << argv[i] << "\"\n";
+                return 2;
+            }
+            filter.kind = kind;
+        } else if (std::strcmp(arg, "--lineage") == 0 && has_value) {
+            filter.lineage = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(arg, "--from") == 0 && has_value) {
+            filter.from = static_cast<Tick>(std::strtoll(argv[++i], nullptr, 10));
+        } else if (std::strcmp(arg, "--to") == 0 && has_value) {
+            filter.to = static_cast<Tick>(std::strtoll(argv[++i], nullptr, 10));
+        } else if (std::strcmp(arg, "--chain") == 0 && has_value) {
+            chain = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg[0] == '-') {
+            return usage(argv[0]);
+        } else if (path.empty()) {
+            path = arg;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    if (path.empty()) return usage(argv[0]);
+
+    std::string text;
+    if (!read_file(path, text)) {
+        std::cerr << "cannot read " << path << "\n";
+        return 2;
+    }
+    if (check) return run_check(path, text);
+
+    obs::LoadedTrace trace;
+    std::string error;
+    if (!obs::load_canonical(text, trace, &error)) {
+        std::cerr << path << ": " << error
+                  << "\n(only canonical exports are queryable; --check accepts both "
+                     "formats)\n";
+        return 1;
+    }
+
+    if (chain) {
+        const auto ancestry = obs::lineage_ancestry(trace.records, *chain);
+        if (ancestry.empty()) {
+            std::cerr << "lineage " << *chain << " does not appear in the trace\n";
+            return 1;
+        }
+        std::cout << "ancestry:";
+        for (std::uint64_t lin : ancestry) std::cout << " " << lin;
+        std::cout << "\n";
+        std::cout << obs::format_records(obs::causal_chain(trace.records, *chain));
+        return 0;
+    }
+    if (reconvergence) {
+        std::cout << obs::format_reconvergence(trace.records);
+        return 0;
+    }
+    if (summary) {
+        std::cout << "trace \"" << trace.meta.name << "\": " << trace.meta.nodes
+                  << " nodes, " << trace.meta.edges.size() << " edges, "
+                  << trace.records.size() << " records (" << trace.total_recorded
+                  << " recorded, " << trace.dropped << " dropped)\n";
+        const auto counts = obs::kind_counts(trace.records);
+        for (unsigned k = 0; k < sim::kTraceKindCount; ++k)
+            if (counts[k] != 0)
+                std::cout << "  " << sim::trace_kind_name(static_cast<sim::TraceKind>(k))
+                          << ": " << counts[k] << "\n";
+        return 0;
+    }
+    std::cout << obs::format_records(obs::filter_records(trace.records, filter));
+    return 0;
+}
