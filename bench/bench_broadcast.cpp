@@ -24,7 +24,7 @@ namespace {
 using namespace fastnet;
 using topo::BroadcastScheme;
 
-void experiment_e1(bench::JsonReporter& rep) {
+void experiment_e1(bench::JsonReporter& rep, obs::BoundAudit& audit) {
     util::Table t({"n", "m", "scheme", "system_calls", "time_units", "messages",
                    "bound_1+log2n"});
     for (NodeId n : {16u, 64u, 256u, 1024u, 4096u}) {
@@ -34,6 +34,7 @@ void experiment_e1(bench::JsonReporter& rep) {
                             BroadcastScheme::kDirectUnicast}) {
             const auto out = topo::run_broadcast(g, scheme, 0);
             FASTNET_ENSURES(out.all_received);
+            audit.broadcast(g, scheme, nullptr, out, ModelParams::fast_network());
             t.add(n, g.edge_count(), topo::scheme_name(scheme), out.cost.system_calls,
                   out.time_units, out.cost.direct_messages, 1 + floor_log2(n));
             if (scheme == BroadcastScheme::kBranchingPaths) {
@@ -71,12 +72,14 @@ void experiment_e1_density(bench::JsonReporter& rep) {
                        "branching-paths does not");
 }
 
-void experiment_e2(bench::JsonReporter& rep) {
+void experiment_e2(bench::JsonReporter& rep, obs::BoundAudit& audit) {
     util::Table t({"tree_shape", "n", "time_units", "bound_1+log2n", "within_bound"});
     bool all_within = true;
-    auto run_tree = [&t, &all_within](const char* name, const graph::Graph& g) {
+    auto run_tree = [&t, &all_within, &audit](const char* name, const graph::Graph& g) {
         const auto out = topo::run_broadcast(g, BroadcastScheme::kBranchingPaths, 0);
         FASTNET_ENSURES(out.all_received);
+        audit.broadcast(g, BroadcastScheme::kBranchingPaths, nullptr, out,
+                        ModelParams::fast_network());
         const unsigned bound = 1 + floor_log2(g.node_count());
         all_within &= out.time_units <= bound;
         t.add(name, g.node_count(), out.time_units, bound, out.time_units <= bound);
@@ -139,10 +142,19 @@ BENCHMARK(bm_full_broadcast_simulation)->Range(64, 1024);
 
 int main(int argc, char** argv) {
     fastnet::bench::JsonReporter rep("broadcast");
-    experiment_e1(rep);
+    // Theorem 2 + flooding-contrast bounds, audited across every run and
+    // exported for fastnet_report; a violated bound fails the bench.
+    fastnet::obs::BoundAudit audit("broadcast");
+    experiment_e1(rep, audit);
     experiment_e1_density(rep);
-    experiment_e2(rep);
+    experiment_e2(rep, audit);
     rep.write();
+    fastnet::exec::write_text_file("AUDIT_broadcast.json", fastnet::obs::audit_json(audit));
+    if (!audit.pass()) {
+        std::cerr << "AUDIT FAILED: " << audit.violation_count()
+                  << " theorem-bound violation(s); see AUDIT_broadcast.json\n";
+        return 1;
+    }
     std::cout << "\n";
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

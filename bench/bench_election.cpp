@@ -29,7 +29,7 @@ struct E6Point {
     graph::Graph graph;
 };
 
-void experiment_e6(bench::JsonReporter& out) {
+void experiment_e6(bench::JsonReporter& out, obs::BoundAudit& audit) {
     std::vector<E6Point> grid;
     for (NodeId n : {64u, 256u, 1024u}) {
         Rng rng(n);
@@ -54,6 +54,9 @@ void experiment_e6(bench::JsonReporter& out) {
                    "max_anr_len"});
     for (std::size_t i = 0; i < grid.size(); ++i) {
         const NodeId n = grid[i].graph.node_count();
+        ElectionOptions audit_opt;
+        audit_opt.announce = false;
+        audit.election(grid[i].graph, audit_opt, rows[i]);
         t.add(grid[i].name.c_str(), n, rows[i].election_messages, 6ull * n,
               rows[i].election_messages <= 6ull * n, rows[i].cost.completion_time,
               rows[i].cost.max_header_len);
@@ -142,12 +145,13 @@ void experiment_e7(bench::JsonReporter& out) {
     out.add("e7_sweep_speedup", serial_ms / parallel_ms, "x");
 }
 
-void experiment_e13(bench::JsonReporter& out) {
+void experiment_e13(bench::JsonReporter& out, obs::BoundAudit& audit) {
     const NodeId n = 2048;
     Rng rng(13);
     const graph::Graph g = graph::make_random_connected(n, 1, 100, rng);
     const auto r = elect::run_election(g);
     FASTNET_ENSURES(r.unique_leader);
+    audit.election(g, ElectionOptions{}, r);
     util::Table t({"victim_phase", "captures", "lemma6_bound_n/2^p", "within"});
     bool all_within = true;
     for (std::size_t p = 0; p < r.captures_by_phase.size(); ++p) {
@@ -207,11 +211,20 @@ BENCHMARK(bm_inout_absorb)->Range(64, 512);
 
 int main(int argc, char** argv) {
     bench::JsonReporter out("election");
-    experiment_e6(out);
+    // Theorem 5 / Lemma 6 bounds, audited across the E6/E13 runs and
+    // exported for fastnet_report; a violated bound fails the bench.
+    obs::BoundAudit audit("election");
+    experiment_e6(out, audit);
     experiment_e6_time(out);
     experiment_e7(out);
-    experiment_e13(out);
+    experiment_e13(out, audit);
     out.write();
+    exec::write_text_file("AUDIT_election.json", obs::audit_json(audit));
+    if (!audit.pass()) {
+        std::cerr << "AUDIT FAILED: " << audit.violation_count()
+                  << " theorem-bound violation(s); see AUDIT_election.json\n";
+        return 1;
+    }
     std::cout << "\n";
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

@@ -11,6 +11,10 @@
 //                            (see trace_disabled_overhead_pct).
 //   hop_ns_trace_enabled   — trace attached, all kinds recording.
 //   hop_ns_sampling        — no trace, windowed metrics sampling on.
+//   hop_ns_monitors_empty  — empty obs::MonitorHub attached (no
+//                            monitors registered): same ±5% / zero-alloc
+//                            gate as the disabled trace.
+//   hop_ns_monitors_std    — standard invariant monitors registered.
 //
 // Plus allocs_per_hop_trace_disabled via the global operator-new counter
 // (target: 0 — the same invariant Alloc.SteadyStateHopPath enforces).
@@ -66,7 +70,8 @@ struct HopMeasurement {
 
 /// Steady-state per-hop cost of a 4095-hop pure relay (identical to
 /// bench_sim_core's hop_ns rig) under the given observability config.
-HopMeasurement measure_hops(std::shared_ptr<sim::Trace> trace, Tick sample_window) {
+HopMeasurement measure_hops(std::shared_ptr<sim::Trace> trace, Tick sample_window,
+                            std::shared_ptr<obs::MonitorHub> monitors = nullptr) {
     constexpr NodeId kNodes = 4096;
     const graph::Graph g = graph::make_path(kNodes);
     sim::Simulator sim;
@@ -74,6 +79,7 @@ HopMeasurement measure_hops(std::shared_ptr<sim::Trace> trace, Tick sample_windo
     if (sample_window > 0) metrics.enable_sampling(sample_window);
     hw::NetworkConfig cfg;
     cfg.trace = std::move(trace);
+    cfg.monitors = std::move(monitors);
     hw::Network net(sim, g, ModelParams::traditional(), metrics, cfg);
     std::uint64_t delivered = 0;
     net.set_ncu_sink(kNodes - 1, [&](const hw::Delivery&) { ++delivered; });
@@ -116,6 +122,16 @@ int main() {
 
     const HopMeasurement sampled = measure_hops(nullptr, 64);
 
+    // Attached-but-empty monitor hub: the gate configuration of this PR.
+    const HopMeasurement empty_hub = measure_hops(nullptr, 0, std::make_shared<obs::MonitorHub>());
+
+    // Standard invariant monitors registered (the honest price of live
+    // checking; informational, not gated).
+    auto std_hub = std::make_shared<obs::MonitorHub>();
+    obs::add_standard_monitors(*std_hub);
+    const HopMeasurement std_monitors = measure_hops(nullptr, 0, std_hub);
+    if (!std_hub->ok()) std::abort();  // the relay rig must not violate invariants
+
     out.add("hop_ns_no_trace", none.ns_per_hop, "ns");
     out.add("hop_ns_trace_disabled", disabled.ns_per_hop, "ns");
     out.add("hop_ns_trace_enabled", enabled.ns_per_hop, "ns");
@@ -126,8 +142,15 @@ int main() {
             100.0 * (enabled.ns_per_hop - none.ns_per_hop) / none.ns_per_hop, "pct");
     out.add("sampling_overhead_pct",
             100.0 * (sampled.ns_per_hop - none.ns_per_hop) / none.ns_per_hop, "pct");
+    out.add("hop_ns_monitors_empty", empty_hub.ns_per_hop, "ns");
+    out.add("hop_ns_monitors_std", std_monitors.ns_per_hop, "ns");
+    out.add("monitors_empty_overhead_pct",
+            100.0 * (empty_hub.ns_per_hop - none.ns_per_hop) / none.ns_per_hop, "pct");
+    out.add("monitors_std_overhead_pct",
+            100.0 * (std_monitors.ns_per_hop - none.ns_per_hop) / none.ns_per_hop, "pct");
     out.add("allocs_per_hop_no_trace", none.allocs_per_hop, "allocs");
     out.add("allocs_per_hop_trace_disabled", disabled.allocs_per_hop, "allocs");
+    out.add("allocs_per_hop_monitors_empty", empty_hub.allocs_per_hop, "allocs");
     out.write();
     return 0;
 }

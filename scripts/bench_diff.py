@@ -2,13 +2,14 @@
 """Diff two BENCH_*.json files (see bench/json_reporter.hpp).
 
 Prints every metric present in either file with old/new values and the
-relative change. With --threshold P, exits 1 when any shared metric
-regressed by more than P percent — "regressed" respects the unit's
-direction: throughput units (*_per_sec) regress downwards, everything
-else (ns, ms, allocs, pct, bytes) regresses upwards.
+relative change. With --fail-on-regression P (or its older spelling
+--threshold P), exits 1 when any shared metric regressed by more than P
+percent — "regressed" respects the unit's direction: throughput units
+(*_per_sec) regress downwards, everything else (ns, ms, allocs, pct,
+bytes) regresses upwards.
 
   scripts/bench_diff.py old/BENCH_sim_core.json new/BENCH_sim_core.json
-  scripts/bench_diff.py --threshold 5 old.json new.json
+  scripts/bench_diff.py --fail-on-regression 5 old.json new.json
 """
 import argparse
 import json
@@ -33,7 +34,8 @@ def main():
                                  formatter_class=argparse.RawDescriptionHelpFormatter)
     ap.add_argument("old", help="baseline BENCH_*.json")
     ap.add_argument("new", help="candidate BENCH_*.json")
-    ap.add_argument("--threshold", type=float, default=None, metavar="PCT",
+    ap.add_argument("--fail-on-regression", "--threshold", dest="threshold",
+                    type=float, default=None, metavar="PCT",
                     help="exit 1 if any metric regresses more than PCT percent")
     args = ap.parse_args()
 

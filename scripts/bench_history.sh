@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Archive the current revision's bench outputs into bench/history/.
+#
+# Collects every BENCH_*.json and AUDIT_*.json under the given directory
+# (default: build/bench, where the bench binaries drop them) into
+# bench/history/<short-sha>/ and appends the sha to bench/history/INDEX
+# — once; re-archiving the same revision refreshes its files without
+# duplicating the INDEX line. INDEX orders snapshots oldest-first, which
+# is exactly what tools/fastnet_report --history consumes for the
+# per-bench trajectory tables.
+#
+#   scripts/bench_history.sh                # archive from build/bench
+#   scripts/bench_history.sh build/mydir    # archive from elsewhere
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+src=${1:-build/bench}
+if [ ! -d "$src" ]; then
+    echo "error: source directory $src does not exist (run the benches first)" >&2
+    exit 2
+fi
+
+sha=$(git rev-parse --short HEAD)
+dest="bench/history/$sha"
+
+shopt -s nullglob
+files=("$src"/BENCH_*.json "$src"/AUDIT_*.json)
+if [ ${#files[@]} -eq 0 ]; then
+    echo "error: no BENCH_*.json or AUDIT_*.json in $src" >&2
+    exit 2
+fi
+
+mkdir -p "$dest"
+cp "${files[@]}" "$dest/"
+
+index="bench/history/INDEX"
+touch "$index"
+if ! grep -qx "$sha" "$index"; then
+    echo "$sha" >>"$index"
+fi
+
+echo "archived ${#files[@]} file(s) into $dest"

@@ -1,17 +1,47 @@
 #!/usr/bin/env bash
-# Tier-1 gate: build and run the full test suite in the regular
-# configuration and under ASan+LSan, UBSan and TSan (see
-# CMakePresets.json). TSan matters since src/exec/: the sweep engine
-# runs protocol simulations on a worker pool, and every parallel-sweep
-# test exercises it — including the seeded ChaosSmoke fault-injection
-# sweep (scripts/chaos_smoke.sh), which therefore runs under every
-# sanitizer too. Run from anywhere; exits non-zero on the first
-# failing configuration.
+# Tier-1 gate: build and run the test suite in the regular configuration
+# and under ASan+LSan, UBSan and TSan (see CMakePresets.json). TSan
+# matters since src/exec/: the sweep engine runs protocol simulations on
+# a worker pool, and every parallel-sweep test exercises it — including
+# the seeded ChaosSmoke fault-injection sweep (scripts/chaos_smoke.sh),
+# which therefore runs under every sanitizer too. Run from anywhere;
+# exits non-zero on the first failing configuration.
+#
+# With no arguments, runs every preset and every test. Presets named on
+# the command line restrict the sweep (CI splits the matrix this way),
+# and --filter REGEX forwards to `ctest -R` for a smoke subset:
+#
+#   scripts/check.sh                     # all presets, all tests
+#   scripts/check.sh default             # one preset
+#   scripts/check.sh asan --filter 'Smoke|FastnetTests'
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 jobs=$(nproc 2>/dev/null || echo 2)
+
+presets=()
+filter=""
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --filter)
+            [ $# -ge 2 ] || { echo "error: --filter needs a regex" >&2; exit 2; }
+            filter=$2
+            shift 2
+            ;;
+        -*)
+            echo "usage: $0 [PRESET...] [--filter REGEX]" >&2
+            exit 2
+            ;;
+        *)
+            presets+=("$1")
+            shift
+            ;;
+    esac
+done
+if [ ${#presets[@]} -eq 0 ]; then
+    presets=(default asan ubsan tsan)
+fi
 
 run_preset() {
     local preset=$1
@@ -20,10 +50,14 @@ run_preset() {
     echo "==> [$preset] build"
     cmake --build --preset "$preset" -j "$jobs"
     echo "==> [$preset] test"
-    ctest --preset "$preset" -j "$jobs"
+    if [ -n "$filter" ]; then
+        ctest --preset "$preset" -j "$jobs" -R "$filter"
+    else
+        ctest --preset "$preset" -j "$jobs"
+    fi
 }
 
-for preset in default asan ubsan tsan; do
+for preset in "${presets[@]}"; do
     run_preset "$preset"
 done
 

@@ -159,6 +159,23 @@ struct ElectionOutcome {
     std::size_t max_naive_return_len = 0;  ///< A3: naive reverse-concat lengths.
 };
 
+// ---- predicted bounds (Theorems 4-5, Lemma 6) ---------------------------
+// Derived by the auditor (obs/audit.hpp) for a concrete run.
+
+/// Theorem 5: the election spends at most 6n direct messages.
+constexpr std::uint64_t theorem5_call_bound(std::uint64_t n) { return 6 * n; }
+
+/// The optional announcement phase costs n-1 further direct messages.
+constexpr std::uint64_t announce_call_bound(std::uint64_t n) {
+    return n >= 1 ? n - 1 : 0;
+}
+
+/// Lemma 6: at most n / 2^p candidates ever reach phase p, so at most
+/// that many captures can be performed by phase-p candidates.
+constexpr std::uint64_t lemma6_capture_bound(std::uint64_t n, unsigned phase) {
+    return phase >= 64 ? 0 : n >> phase;
+}
+
 /// Runs an election over `g`; `initiators` lists the spontaneously
 /// starting nodes (empty = all), started at staggered times when
 /// `stagger` > 0.

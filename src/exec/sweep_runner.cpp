@@ -16,6 +16,10 @@ std::vector<CaseResult> SweepRunner::run() {
             if (c.derive_seed) cfg.seed = ctx.rng.next();
             if (c.trace_capacity > 0 && !cfg.trace)
                 cfg.trace = std::make_shared<sim::Trace>(c.trace_capacity);
+            if (c.monitor_setup && !cfg.monitors) {
+                cfg.monitors = std::make_shared<obs::MonitorHub>();
+                c.monitor_setup(*cfg.monitors);
+            }
             node::Cluster cluster(c.graph, c.protocol, cfg);
             c.scenario.apply(cluster);
             if (c.start_all) cluster.start_all(c.start_at);
@@ -28,6 +32,10 @@ std::vector<CaseResult> SweepRunner::run() {
             r.system_calls = cluster.metrics().total_message_system_calls();
             r.direct_messages = cluster.metrics().total_direct_messages();
             r.hops = cluster.metrics().net().hops;
+            if (const auto& hub = cluster.monitors(); hub && hub->active()) {
+                r.set("monitor_violations", static_cast<double>(hub->violation_count()));
+                r.ok = r.ok && hub->ok();
+            }
             if (c.probe) c.probe(cluster, r);
             return r;
         },

@@ -117,6 +117,13 @@ struct ClusterCase {
     /// byte-identical at any thread count. Read it back in the probe via
     /// Cluster::trace().
     std::size_t trace_capacity = 0;
+    /// When set and config.monitors is null, the worker builds a fresh
+    /// obs::MonitorHub per case, lets this callback register monitors on
+    /// it, and attaches it to the cluster. Violations then fold into the
+    /// result row: `monitor_violations` joins the values and a violating
+    /// run clears `ok`. Per-case hubs keep parallel sweeps deterministic
+    /// (monitor state is never shared across workers).
+    std::function<void(obs::MonitorHub&)> monitor_setup;
     /// Runs on the worker after the cluster quiesces; extracts whatever
     /// the experiment measures into the result row.
     std::function<void(node::Cluster&, CaseResult&)> probe;

@@ -15,6 +15,7 @@
 //   hw/      — packets, ANR headers, switches, links, the network fabric
 //   node/    — NCU runtime, protocol API, cluster assembly
 //   cost/    — the paper's cost measures
+//   obs/     — exporters, live invariant monitors, theorem-bound audits
 //   exec/    — multi-core sweep engine (deterministic parallel experiments)
 //   fault/   — crash-recovery fault injection + convergence oracle
 //   topo/    — Section 3: labelling, branching-paths broadcast,
@@ -51,6 +52,12 @@
 #include "hw/switch.hpp"
 #include "node/cluster.hpp"
 #include "node/protocol.hpp"
+#include "obs/audit.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics_export.hpp"
+#include "obs/monitor.hpp"
+#include "obs/trace_export.hpp"
+#include "obs/trace_query.hpp"
 #include "node/runtime.hpp"
 #include "node/scenario.hpp"
 #include "paris/call_setup.hpp"

@@ -14,6 +14,7 @@ Network::Network(sim::Simulator& sim, const graph::Graph& g, ModelParams params,
       metrics_(metrics),
       config_(config),
       trace_(config_.trace.get()),
+      monitors_(config_.monitors.get()),
       rng_(config.seed),
       fault_rng_(Rng::stream(config.seed, 0xfa017ULL)),
       node_down_(g.node_count(), 0),
@@ -87,6 +88,13 @@ Packet* Network::alloc_packet() {
 }
 
 void Network::release_packet(Packet* pkt) {
+    if (watched()) {
+        obs::MonitorEvent ev;
+        ev.kind = obs::MonitorEvent::Kind::kRetire;
+        ev.at = sim_.now();
+        ev.lineage = pkt->lineage;
+        monitors_->dispatch(ev);
+    }
     pkt->route.reset();
     pkt->payload.reset();
     packet_free_.push_back(pkt);
@@ -98,6 +106,16 @@ void Network::note_drop(NodeId node, EdgeId e, const Packet& pkt, sim::DropReaso
                        {.lineage = pkt.lineage, .a = e, .b = 0,
                         .flag = static_cast<std::uint8_t>(reason)});
     if (cost::Sampling* s = metrics_.sampling()) s->drops().add(sim_.now(), 1);
+    if (watched()) {
+        obs::MonitorEvent ev;
+        ev.kind = obs::MonitorEvent::Kind::kDrop;
+        ev.at = sim_.now();
+        ev.node = node;
+        ev.lineage = pkt.lineage;
+        ev.a = e;
+        ev.b = static_cast<std::uint64_t>(reason);
+        monitors_->dispatch(ev);
+    }
 }
 
 std::uint64_t Network::send(NodeId from, AnrHeader header,
@@ -133,6 +151,16 @@ std::uint64_t Network::send(NodeId from, AnrHeader header,
         s->header_len().add(header.size());
     }
     const std::uint64_t lineage = pkt->lineage;
+    if (watched()) {
+        obs::MonitorEvent ev;
+        ev.kind = obs::MonitorEvent::Kind::kSend;
+        ev.at = sim_.now();
+        ev.node = from;
+        ev.lineage = lineage;
+        ev.a = header.size();
+        ev.b = parent_lineage;
+        monitors_->dispatch(ev);
+    }
     // The injecting node's own switch consumes the first label immediately
     // (switching delay is folded into the per-hop cost C).
     process_at_switch(from, pkt);
@@ -237,6 +265,16 @@ void Network::transmit(NodeId from, EdgeId e, Packet* pkt) {
         if (trace_ != nullptr && trace_->enabled(sim::TraceKind::kDup))
             trace_->record(sim_.now(), from, sim::TraceKind::kDup,
                            {.lineage = dup->lineage, .a = e, .b = dup->id, .flag = 0});
+        if (watched()) {
+            obs::MonitorEvent ev;
+            ev.kind = obs::MonitorEvent::Kind::kDup;
+            ev.at = sim_.now();
+            ev.node = from;
+            ev.lineage = dup->lineage;
+            ev.a = e;
+            ev.b = dup->id;
+            monitors_->dispatch(ev);
+        }
         Tick dup_arrival = link.fifo_arrival(direction, arrival + params_.hop_delay);
         if (config_.link_spacing > 0)
             dup_arrival = link.spaced_arrival(direction, dup_arrival, config_.link_spacing);
@@ -261,6 +299,16 @@ void Network::arrive(NodeId at, EdgeId e, std::uint64_t epoch, Packet* pkt) {
     if (cost::Sampling* s = metrics_.sampling()) {
         s->hops().add(sim_.now(), 1);
         s->hop_latency().add(static_cast<std::uint64_t>(sim_.now() - pkt->hop_sent_at));
+    }
+    if (watched()) {
+        obs::MonitorEvent ev;
+        ev.kind = obs::MonitorEvent::Kind::kHop;
+        ev.at = sim_.now();
+        ev.node = at;
+        ev.lineage = pkt->lineage;
+        ev.a = e;
+        ev.b = pkt->hops;
+        monitors_->dispatch(ev);
     }
     // Accumulate reverse-path information (Section 2 grants the receiver
     // the ability to reply; we realize it as per-hop reverse labels on
@@ -294,6 +342,15 @@ void Network::deliver_to_ncu(NodeId node, const Packet& pkt) {
     d.hops = pkt.hops;
     if (cost::Sampling* s = metrics_.sampling())
         s->delivery_latency().add(static_cast<std::uint64_t>(sim_.now() - pkt.sent_at));
+    if (watched()) {
+        obs::MonitorEvent ev;
+        ev.kind = obs::MonitorEvent::Kind::kDeliver;
+        ev.at = sim_.now();
+        ev.node = node;
+        ev.lineage = pkt.lineage;
+        ev.a = pkt.hops;
+        monitors_->dispatch(ev);
+    }
     ncu_sinks_[node](d);
 }
 

@@ -20,6 +20,7 @@
 #include "hw/anr.hpp"
 #include "hw/link.hpp"
 #include "hw/packet.hpp"
+#include "obs/monitor.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
 
@@ -45,6 +46,11 @@ struct NetworkConfig {
     std::uint64_t seed = 1;
     /// Optional observational trace (send / drop records).
     std::shared_ptr<sim::Trace> trace;
+    /// Optional live invariant monitors (obs::MonitorHub). Like the
+    /// trace, purely observational: the fabric feeds it typed events
+    /// (send/hop/deliver/drop/dup/retire) and an empty hub costs one
+    /// branch per hook (bench_obs_overhead guards this).
+    std::shared_ptr<obs::MonitorHub> monitors;
     /// Fault injection: per-transmission loss probability in parts per
     /// million (the data-link CRC rejects the frame and no retransmit
     /// succeeds). Drawn from a stream independent of the delay jitter, so
@@ -75,6 +81,9 @@ public:
     const ModelParams& params() const { return params_; }
     sim::Simulator& simulator() { return sim_; }
     cost::Metrics& metrics() { return metrics_; }
+    /// Attached monitor hub, or null. The NCU runtimes feed it their
+    /// enqueue/invoke events through this accessor.
+    obs::MonitorHub* monitors() const { return monitors_; }
 
     /// Registers where deliveries for `node`'s NCU go. Must be set before
     /// any packet can be delivered there.
@@ -155,6 +164,9 @@ private:
 
     Packet* alloc_packet();
     void release_packet(Packet* pkt);
+    /// True when monitor events must be built (attached hub with at
+    /// least one monitor registered).
+    bool watched() const { return monitors_ != nullptr && monitors_->active(); }
     /// Records one packet death (trace + drop series); the caller still
     /// bumps the specific metrics counter and releases the packet.
     void note_drop(NodeId node, EdgeId e, const Packet& pkt, sim::DropReason reason);
@@ -167,6 +179,10 @@ private:
     /// Raw view of config_.trace — one pointer test on the hot paths
     /// instead of a shared_ptr dereference.
     sim::Trace* trace_ = nullptr;
+    /// Raw view of config_.monitors, same rationale. Hooks guard with
+    /// `monitors_ != nullptr && monitors_->active()` before building an
+    /// event, so an absent or empty hub never allocates.
+    obs::MonitorHub* monitors_ = nullptr;
     Rng rng_;
     /// Separate stream for loss/duplication draws — see NetworkConfig.
     Rng fault_rng_;

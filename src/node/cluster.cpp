@@ -3,13 +3,20 @@
 namespace fastnet::node {
 
 Cluster::Cluster(graph::Graph g, ProtocolFactory factory, ClusterConfig config)
-    : graph_(std::move(g)), factory_(std::move(factory)), trace_(config.trace) {
+    : graph_(std::move(g)),
+      factory_(std::move(factory)),
+      trace_(config.trace),
+      monitors_(config.monitors) {
     FASTNET_EXPECTS(factory_ != nullptr);
     metrics_ = std::make_unique<cost::Metrics>(graph_.node_count());
     if (config.sample_window > 0) metrics_->enable_sampling(config.sample_window);
     hw::NetworkConfig net_cfg = config.net;
     net_cfg.seed = config.seed ^ 0x9e3779b97f4a7c15ULL;
     if (config.trace && !net_cfg.trace) net_cfg.trace = config.trace;
+    if (monitors_) {
+        net_cfg.monitors = monitors_;
+        monitors_->attach_trace(trace_.get());
+    }
     net_ = std::make_unique<hw::Network>(sim_, graph_, config.params, *metrics_, net_cfg);
 
     Rng master(config.seed);
@@ -31,6 +38,13 @@ void Cluster::mark_phase(Tick at, std::uint64_t phase) {
         metrics_->set_phase(phase);
         if (trace_ && trace_->enabled(sim::TraceKind::kPhase))
             trace_->record(sim_.now(), kNoNode, sim::TraceKind::kPhase, {.a = phase});
+        if (monitors_ && monitors_->active()) {
+            obs::MonitorEvent ev;
+            ev.kind = obs::MonitorEvent::Kind::kPhase;
+            ev.at = sim_.now();
+            ev.a = phase;
+            monitors_->dispatch(ev);
+        }
     });
 }
 
@@ -71,6 +85,9 @@ void Cluster::stall_node(NodeId u, Tick extra) {
 
 Tick Cluster::run() {
     sim_.run();
+    // Quiescence reached: conservation-style monitors can close their
+    // books (anything still "in flight" now is a real leak).
+    if (monitors_ && monitors_->active()) monitors_->finish(sim_.now());
     return sim_.now();
 }
 

@@ -38,6 +38,11 @@ struct ClusterConfig {
     /// window width (ticks): per-node busy/queue/delivery series, hop
     /// and delivery latency histograms, C-vs-P budget attribution.
     Tick sample_window = 0;
+    /// Optional live invariant monitors (see obs/monitor.hpp). The hub is
+    /// shared with the network fabric and fed by every runtime; Cluster
+    /// attaches `trace` to it (first violations become kViolation trace
+    /// records) and run() closes the books with MonitorHub::finish.
+    std::shared_ptr<obs::MonitorHub> monitors;
 };
 
 /// Creates the protocol instance for one node.
@@ -62,6 +67,9 @@ public:
     /// The observational trace this cluster records into (null when
     /// tracing is off) — probes/harnesses export it via src/obs/.
     const std::shared_ptr<sim::Trace>& trace() const { return trace_; }
+
+    /// The monitor hub this cluster feeds (null when none attached).
+    const std::shared_ptr<obs::MonitorHub>& monitors() const { return monitors_; }
 
     /// Marks experiment phase `phase` at simulated time `at`: system
     /// calls completing afterwards are attributed to it (when sampling
@@ -123,6 +131,7 @@ private:
     std::unique_ptr<hw::Network> net_;
     std::vector<std::unique_ptr<NodeRuntime>> runtimes_;
     std::shared_ptr<sim::Trace> trace_;
+    std::shared_ptr<obs::MonitorHub> monitors_;
 };
 
 }  // namespace fastnet::node

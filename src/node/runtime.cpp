@@ -89,6 +89,14 @@ void NodeRuntime::enqueue(Work w) {
         s->node(self_).queue_depth.add(now(), depth);
         s->queue_depth().add(static_cast<std::uint64_t>(depth));
     }
+    if (obs::MonitorHub* hub = net_.monitors(); hub != nullptr && hub->active()) {
+        obs::MonitorEvent ev;
+        ev.kind = obs::MonitorEvent::Kind::kEnqueue;
+        ev.at = now();
+        ev.node = self_;
+        ev.a = queue_.size() + (busy_ ? 1 : 0);
+        hub->dispatch(ev);
+    }
     begin_next_if_idle();
 }
 
@@ -136,6 +144,8 @@ void NodeRuntime::begin_next_if_idle() {
 
 void NodeRuntime::complete(Work w, Tick busy) {
     cost::NodeCounters& counters = net_.metrics().node(self_);
+    auto invoke_kind = obs::MonitorEvent::InvokeKind::kStart;
+    std::uint64_t invoke_lineage = 0;
     if (std::holds_alternative<StartWork>(w)) {
         counters.starts += 1;
         if (trace_ && trace_->enabled(sim::TraceKind::kStart))
@@ -143,9 +153,12 @@ void NodeRuntime::complete(Work w, Tick busy) {
                            {.b = static_cast<std::uint64_t>(busy)});
         protocol_->on_start(*this);
     } else if (std::holds_alternative<RestartWork>(w)) {
+        invoke_kind = obs::MonitorEvent::InvokeKind::kRestart;
         counters.restarts += 1;
         protocol_->on_restart(*this);
     } else if (auto* d = std::get_if<hw::Delivery>(&w)) {
+        invoke_kind = obs::MonitorEvent::InvokeKind::kDelivery;
+        invoke_lineage = d->lineage;
         counters.message_deliveries += 1;
         if (trace_ && trace_->enabled(sim::TraceKind::kDeliver))
             trace_->record(now(), self_, sim::TraceKind::kDeliver,
@@ -159,6 +172,7 @@ void NodeRuntime::complete(Work w, Tick busy) {
         protocol_->on_message(*this, *d);
         current_lineage_ = 0;
     } else if (auto* l = std::get_if<LinkWork>(&w)) {
+        invoke_kind = obs::MonitorEvent::InvokeKind::kLink;
         counters.link_events += 1;
         links_[l->link_index].active = l->up;
         if (trace_ && trace_->enabled(sim::TraceKind::kLinkChange))
@@ -173,6 +187,8 @@ void NodeRuntime::complete(Work w, Tick busy) {
             cancelled_timers_.erase(it);
             return;  // cancelled after the fire event queued the work
         }
+        invoke_kind = obs::MonitorEvent::InvokeKind::kTimer;
+        invoke_lineage = t->lineage;
         counters.timer_fires += 1;
         if (trace_ && trace_->enabled(sim::TraceKind::kTimer))
             trace_->record(now(), self_, sim::TraceKind::kTimer,
@@ -181,6 +197,16 @@ void NodeRuntime::complete(Work w, Tick busy) {
         current_lineage_ = t->lineage;
         protocol_->on_timer(*this, t->cookie);
         current_lineage_ = 0;
+    }
+    if (obs::MonitorHub* hub = net_.monitors(); hub != nullptr && hub->active()) {
+        obs::MonitorEvent ev;
+        ev.kind = obs::MonitorEvent::Kind::kInvoke;
+        ev.at = now();
+        ev.node = self_;
+        ev.lineage = invoke_lineage;
+        ev.a = static_cast<std::uint64_t>(invoke_kind);
+        ev.b = static_cast<std::uint64_t>(busy);
+        hub->dispatch(ev);
     }
 }
 

@@ -1,0 +1,262 @@
+#include "obs/audit.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/expect.hpp"
+#include "exec/result.hpp"
+#include "obs/json.hpp"
+#include "topo/lower_bound.hpp"
+
+namespace fastnet::obs {
+
+const char* bound_check_kind_name(BoundCheck::Kind k) {
+    switch (k) {
+        case BoundCheck::Kind::kAtMost: return "at_most";
+        case BoundCheck::Kind::kAtLeast: return "at_least";
+        case BoundCheck::Kind::kExactly: return "exactly";
+    }
+    return "?";
+}
+
+namespace {
+
+bool kind_from_name(std::string_view name, BoundCheck::Kind& out) {
+    if (name == "at_most") {
+        out = BoundCheck::Kind::kAtMost;
+        return true;
+    }
+    if (name == "at_least") {
+        out = BoundCheck::Kind::kAtLeast;
+        return true;
+    }
+    if (name == "exactly") {
+        out = BoundCheck::Kind::kExactly;
+        return true;
+    }
+    return false;
+}
+
+}  // namespace
+
+void BoundAudit::push(std::string name, BoundCheck::Kind kind, double observed, double bound) {
+    BoundCheck c;
+    c.name = std::move(name);
+    c.kind = kind;
+    c.bound = bound;
+    c.observed = observed;
+    switch (kind) {
+        case BoundCheck::Kind::kAtMost: c.slack = bound - observed; break;
+        case BoundCheck::Kind::kAtLeast: c.slack = observed - bound; break;
+        case BoundCheck::Kind::kExactly: c.slack = -std::abs(observed - bound); break;
+    }
+    c.pass = c.slack >= 0;
+    checks_.push_back(std::move(c));
+}
+
+void BoundAudit::require_at_most(std::string check, double observed, double bound) {
+    push(std::move(check), BoundCheck::Kind::kAtMost, observed, bound);
+}
+
+void BoundAudit::require_at_least(std::string check, double observed, double bound) {
+    push(std::move(check), BoundCheck::Kind::kAtLeast, observed, bound);
+}
+
+void BoundAudit::require_exactly(std::string check, double observed, double bound) {
+    push(std::move(check), BoundCheck::Kind::kExactly, observed, bound);
+}
+
+bool BoundAudit::pass() const {
+    for (const BoundCheck& c : checks_)
+        if (!c.pass) return false;
+    return true;
+}
+
+std::size_t BoundAudit::violation_count() const {
+    std::size_t n = 0;
+    for (const BoundCheck& c : checks_)
+        if (!c.pass) ++n;
+    return n;
+}
+
+void BoundAudit::broadcast(const graph::Graph& g, topo::BroadcastScheme scheme,
+                           const topo::BroadcastPlan* plan,
+                           const topo::BroadcastOutcome& outcome, const ModelParams& params) {
+    const std::uint64_t n = g.node_count();
+    const std::uint64_t m = g.edge_count();
+    std::uint64_t reached = 0;
+    for (bool r : outcome.received) reached += r ? 1 : 0;
+    const std::string prefix = topo::scheme_name(scheme);
+
+    require_at_least(prefix + "/coverage_nodes", static_cast<double>(reached),
+                     static_cast<double>(n));
+    // Time units are the paper's broadcast time measure only in the
+    // limiting model (C = 0, P > 0) — elsewhere `elapsed` mixes budgets.
+    const bool limiting = params.hop_delay == 0 && params.ncu_delay > 0;
+
+    switch (scheme) {
+        case topo::BroadcastScheme::kBranchingPaths: {
+            if (limiting) {
+                require_at_most(prefix + "/theorem2_time_units", outcome.time_units,
+                                static_cast<double>(topo::theorem2_time_bound(n)));
+            }
+            require_at_most(prefix + "/theorem2_system_calls",
+                            static_cast<double>(outcome.cost.system_calls),
+                            static_cast<double>(topo::theorem2_call_bound(n)));
+            // Decomposition paths partition the tree's n-1 edges, so the
+            // hardware cost is bounded by the tree size too.
+            require_at_most(prefix + "/tree_hops", static_cast<double>(outcome.cost.hops),
+                            static_cast<double>(n >= 1 ? n - 1 : 0));
+            if (plan != nullptr) {
+                require_at_most(prefix + "/plan_time_units",
+                                static_cast<double>(plan->time_units),
+                                static_cast<double>(topo::theorem2_time_bound(n)));
+                require_at_least(prefix + "/plan_coverage",
+                                 static_cast<double>(plan->covered_nodes),
+                                 static_cast<double>(n));
+            }
+            break;
+        }
+        case topo::BroadcastScheme::kFlooding:
+            // The O(m) contrast: every edge carries at most one flood
+            // message per direction.
+            require_at_most(prefix + "/flooding_system_calls",
+                            static_cast<double>(outcome.cost.system_calls),
+                            static_cast<double>(topo::flooding_call_bound(m)));
+            break;
+        case topo::BroadcastScheme::kDfsToken:
+        case topo::BroadcastScheme::kLayeredBfs:
+            // One token, one copy at the first visit of each non-root.
+            require_at_most(prefix + "/token_system_calls",
+                            static_cast<double>(outcome.cost.system_calls),
+                            static_cast<double>(n >= 1 ? n - 1 : 0));
+            break;
+        case topo::BroadcastScheme::kDirectUnicast:
+            require_at_most(prefix + "/unicast_system_calls",
+                            static_cast<double>(outcome.cost.system_calls),
+                            static_cast<double>(n >= 1 ? n - 1 : 0));
+            break;
+    }
+}
+
+void BoundAudit::election(const graph::Graph& g, const elect::ElectionOptions& options,
+                          const elect::ElectionOutcome& outcome) {
+    const std::uint64_t n = g.node_count();
+    require_exactly("election/unique_leader", outcome.unique_leader ? 1 : 0, 1);
+    require_at_most("election/theorem5_election_messages",
+                    static_cast<double>(outcome.election_messages),
+                    static_cast<double>(elect::theorem5_call_bound(n)));
+    if (options.announce) {
+        require_exactly("election/all_decided", outcome.all_decided ? 1 : 0, 1);
+        require_at_most("election/total_direct_messages",
+                        static_cast<double>(outcome.cost.direct_messages),
+                        static_cast<double>(elect::theorem5_call_bound(n) +
+                                            elect::announce_call_bound(n)));
+    }
+    for (std::size_t p = 0; p < outcome.captures_by_phase.size(); ++p) {
+        require_at_most("election/lemma6_captures_phase_" + std::to_string(p),
+                        static_cast<double>(outcome.captures_by_phase[p]),
+                        static_cast<double>(
+                            elect::lemma6_capture_bound(n, static_cast<unsigned>(p))));
+    }
+}
+
+void BoundAudit::broadcast_lower_bound(unsigned depth, double observed_units) {
+    // The adversary certifies uninformed nodes through time lb, so any
+    // one-way broadcast needs strictly more: observed >= lb + 1.
+    const unsigned lb = topo::one_way_lower_bound(depth);
+    require_at_least("theorem3/one_way_time_units_depth_" + std::to_string(depth),
+                     observed_units, static_cast<double>(lb) + 1);
+}
+
+void BoundAudit::phase_budget(const cost::Metrics& metrics, std::uint64_t phase,
+                              std::uint64_t max_calls) {
+    const cost::Sampling* s = metrics.sampling();
+    FASTNET_EXPECTS_MSG(s != nullptr, "phase_budget needs metrics sampling enabled");
+    std::uint64_t calls = 0;
+    for (const auto& [p, count] : s->phase_calls())
+        if (p == phase) calls += count;
+    require_at_most("phase_" + std::to_string(phase) + "/system_calls",
+                    static_cast<double>(calls), static_cast<double>(max_calls));
+}
+
+std::string audit_json(const BoundAudit& audit) {
+    std::string out = "{\n";
+    out += "  \"fastnet_audit\": 1,\n";
+    out += "  \"name\": ";
+    out += json_quote(audit.name());
+    out += ",\n";
+    out += "  \"pass\": ";
+    out += audit.pass() ? "true" : "false";
+    out += ",\n";
+    out += "  \"violations\": " + std::to_string(audit.violation_count()) + ",\n";
+    out += "  \"checks\": [";
+    bool first = true;
+    for (const BoundCheck& c : audit.checks()) {
+        if (!first) out += ',';
+        first = false;
+        out += "\n    {\"name\": ";
+        out += json_quote(c.name);
+        out += ", \"kind\": \"";
+        out += bound_check_kind_name(c.kind);
+        out += "\", \"bound\": ";
+        out += exec::format_double(c.bound);
+        out += ", \"observed\": ";
+        out += exec::format_double(c.observed);
+        out += ", \"slack\": ";
+        out += exec::format_double(c.slack);
+        out += ", \"pass\": ";
+        out += c.pass ? "true" : "false";
+        out += '}';
+    }
+    if (!first) out += "\n  ";
+    out += "]\n}\n";
+    return out;
+}
+
+bool load_audit(std::string_view text, BoundAudit& out, std::string* error) {
+    auto fail = [&](const char* msg) {
+        if (error != nullptr) *error = msg;
+        return false;
+    };
+    JsonValue doc;
+    if (!json_parse(text, doc, error)) return false;
+    if (!doc.is_object()) return fail("audit: not an object");
+    const JsonValue* magic = doc.find("fastnet_audit");
+    if (magic == nullptr || !magic->is_uint() || magic->uint_value != 1)
+        return fail("audit: missing fastnet_audit: 1 marker");
+    const JsonValue* name = doc.find("name");
+    if (name == nullptr || !name->is_string()) return fail("audit: missing name");
+    const JsonValue* checks = doc.find("checks");
+    if (checks == nullptr || !checks->is_array()) return fail("audit: missing checks array");
+
+    BoundAudit loaded(name->string);
+    for (const JsonValue& c : checks->array) {
+        if (!c.is_object()) return fail("audit: check is not an object");
+        const JsonValue* cname = c.find("name");
+        const JsonValue* ckind = c.find("kind");
+        const JsonValue* cbound = c.find("bound");
+        const JsonValue* cobs = c.find("observed");
+        if (cname == nullptr || !cname->is_string() || ckind == nullptr ||
+            !ckind->is_string() || cbound == nullptr || !cbound->is_number() ||
+            cobs == nullptr || !cobs->is_number())
+            return fail("audit: check missing name/kind/bound/observed");
+        BoundCheck::Kind kind;
+        if (!kind_from_name(ckind->string, kind)) return fail("audit: unknown check kind");
+        switch (kind) {
+            case BoundCheck::Kind::kAtMost:
+                loaded.require_at_most(cname->string, cobs->as_double(), cbound->as_double());
+                break;
+            case BoundCheck::Kind::kAtLeast:
+                loaded.require_at_least(cname->string, cobs->as_double(), cbound->as_double());
+                break;
+            case BoundCheck::Kind::kExactly:
+                loaded.require_exactly(cname->string, cobs->as_double(), cbound->as_double());
+                break;
+        }
+    }
+    out = std::move(loaded);
+    return true;
+}
+
+}  // namespace fastnet::obs

@@ -1,0 +1,193 @@
+#include "obs/monitor.hpp"
+
+#include <utility>
+
+namespace fastnet::obs {
+
+void Monitor::on_finish(MonitorHub&, Tick) {}
+
+void MonitorHub::add(std::unique_ptr<Monitor> m) {
+    Entry e;
+    e.monitor = std::move(m);
+    monitors_.push_back(std::move(e));
+}
+
+void MonitorHub::dispatch(const MonitorEvent& ev) {
+    for (Entry& e : monitors_) e.monitor->on_event(*this, ev);
+}
+
+void MonitorHub::finish(Tick now) {
+    for (Entry& e : monitors_) e.monitor->on_finish(*this, now);
+}
+
+void MonitorHub::report(const Monitor& monitor, Tick at, NodeId node, std::uint64_t lineage,
+                        std::string message) {
+    ++violation_count_;
+    std::size_t index = monitors_.size();
+    Entry* entry = nullptr;
+    for (std::size_t i = 0; i < monitors_.size(); ++i) {
+        if (monitors_[i].monitor.get() == &monitor) {
+            index = i;
+            entry = &monitors_[i];
+            break;
+        }
+    }
+    const std::uint64_t prior = entry ? entry->reported : 0;
+    if (entry) ++entry->reported;
+    if (prior >= kMaxStoredPerMonitor) return;
+    if (prior == 0 && trace_ && trace_->enabled(sim::TraceKind::kViolation)) {
+        std::string detail = monitor.name();
+        detail += ": ";
+        detail += message;
+        sim::TraceArgs args;
+        args.lineage = lineage;
+        args.a = index;
+        trace_->record_detail(at, node, sim::TraceKind::kViolation, detail, args);
+    }
+    Violation v;
+    v.monitor = monitor.name();
+    v.message = std::move(message);
+    v.at = at;
+    v.node = node;
+    v.lineage = lineage;
+    violations_.push_back(std::move(v));
+}
+
+// ---- LineageConservationMonitor ------------------------------------------
+
+void LineageConservationMonitor::on_event(MonitorHub& hub, const MonitorEvent& ev) {
+    switch (ev.kind) {
+        case MonitorEvent::Kind::kSend:
+        case MonitorEvent::Kind::kDup:
+            ++live_[ev.lineage];
+            last_at_ = ev.at;
+            break;
+        case MonitorEvent::Kind::kRetire: {
+            auto it = live_.find(ev.lineage);
+            if (it == live_.end() || it->second <= 0) {
+                hub.report(*this, ev.at, ev.node, ev.lineage,
+                           "retire without a live copy (lineage " +
+                               std::to_string(ev.lineage) + ")");
+                break;
+            }
+            if (--it->second == 0) live_.erase(it);
+            last_at_ = ev.at;
+            break;
+        }
+        default:
+            break;
+    }
+}
+
+void LineageConservationMonitor::on_finish(MonitorHub& hub, Tick now) {
+    for (const auto& [lineage, copies] : live_) {
+        hub.report(*this, now > last_at_ ? now : last_at_, kNoNode, lineage,
+                   std::to_string(copies) + " live cop" + (copies == 1 ? "y" : "ies") +
+                       " never retired (lineage " + std::to_string(lineage) + ")");
+    }
+}
+
+// ---- QueueDepthMonitor ---------------------------------------------------
+
+void QueueDepthMonitor::on_event(MonitorHub& hub, const MonitorEvent& ev) {
+    if (ev.kind != MonitorEvent::Kind::kEnqueue) return;
+    if (ev.a <= ceiling_) return;
+    hub.report(*this, ev.at, ev.node, ev.lineage,
+               "queue depth " + std::to_string(ev.a) + " exceeds ceiling " +
+                   std::to_string(ceiling_));
+}
+
+// ---- BusyWindowMonitor ---------------------------------------------------
+
+void BusyWindowMonitor::on_event(MonitorHub& hub, const MonitorEvent& ev) {
+    if (ev.kind != MonitorEvent::Kind::kInvoke) return;
+    if (ev.at < last_global_) {
+        hub.report(*this, ev.at, ev.node, ev.lineage,
+                   "invocation completed at t=" + std::to_string(ev.at) +
+                       " after a later completion at t=" + std::to_string(last_global_));
+    }
+    last_global_ = ev.at > last_global_ ? ev.at : last_global_;
+    if (ev.node == kNoNode) return;
+    if (ev.node >= last_end_.size()) last_end_.resize(ev.node + 1, kNever);
+    const Tick busy = static_cast<Tick>(ev.b);
+    const Tick begin = ev.at - busy;
+    const Tick prev = last_end_[ev.node];
+    if (prev != kNever && begin < prev) {
+        hub.report(*this, ev.at, ev.node, ev.lineage,
+                   "busy window [" + std::to_string(begin) + "," + std::to_string(ev.at) +
+                       "] overlaps previous completion at t=" + std::to_string(prev));
+    }
+    last_end_[ev.node] = ev.at;
+}
+
+// ---- PhaseBudgetMonitor --------------------------------------------------
+
+void PhaseBudgetMonitor::on_event(MonitorHub& hub, const MonitorEvent& ev) {
+    if (ev.kind == MonitorEvent::Kind::kPhase) {
+        current_phase_ = ev.a;
+        return;
+    }
+    if (ev.kind != MonitorEvent::Kind::kInvoke) return;
+    if (static_cast<MonitorEvent::InvokeKind>(ev.a) != MonitorEvent::InvokeKind::kDelivery)
+        return;
+    if (current_phase_ != phase_) return;
+    ++calls_;
+    if (calls_ == max_calls_ + 1) {
+        hub.report(*this, ev.at, ev.node, ev.lineage,
+                   "phase " + std::to_string(phase_) + " exceeded its system-call budget of " +
+                       std::to_string(max_calls_));
+    }
+}
+
+void add_standard_monitors(MonitorHub& hub, std::uint64_t queue_ceiling) {
+    hub.add(std::make_unique<LineageConservationMonitor>());
+    hub.add(std::make_unique<BusyWindowMonitor>());
+    hub.add(std::make_unique<QueueDepthMonitor>(queue_ceiling));
+}
+
+std::string violations_json(const MonitorHub& hub, const std::string& name) {
+    auto quote = [](const std::string& s) {
+        std::string out = "\"";
+        for (char c : s) {
+            switch (c) {
+                case '"': out += "\\\""; break;
+                case '\\': out += "\\\\"; break;
+                case '\n': out += "\\n"; break;
+                case '\t': out += "\\t"; break;
+                default: out += c; break;
+            }
+        }
+        out += '"';
+        return out;
+    };
+    std::string out = "{\n";
+    out += "  \"fastnet_monitors\": 1,\n";
+    out += "  \"name\": ";
+    out += quote(name);
+    out += ",\n";
+    out += "  \"monitors\": " + std::to_string(hub.monitor_count()) + ",\n";
+    out += "  \"violation_count\": " + std::to_string(hub.violation_count()) + ",\n";
+    out += "  \"ok\": ";
+    out += hub.ok() ? "true" : "false";
+    out += ",\n";
+    out += "  \"violations\": [";
+    bool first = true;
+    for (const Violation& v : hub.violations()) {
+        if (!first) out += ',';
+        first = false;
+        out += "\n    {\"monitor\": ";
+        out += quote(v.monitor);
+        out += ", \"at\": " + std::to_string(v.at);
+        out += ", \"node\": ";
+        out += v.node == kNoNode ? std::string("null") : std::to_string(v.node);
+        out += ", \"lineage\": " + std::to_string(v.lineage);
+        out += ", \"message\": ";
+        out += quote(v.message);
+        out += '}';
+    }
+    if (!first) out += "\n  ";
+    out += "]\n}\n";
+    return out;
+}
+
+}  // namespace fastnet::obs

@@ -1,0 +1,220 @@
+// Live invariant monitors: event-time checks riding the simulation.
+//
+// A MonitorHub is a small registry the fabric (hw::Network), the NCU
+// runtimes (node::NodeRuntime) and the Cluster feed with typed events as
+// the simulation executes. Registered monitors check invariants *at the
+// violating event* — lineage conservation, queue-depth ceilings,
+// busy-window monotonicity, per-phase system-call budgets — so a broken
+// run points at a packet and a tick instead of a diff at the end.
+//
+// Cost contract (guarded by bench/bench_obs_overhead.cpp alongside the
+// disabled trace): an attached hub with no monitors costs one pointer
+// test plus one empty() load per hook and performs no allocation on the
+// steady-state hop path. Hooks are only compiled against `dispatch`,
+// never against individual monitors, so the fabric stays ignorant of
+// what is being checked.
+//
+// Violations are collected on the hub (bounded per monitor) and the
+// *first* violation of each monitor is recorded into the attached
+// sim::Trace as a TraceKind::kViolation record carrying the offending
+// event's time, node and lineage plus a human-readable detail — chaos
+// exports then carry the verdict (see docs/OBSERVABILITY.md).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/trace.hpp"
+
+namespace fastnet::obs {
+
+/// One typed observation delivered to the monitors. `a`/`b` are
+/// kind-specific, mirroring the trace-record convention:
+///
+/// | kind      | node       | lineage | a                  | b              |
+/// |-----------|------------|---------|--------------------|----------------|
+/// | kSend     | sender     | yes     | header length      | parent lineage |
+/// | kHop      | arrival    | yes     | edge               | hops so far    |
+/// | kDeliver  | receiver   | yes     | hops travelled     | —              |
+/// | kDrop     | where      | yes     | edge (kNoEdge off) | DropReason     |
+/// | kDup      | sender side| yes     | edge               | new packet id  |
+/// | kRetire   | —          | yes     | —                  | —              |
+/// | kEnqueue  | NCU        | —       | queue depth        | —              |
+/// | kInvoke   | NCU        | maybe   | InvokeKind         | busy ticks     |
+/// | kPhase    | kNoNode    | —       | phase id           | —              |
+struct MonitorEvent {
+    enum class Kind : std::uint8_t {
+        kSend,     ///< Packet injected into the fabric.
+        kHop,      ///< Packet traversed a link.
+        kDeliver,  ///< Hardware copy handed to an NCU.
+        kDrop,     ///< Packet died (any DropReason).
+        kDup,      ///< Link-layer duplicate minted (a new live copy).
+        kRetire,   ///< Packet cursor released (delivered, dropped or done).
+        kEnqueue,  ///< Work item queued at an NCU.
+        kInvoke,   ///< NCU handler completed.
+        kPhase,    ///< Experiment phase marker.
+    };
+    /// Work-item discriminator of a kInvoke event (`a`).
+    enum class InvokeKind : std::uint8_t {
+        kStart = 0, kRestart, kDelivery, kLink, kTimer,
+    };
+
+    Kind kind = Kind::kSend;
+    Tick at = 0;
+    NodeId node = kNoNode;
+    std::uint64_t lineage = 0;
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+};
+
+/// One invariant breach, anchored at the event that broke it.
+struct Violation {
+    std::string monitor;
+    std::string message;
+    Tick at = 0;
+    NodeId node = kNoNode;
+    std::uint64_t lineage = 0;
+};
+
+class MonitorHub;
+
+/// Base class of one live invariant check. Monitors keep whatever state
+/// they need across events and call MonitorHub::report when an event
+/// (or the end-of-run sweep) breaks the invariant.
+class Monitor {
+public:
+    virtual ~Monitor() = default;
+    virtual const char* name() const = 0;
+    virtual void on_event(MonitorHub& hub, const MonitorEvent& ev) = 0;
+    /// End-of-run check, invoked by Cluster::run once the simulation is
+    /// quiescent (conservation-style invariants close their books here).
+    virtual void on_finish(MonitorHub& hub, Tick now);
+};
+
+/// The registry. Shared by the Cluster, the Network and every runtime of
+/// one simulation (node::ClusterConfig::monitors); never shared across
+/// concurrently running clusters — like sim::Trace it is single-run
+/// state, which is what keeps parallel sweeps deterministic.
+class MonitorHub {
+public:
+    /// Caps stored violations per monitor; further ones only count.
+    static constexpr std::size_t kMaxStoredPerMonitor = 16;
+
+    void add(std::unique_ptr<Monitor> m);
+
+    /// True when at least one monitor is registered — the hot paths test
+    /// this before building an event.
+    bool active() const { return !monitors_.empty(); }
+    std::size_t monitor_count() const { return monitors_.size(); }
+
+    /// Violations (first kMaxStoredPerMonitor per monitor) land in the
+    /// attached trace too; see class comment. May be null.
+    void attach_trace(sim::Trace* trace) { trace_ = trace; }
+
+    /// Fans one event out to every registered monitor.
+    void dispatch(const MonitorEvent& ev);
+
+    /// Runs every monitor's end-of-run check.
+    void finish(Tick now);
+
+    /// Called by monitors: files a violation of `monitor` anchored at
+    /// (at, node, lineage). The first violation of each monitor is also
+    /// recorded into the attached trace (kind kViolation, a = the
+    /// monitor's registration index, detail = "name: message").
+    void report(const Monitor& monitor, Tick at, NodeId node, std::uint64_t lineage,
+                std::string message);
+
+    const std::vector<Violation>& violations() const { return violations_; }
+    /// Total breaches including those beyond the storage cap.
+    std::uint64_t violation_count() const { return violation_count_; }
+    bool ok() const { return violation_count_ == 0; }
+
+private:
+    struct Entry {
+        std::unique_ptr<Monitor> monitor;
+        std::uint64_t reported = 0;
+    };
+    std::vector<Entry> monitors_;
+    std::vector<Violation> violations_;
+    std::uint64_t violation_count_ = 0;
+    sim::Trace* trace_ = nullptr;
+};
+
+// ---- built-in monitors ---------------------------------------------------
+
+/// Lineage conservation: every live packet copy (send or duplicate) must
+/// eventually retire — delivered-and-done, dropped, or lost to a link
+/// epoch. A retire without a matching copy fires immediately; copies
+/// still outstanding at quiescence fire in on_finish, naming the lowest
+/// unbalanced lineage first.
+class LineageConservationMonitor final : public Monitor {
+public:
+    const char* name() const override { return "lineage_conservation"; }
+    void on_event(MonitorHub& hub, const MonitorEvent& ev) override;
+    void on_finish(MonitorHub& hub, Tick now) override;
+
+private:
+    /// lineage -> live copies. Ordered so end-of-run reporting is
+    /// deterministic (lowest lineage first).
+    std::map<std::uint64_t, std::int64_t> live_;
+    Tick last_at_ = 0;
+};
+
+/// NCU queue depth must stay at or below a ceiling (an NCU falling this
+/// far behind means the software side lost the paper's P-bounded pace).
+class QueueDepthMonitor final : public Monitor {
+public:
+    explicit QueueDepthMonitor(std::uint64_t ceiling) : ceiling_(ceiling) {}
+    const char* name() const override { return "queue_depth"; }
+    void on_event(MonitorHub& hub, const MonitorEvent& ev) override;
+
+private:
+    std::uint64_t ceiling_;
+};
+
+/// Busy-window monotonicity: per NCU, handler busy windows are serial —
+/// each invocation's window [at - busy, at] must start at or after the
+/// previous invocation's completion, and completions never go backwards
+/// in simulated time.
+class BusyWindowMonitor final : public Monitor {
+public:
+    const char* name() const override { return "busy_window"; }
+    void on_event(MonitorHub& hub, const MonitorEvent& ev) override;
+
+private:
+    std::vector<Tick> last_end_;  ///< Per node, lazily sized; kNever = none.
+    Tick last_global_ = 0;
+};
+
+/// Per-phase system-call budget: message deliveries completing while
+/// experiment phase `phase` is current (Cluster::mark_phase) must not
+/// exceed `max_calls` — the paper's per-phase call bounds as a live
+/// check rather than a post-hoc audit.
+class PhaseBudgetMonitor final : public Monitor {
+public:
+    PhaseBudgetMonitor(std::uint64_t phase, std::uint64_t max_calls)
+        : phase_(phase), max_calls_(max_calls) {}
+    const char* name() const override { return "phase_budget"; }
+    void on_event(MonitorHub& hub, const MonitorEvent& ev) override;
+
+private:
+    std::uint64_t phase_;
+    std::uint64_t max_calls_;
+    std::uint64_t current_phase_ = 0;
+    std::uint64_t calls_ = 0;
+};
+
+/// Registers the always-applicable invariants: lineage conservation,
+/// busy-window monotonicity and a queue-depth ceiling (default generous
+/// enough for every workload in this repo; pass a tighter one to probe).
+void add_standard_monitors(MonitorHub& hub, std::uint64_t queue_ceiling = 4096);
+
+/// Deterministic JSON serialization of a hub's verdict (violation list +
+/// totals), embeddable next to metrics_json exports.
+std::string violations_json(const MonitorHub& hub, const std::string& name);
+
+}  // namespace fastnet::obs

@@ -187,6 +187,12 @@ std::string chrome_trace_json(const sim::Trace& trace, const ExportMeta& meta) {
                     append_instant(out, "drop", kNcuPid, ncu_tid, r.at, args);
                 break;
             }
+            case sim::TraceKind::kViolation: {
+                std::string args = lin_arg(r.lineage) + ",\"monitor\":" + std::to_string(r.a);
+                if (!r.detail.empty()) args += ",\"detail\":" + json_quote(r.detail);
+                append_instant(out, "violation", kNcuPid, ncu_tid, r.at, args);
+                break;
+            }
             case sim::TraceKind::kCustom: {
                 std::string args = lin_arg(r.lineage);
                 if (!r.detail.empty()) args += ",\"detail\":" + json_quote(r.detail);

@@ -20,6 +20,7 @@ const char* trace_kind_name(TraceKind k) {
         case TraceKind::kRestart: return "restart";
         case TraceKind::kDup: return "dup";
         case TraceKind::kPhase: return "phase";
+        case TraceKind::kViolation: return "violation";
         case TraceKind::kCustom: return "custom";
     }
     return "?";
@@ -193,6 +194,9 @@ std::string format_record(const TraceRecord& r) {
             break;
         case TraceKind::kPhase:
             line += " phase=" + std::to_string(r.a);
+            break;
+        case TraceKind::kViolation:
+            line += " monitor=" + std::to_string(r.a);
             break;
         case TraceKind::kStart:
         case TraceKind::kCustom:

@@ -45,10 +45,11 @@ enum class TraceKind : std::uint8_t {
     kRestart,     ///< Node came back.                       a = new incarnation
     kDup,         ///< Link-layer duplicate was minted.      a = edge, b = new packet id
     kPhase,       ///< Experiment phase marker.              a = phase id (node = kNoNode)
+    kViolation,   ///< Invariant monitor tripped.            a = monitor index, detail = message
     kCustom,      ///< Free-form (detail arena).
 };
 
-inline constexpr unsigned kTraceKindCount = 12;
+inline constexpr unsigned kTraceKindCount = 13;
 
 const char* trace_kind_name(TraceKind k);
 

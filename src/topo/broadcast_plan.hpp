@@ -36,6 +36,22 @@ struct BroadcastPlan {
     std::size_t covered_nodes = 0;  ///< Tree size (receptions = size - 1).
 };
 
+// ---- Theorem 2 predicted bounds (n >= 1 nodes, m edges) ------------------
+// The auditor (obs/audit.hpp) derives these for a concrete run and
+// compares them against observed cost::Metrics totals.
+
+/// Branching-paths broadcast time: <= 1 + floor(log2 n) time units.
+constexpr unsigned theorem2_time_bound(std::uint64_t n) {
+    return 1 + floor_log2(n >= 1 ? n : 1);
+}
+
+/// Branching-paths broadcast system calls: <= n message deliveries.
+constexpr std::uint64_t theorem2_call_bound(std::uint64_t n) { return n; }
+
+/// Flooding system calls: O(m) — at most two deliveries per edge (one
+/// from each endpoint's send across it).
+constexpr std::uint64_t flooding_call_bound(std::uint64_t m) { return 2 * m; }
+
 /// Branching-paths plan (Section 3.1). `ports` supplies the sender-side
 /// port for every tree edge.
 BroadcastPlan plan_branching_paths(const graph::RootedTree& tree, const hw::PortMap& ports);

@@ -52,10 +52,13 @@ int main() {
     cost::Metrics metrics(g.node_count());
     // A disabled trace must be free on the fast path: the guard runs with
     // one attached so any record() sneaking past the enabled() gate (or
-    // allocating despite being filtered) trips the budget below.
+    // allocating despite being filtered) trips the budget below. Same for
+    // an attached-but-empty monitor hub: no registered monitors means no
+    // events get built, so it must contribute zero allocations too.
     hw::NetworkConfig net_cfg;
     net_cfg.trace = std::make_shared<sim::Trace>(std::size_t{1} << 12);
     net_cfg.trace->disable_all();
+    net_cfg.monitors = std::make_shared<obs::MonitorHub>();
     hw::Network net(sim, g, ModelParams::traditional(), metrics, net_cfg);
     std::uint64_t delivered = 0;
     net.set_ncu_sink(kNodes - 1, [&](const hw::Delivery&) { ++delivered; });

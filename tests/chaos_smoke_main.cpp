@@ -30,6 +30,7 @@
 #include "fault/oracle.hpp"
 #include "graph/generators.hpp"
 #include "obs/metrics_export.hpp"
+#include "obs/monitor.hpp"
 #include "obs/trace_export.hpp"
 #include "topo/router.hpp"
 #include "topo/topology_maintenance.hpp"
@@ -104,6 +105,12 @@ int main(int argc, char** argv) {
     // ctest (scripts/trace_smoke.sh) relies on it.
     bool trace_case_found = false;
     auto maybe_trace = [&](exec::ClusterCase& c) {
+        // Every chaos case runs with the standard live invariant monitors
+        // attached (lineage conservation, busy-window monotonicity,
+        // queue-depth ceiling): a violating seed clears its row's ok and
+        // records the first violating event into the case's trace. The
+        // per-case hub keeps the sweep byte-identical at any thread count.
+        c.monitor_setup = [](obs::MonitorHub& hub) { obs::add_standard_monitors(hub); };
         if (trace_case.empty() || c.name != trace_case) return;
         trace_case_found = true;
         c.config.trace = std::make_shared<sim::Trace>(std::size_t{1} << 20);
@@ -119,7 +126,9 @@ int main(int argc, char** argv) {
                 !exec::write_text_file(prefix + ".chrome.json",
                                        obs::chrome_trace_json(trace, meta)) ||
                 !exec::write_text_file(prefix + ".metrics.json",
-                                       obs::metrics_json(cluster.metrics(), name))) {
+                                       obs::metrics_json(cluster.metrics(), name)) ||
+                !exec::write_text_file(prefix + ".monitors.json",
+                                       obs::violations_json(*cluster.monitors(), name))) {
                 std::cerr << "cannot write trace exports with prefix " << prefix << "\n";
                 r.ok = false;
             }

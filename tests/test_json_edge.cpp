@@ -1,0 +1,95 @@
+// Edge cases of the strict JSON parser (src/obs/json.cpp) that the
+// mainline test_obs.cpp round-trips do not reach: the recursion depth
+// limit, duplicate keys, exact integer handling at the 2^63 / 2^64
+// boundaries, and the malformed-input rejections the exporter validators
+// (and fastnet_report's ingestion) depend on.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace fastnet::obs {
+namespace {
+
+std::string nested_arrays(int depth) {
+    std::string s;
+    for (int i = 0; i < depth; ++i) s += '[';
+    s += '1';
+    for (int i = 0; i < depth; ++i) s += ']';
+    return s;
+}
+
+TEST(JsonEdge, AcceptsDeepButBoundedNesting) {
+    JsonValue v;
+    std::string err;
+    EXPECT_TRUE(json_parse(nested_arrays(60), v, &err)) << err;
+}
+
+TEST(JsonEdge, RejectsNestingBeyondDepthLimit) {
+    // kMaxDepth = 64; a malicious or corrupted export must not be able
+    // to blow the parser's stack.
+    JsonValue v;
+    std::string err;
+    EXPECT_FALSE(json_parse(nested_arrays(100), v, &err));
+    EXPECT_NE(err.find("deep"), std::string::npos) << err;
+}
+
+TEST(JsonEdge, DuplicateKeysKeepBothButFindReturnsFirst) {
+    JsonValue v;
+    ASSERT_TRUE(json_parse(R"({"k": 1, "k": 2})", v));
+    ASSERT_EQ(v.object.size(), 2u);  // both retained in written order
+    EXPECT_EQ(v.find("k")->uint_value, 1u);
+}
+
+TEST(JsonEdge, ExactUInt64AtTheBoundaries) {
+    JsonValue v;
+    // 2^63 does not fit int64 but is an exact uint64.
+    ASSERT_TRUE(json_parse("9223372036854775808", v));
+    ASSERT_EQ(v.type, JsonValue::Type::kUInt);
+    EXPECT_EQ(v.uint_value, 1ull << 63);
+    // 2^64 - 1 is the last exact integer.
+    ASSERT_TRUE(json_parse("18446744073709551615", v));
+    ASSERT_EQ(v.type, JsonValue::Type::kUInt);
+    EXPECT_EQ(v.uint_value, 18446744073709551615ull);
+}
+
+TEST(JsonEdge, UInt64OverflowFallsBackToDouble) {
+    JsonValue v;
+    ASSERT_TRUE(json_parse("18446744073709551616", v));  // 2^64
+    EXPECT_EQ(v.type, JsonValue::Type::kDouble);
+    EXPECT_DOUBLE_EQ(v.as_double(), 18446744073709551616.0);
+}
+
+TEST(JsonEdge, MostNegativeInt64IsExact) {
+    JsonValue v;
+    ASSERT_TRUE(json_parse("-9223372036854775808", v));  // -2^63
+    ASSERT_EQ(v.type, JsonValue::Type::kInt);
+    EXPECT_EQ(v.int_value, std::int64_t{-9223372036854775807LL - 1});
+}
+
+TEST(JsonEdge, RejectsMalformedNumbersAndStrings) {
+    JsonValue v;
+    for (const char* bad : {
+             "[1, 2,]",        // trailing comma
+             R"({"a": 1,})",   // trailing comma in object
+             "01",             // leading zero
+             "+1",             // explicit plus
+             "1.",             // dangling fraction
+             ".5",             // missing integer part
+             "1e",             // dangling exponent
+             "\"unterminated", // unterminated string
+             R"("bad \u12g4")",// malformed \u escape
+             "1 2",            // trailing content
+             "{\"a\" 1}",      // missing colon
+             "nul",            // truncated literal
+             "",               // empty input
+         }) {
+        std::string err;
+        EXPECT_FALSE(json_parse(bad, v, &err)) << "accepted: " << bad;
+        EXPECT_FALSE(err.empty()) << bad;
+    }
+}
+
+}  // namespace
+}  // namespace fastnet::obs

@@ -1,0 +1,230 @@
+// Live invariant monitors (src/obs/monitor.hpp): unit-level checks of
+// each built-in monitor via manual event dispatch, the violation
+// bookkeeping (storage cap, first-violation trace record), and the
+// integration path — a hub attached to a real Cluster run stays clean on
+// healthy workloads and trips deterministically on a rigged one.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "obs/monitor.hpp"
+#include "sim/trace.hpp"
+#include "topo/broadcast_protocols.hpp"
+
+namespace fastnet::obs {
+namespace {
+
+MonitorEvent ev(MonitorEvent::Kind kind, Tick at, NodeId node, std::uint64_t lineage = 0,
+                std::uint64_t a = 0, std::uint64_t b = 0) {
+    MonitorEvent e;
+    e.kind = kind;
+    e.at = at;
+    e.node = node;
+    e.lineage = lineage;
+    e.a = a;
+    e.b = b;
+    return e;
+}
+
+// ---- hub bookkeeping ----------------------------------------------------
+
+TEST(Monitor, EmptyHubIsInactiveAndOk) {
+    MonitorHub hub;
+    EXPECT_FALSE(hub.active());
+    EXPECT_EQ(hub.monitor_count(), 0u);
+    EXPECT_TRUE(hub.ok());
+    hub.finish(100);  // no monitors, no effect
+    EXPECT_TRUE(hub.violations().empty());
+}
+
+TEST(Monitor, StorageCapCountsBeyondStoredViolations) {
+    MonitorHub hub;
+    hub.add(std::make_unique<QueueDepthMonitor>(0));
+    for (Tick t = 0; t < 40; ++t)
+        hub.dispatch(ev(MonitorEvent::Kind::kEnqueue, t, 1, 0, /*depth=*/5));
+    EXPECT_EQ(hub.violation_count(), 40u);
+    EXPECT_EQ(hub.violations().size(), MonitorHub::kMaxStoredPerMonitor);
+    EXPECT_FALSE(hub.ok());
+}
+
+TEST(Monitor, FirstViolationLandsInTheAttachedTrace) {
+    MonitorHub hub;
+    hub.add(std::make_unique<LineageConservationMonitor>());
+    hub.add(std::make_unique<QueueDepthMonitor>(2));
+    sim::Trace trace(128);
+    hub.attach_trace(&trace);
+
+    hub.dispatch(ev(MonitorEvent::Kind::kEnqueue, 7, 3, 0, /*depth=*/9));
+    hub.dispatch(ev(MonitorEvent::Kind::kEnqueue, 8, 3, 0, /*depth=*/9));
+
+    const auto records = trace.snapshot();
+    ASSERT_EQ(records.size(), 1u);  // only the monitor's first violation
+    EXPECT_EQ(records[0].kind, sim::TraceKind::kViolation);
+    EXPECT_EQ(records[0].at, 7);
+    EXPECT_EQ(records[0].node, 3u);
+    EXPECT_EQ(records[0].a, 1u);  // registration index of the queue monitor
+    EXPECT_EQ(records[0].detail.rfind("queue_depth: ", 0), 0u) << records[0].detail;
+    EXPECT_EQ(hub.violation_count(), 2u);
+}
+
+// ---- lineage conservation -----------------------------------------------
+
+TEST(Monitor, LineageConservationBalancedBooksStayClean) {
+    MonitorHub hub;
+    hub.add(std::make_unique<LineageConservationMonitor>());
+    hub.dispatch(ev(MonitorEvent::Kind::kSend, 1, 0, /*lineage=*/10));
+    hub.dispatch(ev(MonitorEvent::Kind::kDup, 2, 0, 10));  // link-layer duplicate
+    hub.dispatch(ev(MonitorEvent::Kind::kRetire, 5, kNoNode, 10));
+    hub.dispatch(ev(MonitorEvent::Kind::kRetire, 6, kNoNode, 10));
+    hub.finish(10);
+    EXPECT_TRUE(hub.ok()) << violations_json(hub, "t");
+}
+
+TEST(Monitor, RetireWithoutLiveCopyFiresImmediately) {
+    MonitorHub hub;
+    hub.add(std::make_unique<LineageConservationMonitor>());
+    hub.dispatch(ev(MonitorEvent::Kind::kRetire, 3, kNoNode, /*lineage=*/42));
+    ASSERT_EQ(hub.violation_count(), 1u);
+    EXPECT_EQ(hub.violations()[0].monitor, std::string("lineage_conservation"));
+    EXPECT_EQ(hub.violations()[0].lineage, 42u);
+    EXPECT_EQ(hub.violations()[0].at, 3);
+}
+
+TEST(Monitor, UnretiredCopiesFireAtFinish) {
+    MonitorHub hub;
+    hub.add(std::make_unique<LineageConservationMonitor>());
+    hub.dispatch(ev(MonitorEvent::Kind::kSend, 1, 0, /*lineage=*/7));
+    hub.dispatch(ev(MonitorEvent::Kind::kSend, 2, 0, 9));
+    hub.dispatch(ev(MonitorEvent::Kind::kRetire, 4, kNoNode, 9));
+    EXPECT_TRUE(hub.ok());  // nothing wrong until the books close
+    hub.finish(50);
+    ASSERT_EQ(hub.violation_count(), 1u);
+    EXPECT_EQ(hub.violations()[0].lineage, 7u);
+    EXPECT_EQ(hub.violations()[0].at, 50);
+}
+
+// ---- queue depth ---------------------------------------------------------
+
+TEST(Monitor, QueueDepthCeilingIsInclusive) {
+    MonitorHub hub;
+    hub.add(std::make_unique<QueueDepthMonitor>(3));
+    hub.dispatch(ev(MonitorEvent::Kind::kEnqueue, 1, 0, 0, /*depth=*/3));
+    EXPECT_TRUE(hub.ok());
+    hub.dispatch(ev(MonitorEvent::Kind::kEnqueue, 2, 0, 0, 4));
+    EXPECT_EQ(hub.violation_count(), 1u);
+}
+
+// ---- busy-window monotonicity -------------------------------------------
+
+TEST(Monitor, BusyWindowsSerialPerNodeStayClean) {
+    MonitorHub hub;
+    hub.add(std::make_unique<BusyWindowMonitor>());
+    using K = MonitorEvent::Kind;
+    hub.dispatch(ev(K::kInvoke, 10, 0, 0, 0, /*busy=*/4));  // [6, 10] on node 0
+    hub.dispatch(ev(K::kInvoke, 12, 1, 0, 0, 6));           // [6, 12] on node 1 — fine
+    hub.dispatch(ev(K::kInvoke, 15, 0, 0, 0, 5));           // [10, 15] abuts exactly
+    EXPECT_TRUE(hub.ok()) << violations_json(hub, "t");
+}
+
+TEST(Monitor, OverlappingBusyWindowViolates) {
+    MonitorHub hub;
+    hub.add(std::make_unique<BusyWindowMonitor>());
+    using K = MonitorEvent::Kind;
+    hub.dispatch(ev(K::kInvoke, 10, 0, 0, 0, /*busy=*/4));  // ends at 10
+    hub.dispatch(ev(K::kInvoke, 12, 0, 0, 0, 4));           // [8, 12] overlaps
+    ASSERT_EQ(hub.violation_count(), 1u);
+    EXPECT_EQ(hub.violations()[0].monitor, std::string("busy_window"));
+}
+
+TEST(Monitor, CompletionTimeGoingBackwardsViolates) {
+    MonitorHub hub;
+    hub.add(std::make_unique<BusyWindowMonitor>());
+    using K = MonitorEvent::Kind;
+    hub.dispatch(ev(K::kInvoke, 20, 0));
+    hub.dispatch(ev(K::kInvoke, 15, 1));  // the simulator never runs backwards
+    EXPECT_EQ(hub.violation_count(), 1u);
+}
+
+// ---- phase budgets -------------------------------------------------------
+
+TEST(Monitor, PhaseBudgetCountsOnlyItsPhaseAndReportsOnce) {
+    MonitorHub hub;
+    hub.add(std::make_unique<PhaseBudgetMonitor>(/*phase=*/1, /*max_calls=*/2));
+    using K = MonitorEvent::Kind;
+    const auto delivery = static_cast<std::uint64_t>(MonitorEvent::InvokeKind::kDelivery);
+    const auto timer = static_cast<std::uint64_t>(MonitorEvent::InvokeKind::kTimer);
+    // Phase 0 deliveries do not count.
+    hub.dispatch(ev(K::kInvoke, 1, 0, 0, delivery));
+    hub.dispatch(ev(K::kPhase, 2, kNoNode, 0, /*phase=*/1));
+    hub.dispatch(ev(K::kInvoke, 3, 0, 0, delivery));
+    hub.dispatch(ev(K::kInvoke, 4, 0, 0, timer));  // not a delivery
+    hub.dispatch(ev(K::kInvoke, 5, 0, 0, delivery));
+    EXPECT_TRUE(hub.ok());
+    hub.dispatch(ev(K::kInvoke, 6, 0, 0, delivery));  // budget + 1 -> fires
+    hub.dispatch(ev(K::kInvoke, 7, 0, 0, delivery));  // beyond: counted, not re-filed
+    EXPECT_EQ(hub.violation_count(), 1u);
+    // Leaving the phase stops the counting.
+    hub.dispatch(ev(K::kPhase, 8, kNoNode, 0, 2));
+    hub.dispatch(ev(K::kInvoke, 9, 0, 0, delivery));
+    EXPECT_EQ(hub.violation_count(), 1u);
+}
+
+// ---- integration: a hub riding a real simulation -------------------------
+
+TEST(Monitor, StandardMonitorsStayCleanOnRealBroadcasts) {
+    Rng rng(17);
+    const graph::Graph g = graph::make_random_connected(40, 1, 15, rng);
+    for (auto scheme : {topo::BroadcastScheme::kBranchingPaths,
+                        topo::BroadcastScheme::kFlooding}) {
+        node::ClusterConfig cfg;
+        cfg.monitors = std::make_shared<MonitorHub>();
+        add_standard_monitors(*cfg.monitors);
+        const auto out = topo::run_broadcast(g, scheme, 0, cfg);
+        ASSERT_TRUE(out.all_received);
+        EXPECT_TRUE(cfg.monitors->ok())
+            << violations_json(*cfg.monitors, topo::scheme_name(scheme));
+    }
+}
+
+TEST(Monitor, RiggedCeilingTripsOnARealRunAndHitsTheTrace) {
+    // A star flood hammers the hub node's NCU queue; a zero ceiling must
+    // trip, and the first violating event must land in the trace with
+    // the kViolation kind.
+    const graph::Graph g = graph::make_star(24);
+    node::ClusterConfig cfg;
+    cfg.monitors = std::make_shared<MonitorHub>();
+    cfg.monitors->add(std::make_unique<QueueDepthMonitor>(0));
+    cfg.trace = std::make_shared<sim::Trace>(std::size_t{1} << 12);
+    const auto out = topo::run_broadcast(g, topo::BroadcastScheme::kFlooding, 1, cfg);
+    ASSERT_TRUE(out.all_received);
+    EXPECT_FALSE(cfg.monitors->ok());
+
+    bool saw_violation_record = false;
+    for (const sim::TraceRecord& r : cfg.trace->snapshot())
+        if (r.kind == sim::TraceKind::kViolation) {
+            saw_violation_record = true;
+            EXPECT_EQ(r.detail.rfind("queue_depth: ", 0), 0u) << r.detail;
+        }
+    EXPECT_TRUE(saw_violation_record);
+}
+
+TEST(Monitor, ViolationsJsonIsWellFormedAndDeterministic) {
+    auto make = [] {
+        MonitorHub hub;
+        hub.add(std::make_unique<LineageConservationMonitor>());
+        hub.dispatch(ev(MonitorEvent::Kind::kSend, 1, 2, 5));
+        hub.finish(9);
+        return violations_json(hub, "vj");
+    };
+    const std::string a = make();
+    EXPECT_EQ(a, make());
+    EXPECT_NE(a.find("\"fastnet_monitors\": 1"), std::string::npos);
+    EXPECT_NE(a.find("\"violation_count\": 1"), std::string::npos);
+    EXPECT_NE(a.find("lineage_conservation"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fastnet::obs
