@@ -119,6 +119,73 @@ void experiment_r1(bench::JsonReporter& out) {
             "reconvergence vs churn intensity and payload mode");
 }
 
+// Phase-budget audit: one heavy-churn recovery run with live phase
+// attribution (Cluster::mark_phase + sampled metrics). Phase 1 is the
+// clean broadcast prefix, phase 2 the fault window, phase 3 everything
+// after the heal. Each phase's system calls are held against an
+// executable bound — a broadcast round costs at most n*(n-1) receptions
+// plus n initiations, i.e. < n^2 calls, and a phase spanning T ticks
+// holds at most ceil(T / period) + 1 round starts per node (restarts can
+// re-initiate, hence the slack factor). Verdicts ship as
+// AUDIT_recovery.json for fastnet_report ingestion.
+void experiment_phase_audit(bench::JsonReporter& out) {
+    constexpr Tick kFaultsFrom = 50;
+    Rng rng(33);
+    const graph::Graph g = graph::make_random_connected(32, 2, 10, rng);
+
+    fault::FaultModel model;
+    model.link_flaps = 8;
+    model.node_crashes = 4;
+    model.window_from = kFaultsFrom;
+    model.window_to = 500;
+    model.heal_at = kHealAt;
+    const fault::FaultInjector inj(model, 1988);
+
+    topo::TopologyOptions topt;
+    topt.rounds = 60;
+    topt.period = 50;
+    topt.full_knowledge = true;
+
+    node::ClusterConfig cfg;
+    inj.configure(cfg);
+    cfg.sample_window = 50;
+
+    node::Cluster c(g, topo::make_topology_maintenance(g.node_count(), topt), cfg);
+    c.mark_phase(0, 1);
+    c.mark_phase(kFaultsFrom, 2);
+    c.mark_phase(kHealAt, 3);
+    c.start_all(0);
+    inj.compile(c.graph()).apply(c);
+    c.run();
+    FASTNET_ENSURES_MSG(fault::check_theorem1(c).ok(),
+                        "phase-audit run violated the convergence oracle");
+
+    const double n = static_cast<double>(g.node_count());
+    const double per_round = n * n;
+    const auto rounds_in = [&](Tick span) {
+        return static_cast<double>(span / topt.period + 2);
+    };
+    obs::BoundAudit audit("recovery_phases");
+    audit.phase_budget(c.metrics(), 1,
+                       static_cast<std::uint64_t>(per_round * rounds_in(kFaultsFrom)));
+    audit.phase_budget(
+        c.metrics(), 2,
+        static_cast<std::uint64_t>(per_round * rounds_in(kHealAt - kFaultsFrom)));
+    audit.phase_budget(c.metrics(), 3,
+                       static_cast<std::uint64_t>(per_round * topt.rounds));
+    FASTNET_ENSURES_MSG(audit.pass(), "a recovery phase blew its system-call budget");
+    if (!exec::write_text_file("AUDIT_recovery.json", obs::audit_json(audit))) {
+        std::cerr << "cannot write AUDIT_recovery.json\n";
+    } else {
+        std::cout << "wrote AUDIT_recovery.json (" << audit.checks().size()
+                  << " phase budgets, pass=" << (audit.pass() ? "true" : "false")
+                  << ")\n";
+    }
+    for (const auto& [phase, calls] : c.metrics().sampling()->phase_calls())
+        out.add("r1_phase" + std::to_string(phase) + "_calls",
+                static_cast<double>(calls), "calls");
+}
+
 void bm_crash_restart_cycle(benchmark::State& state) {
     const graph::Graph g = graph::make_cycle(8);
     node::Cluster c(g, [](NodeId) { return std::make_unique<node::Protocol>(); });
@@ -149,6 +216,7 @@ BENCHMARK(bm_chaos_maintenance_run)->Unit(benchmark::kMillisecond);
 int main(int argc, char** argv) {
     bench::JsonReporter out("recovery");
     experiment_r1(out);
+    experiment_phase_audit(out);
     out.write();
     std::cout << "\n";
     benchmark::Initialize(&argc, argv);

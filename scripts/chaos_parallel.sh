@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Parallel-kernel chaos gate: run the seeded fault sweep through
+# node::ParallelCluster (tests/chaos_parallel_main.cpp) at several
+# (shards, threads) combinations and byte-diff the JSON outputs against
+# the single-shard run. The partitioned kernel's contract is that shard
+# count and worker-thread count are invisible in the results: same
+# completion times, same cost counters, same oracle and monitor verdicts.
+# Wired in as the ChaosParallelSmoke ctest; also runnable by hand:
+#
+#   scripts/chaos_parallel.sh [path/to/fastnet_chaos_parallel] [--seeds N]
+#
+# Exits non-zero if any seed violates its oracle or any pair of outputs
+# differs.
+set -euo pipefail
+
+bin="${1:-}"
+seeds="${2:-}"
+if [[ -z "$bin" ]]; then
+    cd "$(dirname "$0")/.."
+    for candidate in build/tests/fastnet_chaos_parallel build-*/tests/fastnet_chaos_parallel; do
+        if [[ -x "$candidate" ]]; then
+            bin="$candidate"
+            break
+        fi
+    done
+fi
+if [[ -z "$bin" || ! -x "$bin" ]]; then
+    echo "chaos_parallel: binary not found (build first, or pass its path)" >&2
+    exit 2
+fi
+
+extra=()
+if [[ -n "$seeds" ]]; then
+    extra=(--seeds "${seeds#--seeds=}")
+fi
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+"$bin" --shards 1 --threads 1 --out "$tmp/s1.json" "${extra[@]}"
+"$bin" --shards 2 --threads 1 --out "$tmp/s2t1.json" "${extra[@]}"
+"$bin" --shards 4 --threads 2 --out "$tmp/s4t2.json" "${extra[@]}"
+"$bin" --shards 7 --threads 0 --out "$tmp/s7tN.json" "${extra[@]}"  # 0 = min(shards, hw)
+
+diff -u "$tmp/s1.json" "$tmp/s2t1.json"
+diff -u "$tmp/s1.json" "$tmp/s4t2.json"
+diff -u "$tmp/s1.json" "$tmp/s7tN.json"
+echo "chaos_parallel: every seed passed its oracle; byte-identical at shards {1,2,4,7} x threads {1,2,N}."

@@ -1,5 +1,6 @@
 #include "cost/metrics.hpp"
 
+#include <algorithm>
 #include <ostream>
 
 namespace fastnet::cost {
@@ -35,6 +36,66 @@ void Sampling::phase_call(std::uint64_t phase) {
         }
     }
     phase_calls_.emplace_back(phase, 1);
+}
+
+void Sampling::merge_from(const Sampling& o) {
+    FASTNET_EXPECTS(o.window_ == window_);
+    FASTNET_EXPECTS(o.nodes_.size() == nodes_.size());
+    for (std::size_t u = 0; u < nodes_.size(); ++u) {
+        nodes_[u].busy.merge_from(o.nodes_[u].busy);
+        nodes_[u].hw_time.merge_from(o.nodes_[u].hw_time);
+        nodes_[u].deliveries.merge_from(o.nodes_[u].deliveries);
+        nodes_[u].queue_depth.merge_from(o.nodes_[u].queue_depth);
+    }
+    hops_.merge_from(o.hops_);
+    sends_.merge_from(o.sends_);
+    drops_.merge_from(o.drops_);
+    hop_latency_.merge_from(o.hop_latency_);
+    delivery_latency_.merge_from(o.delivery_latency_);
+    header_len_.merge_from(o.header_len_);
+    ncu_busy_.merge_from(o.ncu_busy_);
+    queue_depth_.merge_from(o.queue_depth_);
+    for (const auto& [p, n] : o.phase_calls_) {
+        bool found = false;
+        for (auto& [mine, count] : phase_calls_) {
+            if (mine == p) {
+                count += n;
+                found = true;
+                break;
+            }
+        }
+        if (!found) phase_calls_.emplace_back(p, n);
+    }
+    // First-use order is per-shard state; phase ids are global. Sort so
+    // the merged serialization is a function of the run, not the split.
+    std::sort(phase_calls_.begin(), phase_calls_.end());
+}
+
+void Metrics::merge_from(const Metrics& o) {
+    FASTNET_EXPECTS(o.nodes_.size() == nodes_.size());
+    for (std::size_t u = 0; u < nodes_.size(); ++u) {
+        NodeCounters& into = nodes_[u];
+        const NodeCounters& from = o.nodes_[u];
+        into.message_deliveries += from.message_deliveries;
+        into.starts += from.starts;
+        into.timer_fires += from.timer_fires;
+        into.link_events += from.link_events;
+        into.sends += from.sends;
+        into.crashes += from.crashes;
+        into.restarts += from.restarts;
+        into.busy_time += from.busy_time;
+    }
+    net_.injections += o.net_.injections;
+    net_.hops += o.net_.hops;
+    net_.ncu_deliveries += o.net_.ncu_deliveries;
+    net_.drops_inactive_link += o.net_.drops_inactive_link;
+    net_.drops_no_match += o.net_.drops_no_match;
+    net_.drops_empty_header += o.net_.drops_empty_header;
+    net_.max_header_len = std::max(net_.max_header_len, o.net_.max_header_len);
+    net_.header_bits += o.net_.header_bits;
+    net_.drops_injected += o.net_.drops_injected;
+    net_.dup_copies += o.net_.dup_copies;
+    if (sampling_ != nullptr && o.sampling_ != nullptr) sampling_->merge_from(*o.sampling_);
 }
 
 void Metrics::reset() {

@@ -101,6 +101,12 @@ public:
     /// marked by the harness — Scenario::mark_phase / Metrics::set_phase).
     /// Stored in first-use order, so serialization is deterministic.
     void phase_call(std::uint64_t phase);
+
+    /// Accumulates another sampler with the same window and node count
+    /// into this one. Merged phase_calls are re-sorted by phase id —
+    /// per-shard first-use order depends on the partition, phase ids do
+    /// not (see Metrics::merge_from).
+    void merge_from(const Sampling& o);
     const std::vector<std::pair<std::uint64_t, std::uint64_t>>& phase_calls() const {
         return phase_calls_;
     }
@@ -139,6 +145,14 @@ public:
     /// disturbing the simulation state. Sampling windows (if enabled)
     /// restart empty with the same window width.
     void reset();
+
+    /// Accumulates another ledger of the same node count into this one —
+    /// how the parallel kernel folds per-shard ledgers into the one a
+    /// sequential run would have produced. Counters add (max_header_len
+    /// takes the max); sampling merges window-wise when both sides have
+    /// it. Everything is integer or integral-double arithmetic, so the
+    /// result is exact and independent of merge order.
+    void merge_from(const Metrics& o);
 
     // ---- windowed samplers (optional; see Sampling) -------------------
     /// Turns on time-series/histogram sampling with `window`-tick

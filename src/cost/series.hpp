@@ -49,6 +49,24 @@ public:
         w.count += 1;
     }
 
+    /// Window-wise accumulation of another series with the same width —
+    /// the parallel kernel's per-shard → merged reduction. All sampled
+    /// values in this repo are integral-valued doubles well below 2^53,
+    /// so the sums are exact and the merge is order-independent.
+    void merge_from(const TimeSeries& o) {
+        FASTNET_EXPECTS(o.window_ == window_);
+        if (o.windows_.size() > windows_.size()) windows_.resize(o.windows_.size());
+        for (std::size_t i = 0; i < o.windows_.size(); ++i) {
+            const Window& from = o.windows_[i];
+            if (from.count == 0) continue;
+            Window& into = windows_[i];
+            if (into.count == 0 || from.max > into.max) into.max = from.max;
+            into.sum += from.sum;
+            into.count += from.count;
+        }
+        overflow_ += o.overflow_;
+    }
+
     Tick window() const { return window_; }
     const std::vector<Window>& windows() const { return windows_; }
     std::uint64_t overflow() const { return overflow_; }
@@ -95,6 +113,17 @@ public:
     /// Smallest value belonging to bucket `b` (0, 1, 2, 4, 8, ...).
     static std::uint64_t bucket_floor(unsigned b) {
         return b == 0 ? 0 : (std::uint64_t{1} << (b - 1));
+    }
+
+    /// Bucket-wise accumulation of another histogram (exact and
+    /// order-independent: everything is integer arithmetic).
+    void merge_from(const LogHistogram& o) {
+        if (o.count_ == 0) return;
+        for (unsigned b = 0; b < kBuckets; ++b) buckets_[b] += o.buckets_[b];
+        if (count_ == 0 || o.max_ > max_) max_ = o.max_;
+        if (count_ == 0 || o.min_ < min_) min_ = o.min_;
+        count_ += o.count_;
+        sum_ += o.sum_;
     }
 
     std::uint64_t count() const { return count_; }

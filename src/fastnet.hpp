@@ -41,6 +41,7 @@
 #include "graph/dot.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
+#include "graph/partition.hpp"
 #include "graph/rooted_tree.hpp"
 #include "gsf/gather.hpp"
 #include "gsf/opt_tree.hpp"
@@ -51,6 +52,7 @@
 #include "hw/packet.hpp"
 #include "hw/switch.hpp"
 #include "node/cluster.hpp"
+#include "node/parallel_cluster.hpp"
 #include "node/protocol.hpp"
 #include "obs/audit.hpp"
 #include "obs/json.hpp"

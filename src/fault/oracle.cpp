@@ -3,6 +3,7 @@
 #include <string>
 
 #include "election/election.hpp"
+#include "node/parallel_cluster.hpp"
 #include "topo/router.hpp"
 #include "topo/topology_maintenance.hpp"
 
@@ -28,27 +29,49 @@ std::string OracleReport::summary() const {
     return out;
 }
 
+bool Oracle::quiescent() const { return seq_ != nullptr ? seq_->quiescent() : par_->quiescent(); }
+
+std::size_t Oracle::packets_in_flight() const {
+    return seq_ != nullptr ? seq_->network().packets_in_flight() : par_->packets_in_flight();
+}
+
+hw::Network& Oracle::network() const {
+    return seq_ != nullptr ? seq_->network() : par_->mirror(0);
+}
+
+NodeId Oracle::node_count() const {
+    return seq_ != nullptr ? seq_->node_count() : par_->node_count();
+}
+
+bool Oracle::crashed(NodeId u) const {
+    return seq_ != nullptr ? seq_->crashed(u) : par_->crashed(u);
+}
+
+const node::Protocol& Oracle::protocol(NodeId u) const {
+    return seq_ != nullptr ? seq_->protocol(u) : par_->protocol(u);
+}
+
 Oracle& Oracle::require_quiescent() {
-    if (!c_.quiescent()) fail("cluster not quiescent");
+    if (!quiescent()) fail("cluster not quiescent");
     return *this;
 }
 
 Oracle& Oracle::require_no_inflight() {
-    const std::size_t live = c_.network().packets_in_flight();
+    const std::size_t live = packets_in_flight();
     if (live != 0)
         fail(std::to_string(live) + " packet cursor(s) still allocated after quiescence");
     return *this;
 }
 
 Oracle& Oracle::require_views_converged() {
-    for (NodeId u = 0; u < c_.node_count(); ++u) {
-        if (c_.crashed(u)) continue;  // a down node has no view to check
-        const topo::TopologyMaintenance* tm = maintenance_of(c_.protocol(u));
+    for (NodeId u = 0; u < node_count(); ++u) {
+        if (crashed(u)) continue;  // a down node has no view to check
+        const topo::TopologyMaintenance* tm = maintenance_of(protocol(u));
         if (tm == nullptr) {
             fail("node " + std::to_string(u) + " runs no topology maintenance");
             continue;
         }
-        if (!topo::view_converged(*tm, c_.network(), u))
+        if (!topo::view_converged(*tm, network(), u))
             fail("node " + std::to_string(u) + "'s view is not exact (Theorem 1)");
     }
     return *this;
@@ -56,9 +79,9 @@ Oracle& Oracle::require_views_converged() {
 
 Oracle& Oracle::require_at_most_one_leader() {
     unsigned leaders = 0;
-    for (NodeId u = 0; u < c_.node_count(); ++u) {
-        if (c_.crashed(u)) continue;
-        const auto* e = dynamic_cast<const elect::ElectionProtocol*>(&c_.protocol(u));
+    for (NodeId u = 0; u < node_count(); ++u) {
+        if (crashed(u)) continue;
+        const auto* e = dynamic_cast<const elect::ElectionProtocol*>(&protocol(u));
         if (e == nullptr) {
             fail("node " + std::to_string(u) + " runs no election protocol");
             continue;
@@ -70,7 +93,7 @@ Oracle& Oracle::require_at_most_one_leader() {
 }
 
 Oracle& Oracle::require_received(NodeId at, NodeId src, std::uint64_t tag) {
-    const auto* r = dynamic_cast<const topo::RouterProtocol*>(&c_.protocol(at));
+    const auto* r = dynamic_cast<const topo::RouterProtocol*>(&protocol(at));
     if (r == nullptr) {
         fail("node " + std::to_string(at) + " runs no router");
         return *this;
@@ -83,6 +106,12 @@ Oracle& Oracle::require_received(NodeId at, NodeId src, std::uint64_t tag) {
 }
 
 OracleReport check_theorem1(node::Cluster& cluster) {
+    Oracle o(cluster);
+    o.require_quiescent().require_no_inflight().require_views_converged();
+    return o.report();
+}
+
+OracleReport check_theorem1(node::ParallelCluster& cluster) {
     Oracle o(cluster);
     o.require_quiescent().require_no_inflight().require_views_converged();
     return o.report();

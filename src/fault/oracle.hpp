@@ -24,6 +24,10 @@
 
 #include "node/cluster.hpp"
 
+namespace fastnet::node {
+class ParallelCluster;
+}
+
 namespace fastnet::fault {
 
 struct OracleReport {
@@ -35,7 +39,12 @@ struct OracleReport {
 
 class Oracle {
 public:
-    explicit Oracle(node::Cluster& cluster) : c_(cluster) {}
+    explicit Oracle(node::Cluster& cluster) : seq_(&cluster) {}
+    /// Parallel-kernel overload: quiescence spans every shard, in-flight
+    /// cursors are summed over the mirrors, and topology ground truth is
+    /// read from mirror 0 (every mirror replays the same control
+    /// timeline, so their link states are identical).
+    explicit Oracle(node::ParallelCluster& cluster) : par_(&cluster) {}
 
     /// The cluster must have no pending events or queued NCU work.
     Oracle& require_quiescent();
@@ -61,12 +70,22 @@ public:
 private:
     void fail(std::string msg) { report_.violations.push_back(std::move(msg)); }
 
-    node::Cluster& c_;
+    // One mode only; the accessors below fan out to whichever is set.
+    bool quiescent() const;
+    std::size_t packets_in_flight() const;
+    hw::Network& network() const;
+    NodeId node_count() const;
+    bool crashed(NodeId u) const;
+    const node::Protocol& protocol(NodeId u) const;
+
+    node::Cluster* seq_ = nullptr;
+    node::ParallelCluster* par_ = nullptr;
     OracleReport report_;
 };
 
 /// The standard Theorem-1 bundle: quiescent, no in-flight packets, every
 /// live view exact.
 OracleReport check_theorem1(node::Cluster& cluster);
+OracleReport check_theorem1(node::ParallelCluster& cluster);
 
 }  // namespace fastnet::fault

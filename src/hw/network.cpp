@@ -138,7 +138,7 @@ std::uint64_t Network::send(NodeId from, AnrHeader header,
     pkt->reverse_len = 0;
     pkt->payload = std::move(payload);
     pkt->origin = from;
-    pkt->id = next_packet_id_++;
+    pkt->id = par_ == nullptr ? next_packet_id_++ : par_next_id(from);
     pkt->lineage = pkt->id;
     pkt->sent_at = sim_.now();
     pkt->hops = 0;
@@ -206,10 +206,15 @@ void Network::transmit(NodeId from, EdgeId e, Packet* pkt) {
         release_packet(pkt);
         return;
     }
+    // Parallel mode draws jitter and faults from the transmitting node's
+    // private streams: the draw sequence then depends only on that node's
+    // (shard-invariant) execution order, never on global call order.
+    Rng& delay_rng = par_ == nullptr ? rng_ : par_->node_rng[from];
+    Rng& fault_rng = par_ == nullptr ? fault_rng_ : par_->node_fault_rng[from];
     // Injected loss: the frame is corrupted beyond the data-link CRC and
     // never arrives. Drawn before the delay draw from a dedicated stream,
     // so fault-free configurations keep byte-identical schedules.
-    if (config_.loss_ppm > 0 && fault_rng_.below(1'000'000) < config_.loss_ppm) {
+    if (config_.loss_ppm > 0 && fault_rng.below(1'000'000) < config_.loss_ppm) {
         metrics_.net().drops_injected += 1;
         note_drop(from, e, *pkt, sim::DropReason::kInjectedLoss);
         release_packet(pkt);
@@ -221,7 +226,7 @@ void Network::transmit(NodeId from, EdgeId e, Packet* pkt) {
 
     Tick delay = params_.hop_delay;
     if (config_.hop_delay_min >= 0 && params_.hop_delay > config_.hop_delay_min)
-        delay = rng_.range(config_.hop_delay_min, params_.hop_delay);
+        delay = delay_rng.range(config_.hop_delay_min, params_.hop_delay);
     Tick arrival = link.fifo_arrival(direction, sim_.now() + delay);
     if (config_.link_spacing > 0)
         arrival = link.spaced_arrival(direction, arrival, config_.link_spacing);
@@ -239,22 +244,29 @@ void Network::transmit(NodeId from, EdgeId e, Packet* pkt) {
     }
 
     // 32-byte capture — fits sim::InlineFn's inline storage, so the
-    // steady-state hop schedules without touching the allocator.
-    sim_.at(arrival, [this, to, e, epoch, pkt] { arrive(to, e, epoch, pkt); });
+    // steady-state hop schedules without touching the allocator. In
+    // parallel mode a boundary-crossing arrival goes to the coordinator's
+    // outbox instead; the local cursor is released after the dup block
+    // below is done reading it.
+    bool retire_pkt = false;
+    if (par_ == nullptr)
+        sim_.at(arrival, [this, to, e, epoch, pkt] { arrive(to, e, epoch, pkt); });
+    else
+        retire_pkt = par_dispatch_arrival(from, arrival, to, e, epoch, pkt);
 
     // Injected duplication: a spurious link-layer retransmit. The copy is
     // a second cursor over the same route blob (both copies traverse the
     // identical remaining path, so their write-once reverse tracks write
     // identical values) and joins the same FIFO behind the original,
     // stamped with the same epoch — a flap kills both.
-    if (config_.dup_ppm > 0 && fault_rng_.below(1'000'000) < config_.dup_ppm) {
+    if (config_.dup_ppm > 0 && fault_rng.below(1'000'000) < config_.dup_ppm) {
         Packet* dup = alloc_packet();
         dup->route = pkt->route;
         dup->offset = pkt->offset;
         dup->reverse_len = pkt->reverse_len;
         dup->payload = pkt->payload;
         dup->origin = pkt->origin;
-        dup->id = next_packet_id_++;
+        dup->id = par_ == nullptr ? next_packet_id_++ : par_next_id(from);
         dup->lineage = pkt->lineage;  // the duplicate stays causally traceable
         dup->sent_at = pkt->sent_at;
         dup->hop_sent_at = sim_.now();
@@ -278,8 +290,12 @@ void Network::transmit(NodeId from, EdgeId e, Packet* pkt) {
         Tick dup_arrival = link.fifo_arrival(direction, arrival + params_.hop_delay);
         if (config_.link_spacing > 0)
             dup_arrival = link.spaced_arrival(direction, dup_arrival, config_.link_spacing);
-        sim_.at(dup_arrival, [this, to, e, epoch, dup] { arrive(to, e, epoch, dup); });
+        if (par_ == nullptr)
+            sim_.at(dup_arrival, [this, to, e, epoch, dup] { arrive(to, e, epoch, dup); });
+        else if (par_dispatch_arrival(from, dup_arrival, to, e, epoch, dup))
+            release_packet(dup);
     }
+    if (retire_pkt) release_packet(pkt);
 }
 
 void Network::arrive(NodeId at, EdgeId e, std::uint64_t epoch, Packet* pkt) {
@@ -360,6 +376,20 @@ void Network::set_link_active(EdgeId e, bool active) {
     const std::uint64_t epoch = links_[e].epoch();
     const graph::Edge& edge = graph_.edge(e);
     for (NodeId endpoint : {edge.a, edge.b}) {
+        if (par_ != nullptr) {
+            // Every mirror replays this draw (keeping ctl_pri_ in
+            // lockstep) but only the endpoint's own shard schedules the
+            // notification — the priority is therefore the same whichever
+            // shard the endpoint landed on.
+            const std::uint64_t pri = par_ctl_draw();
+            if (!par_local(endpoint)) continue;
+            sim_.at_keyed(sim_.now() + config_.detection_delay, pri,
+                          [this, endpoint, e, epoch, active]() {
+                              if (links_[e].epoch() != epoch) return;
+                              if (link_sink_) link_sink_(endpoint, e, active);
+                          });
+            continue;
+        }
         sim_.after(config_.detection_delay, [this, endpoint, e, epoch, active]() {
             // Suppress stale notifications if the link flapped again before
             // detection completed (the NCU only learns states that persist).
@@ -367,6 +397,102 @@ void Network::set_link_active(EdgeId e, bool active) {
             if (link_sink_) link_sink_(endpoint, e, active);
         });
     }
+}
+
+sim::EventId Network::schedule_at(NodeId ctx, Tick when, sim::InlineFn fn) {
+    if (par_ == nullptr) return sim_.at(when, std::move(fn));
+    FASTNET_EXPECTS_MSG(par_local(ctx), "scheduling context not on this shard");
+    return sim_.at_keyed(when, par_draw(ctx), std::move(fn));
+}
+
+sim::EventId Network::schedule_after(NodeId ctx, Tick delay, sim::InlineFn fn) {
+    FASTNET_EXPECTS(delay >= 0);
+    return schedule_at(ctx, sim_.now() + delay, std::move(fn));
+}
+
+void Network::bind_parallel(ParallelHooks hooks) {
+    FASTNET_EXPECTS_MSG(next_packet_id_ == 1 && sim_.idle(),
+                        "bind_parallel must precede any traffic");
+    FASTNET_EXPECTS(hooks.node_shard != nullptr && hooks.node_rng != nullptr &&
+                    hooks.node_fault_rng != nullptr && hooks.node_send_seq != nullptr &&
+                    hooks.node_pri != nullptr && hooks.emit_remote != nullptr);
+    par_ = std::make_unique<ParallelHooks>(std::move(hooks));
+}
+
+std::uint64_t Network::par_draw(NodeId ctx) {
+    std::uint64_t& c = par_->node_pri[ctx];
+    FASTNET_EXPECTS_MSG(c < (1ULL << par_->pri_counter_bits),
+                        "per-node priority counter exhausted");
+    return ((static_cast<std::uint64_t>(ctx) + 1) << par_->pri_counter_bits) | c++;
+}
+
+std::uint64_t Network::par_ctl_draw() {
+    FASTNET_EXPECTS_MSG(ctl_pri_ < (1ULL << par_->pri_counter_bits),
+                        "control priority counter exhausted");
+    return ctl_pri_++;
+}
+
+std::uint64_t Network::par_next_id(NodeId origin) {
+    std::uint64_t& seq = par_->node_send_seq[origin];
+    FASTNET_EXPECTS_MSG(seq < 0xffff'ffffULL, "per-origin packet id space exhausted");
+    return ((static_cast<std::uint64_t>(origin) + 1) << 32) | ++seq;
+}
+
+bool Network::par_dispatch_arrival(NodeId from, Tick arrival, NodeId to, EdgeId e,
+                                   std::uint64_t epoch, Packet* pkt) {
+    const std::uint64_t pri = par_draw(from);
+    if (par_local(to)) {
+        sim_.at_keyed(arrival, pri, [this, to, e, epoch, pkt] { arrive(to, e, epoch, pkt); });
+        return false;
+    }
+    RemoteArrival r;
+    r.at = arrival;
+    r.pri = pri;
+    r.to = to;
+    r.edge = e;
+    r.epoch = epoch;
+    r.route = pkt->route.clone();
+    r.offset = pkt->offset;
+    r.reverse_len = pkt->reverse_len;
+    r.payload = pkt->payload;
+    r.origin = pkt->origin;
+    r.id = pkt->id;
+    r.lineage = pkt->lineage;
+    r.sent_at = pkt->sent_at;
+    r.hop_sent_at = pkt->hop_sent_at;
+    r.hops = pkt->hops;
+    par_->emit_remote(std::move(r));
+    return true;
+}
+
+void Network::inject_remote(const RemoteArrival& r) {
+    FASTNET_EXPECTS(par_ != nullptr && par_local(r.to));
+    Packet* pkt = alloc_packet();
+    pkt->route = r.route;
+    pkt->offset = r.offset;
+    pkt->reverse_len = r.reverse_len;
+    pkt->payload = r.payload;
+    pkt->origin = r.origin;
+    pkt->id = r.id;
+    pkt->lineage = r.lineage;
+    pkt->sent_at = r.sent_at;
+    pkt->hop_sent_at = r.hop_sent_at;
+    pkt->hops = r.hops;
+    if (watched()) {
+        // Balances the sender mirror's kRetire: each shard's lineage
+        // ledger sees a packet enter (+1) before its eventual retire.
+        obs::MonitorEvent ev;
+        ev.kind = obs::MonitorEvent::Kind::kHandoff;
+        ev.at = r.at;
+        ev.node = r.to;
+        ev.lineage = r.lineage;
+        ev.a = r.edge;
+        monitors_->dispatch(ev);
+    }
+    const NodeId to = r.to;
+    const EdgeId e = r.edge;
+    const std::uint64_t epoch = r.epoch;
+    sim_.at_keyed(r.at, r.pri, [this, to, e, epoch, pkt] { arrive(to, e, epoch, pkt); });
 }
 
 void Network::fail_node(NodeId u) {

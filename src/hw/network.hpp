@@ -65,6 +65,67 @@ struct NetworkConfig {
     std::uint32_t dup_ppm = 0;
 };
 
+/// One packet crossing a shard boundary in the parallel kernel: the
+/// cursor's state plus the arrival it was already scheduled for. The
+/// sender's shard appends these to its outbox during a window; the
+/// coordinator injects them into the target shard's mirror at the next
+/// window barrier (node/parallel_cluster.hpp). The payload is immutable
+/// and shared; the route blob is deep-copied (Route::clone) because its
+/// reverse track is still written on both sides of the boundary.
+struct RemoteArrival {
+    Tick at = 0;               ///< Arrival time (>= the next window's start).
+    std::uint64_t pri = 0;     ///< Keyed tie-break drawn at the sender.
+    NodeId to = kNoNode;
+    EdgeId edge = kNoEdge;
+    std::uint64_t epoch = 0;   ///< Link epoch stamped at transmit.
+    Route route;
+    std::uint32_t offset = 0;
+    std::uint32_t reverse_len = 0;
+    std::shared_ptr<const Payload> payload;
+    NodeId origin = kNoNode;
+    std::uint64_t id = 0;
+    std::uint64_t lineage = 0;
+    Tick sent_at = 0;
+    Tick hop_sent_at = 0;
+    unsigned hops = 0;
+};
+
+/// Wiring that puts a Network into parallel (sharded-mirror) mode.
+///
+/// In this mode the network is one shard's *mirror*: it simulates only
+/// the nodes whose shard matches `shard`, but holds full per-edge link
+/// state so epoch/activity checks work without cross-shard reads (the
+/// coordinator applies every topology change to every mirror at a
+/// barrier, keeping the mirrors in lockstep). Three things change on the
+/// hot path, all chosen so the event order is a pure function of the
+/// partitioned simulation and never of shard count or thread count:
+///
+///  * every scheduled event carries a keyed priority drawn from a
+///    per-node counter of its *scheduling context* (the node whose
+///    handler or transmit ran) — sender-side execution order is
+///    shard-invariant, so the priorities are too;
+///  * packet ids come from a per-origin stream ((origin+1)<<32 | seq)
+///    instead of the global counter, and delay/loss/dup draws come from
+///    per-node RNG streams, for the same reason;
+///  * an arrival whose target lives on another shard goes to
+///    `emit_remote` instead of the local queue.
+///
+/// The pointed-to arrays are owned by the coordinator and shared by all
+/// mirrors; entry u is only ever touched by u's owning shard mid-window
+/// (or by the coordinator at a barrier), so sharing is race-free.
+struct ParallelHooks {
+    std::uint32_t shard = 0;
+    /// Low bits of a keyed priority hold the counter; the context node id
+    /// (+1; 0 is the control timeline) sits above. 40-bit total budget.
+    unsigned pri_counter_bits = 0;
+    const std::uint32_t* node_shard = nullptr;
+    Rng* node_rng = nullptr;
+    Rng* node_fault_rng = nullptr;
+    std::uint64_t* node_send_seq = nullptr;
+    std::uint64_t* node_pri = nullptr;
+    std::function<void(RemoteArrival&&)> emit_remote;
+};
+
 class Network {
 public:
     using NcuSink = std::function<void(const Delivery&)>;
@@ -147,6 +208,24 @@ public:
     /// network plus the copy bit — the paper's k = O(log m).
     unsigned label_bits() const { return label_bits_; }
 
+    // ---- scheduling façade (sequential + parallel modes) -------------
+    // NCU runtimes schedule through these instead of simulator().at/after
+    // directly: sequentially they forward verbatim, and in parallel mode
+    // they attach the keyed priority of the scheduling context `ctx`
+    // (always a node local to this mirror).
+    sim::EventId schedule_at(NodeId ctx, Tick when, sim::InlineFn fn);
+    sim::EventId schedule_after(NodeId ctx, Tick delay, sim::InlineFn fn);
+    void cancel_scheduled(sim::EventId id) { sim_.cancel(id); }
+
+    // ---- parallel kernel wiring (node/parallel_cluster.hpp) ----------
+    /// Switches this network into parallel mirror mode; must be called
+    /// before any traffic. See ParallelHooks.
+    void bind_parallel(ParallelHooks hooks);
+    bool parallel() const { return par_ != nullptr; }
+    /// Coordinator-side: materializes a boundary-crossing packet in this
+    /// mirror and schedules its arrival. Called only at window barriers.
+    void inject_remote(const RemoteArrival& r);
+
 private:
     struct PortTable {
         std::vector<EdgeId> port_to_edge;  // index 0 unused (NCU)
@@ -164,6 +243,19 @@ private:
 
     Packet* alloc_packet();
     void release_packet(Packet* pkt);
+
+    // Parallel-mode helpers. A keyed priority packs (context+1) above a
+    // per-context monotone counter; the control timeline owns context 0.
+    bool par_local(NodeId u) const { return par_->node_shard[u] == par_->shard; }
+    std::uint64_t par_draw(NodeId ctx);
+    std::uint64_t par_ctl_draw();
+    std::uint64_t par_next_id(NodeId origin);
+    /// Schedules `pkt`'s arrival locally (keyed) or emits it to the
+    /// coordinator's outbox when `to` is remote. Returns true in the
+    /// remote case — the caller must release its local cursor once it is
+    /// done reading it.
+    bool par_dispatch_arrival(NodeId from, Tick arrival, NodeId to, EdgeId e,
+                              std::uint64_t epoch, Packet* pkt);
     /// True when monitor events must be built (attached hub with at
     /// least one monitor registered).
     bool watched() const { return monitors_ != nullptr && monitors_->active(); }
@@ -206,6 +298,13 @@ private:
     std::vector<NcuSink> ncu_sinks_;
     LinkSink link_sink_;
     std::uint64_t next_packet_id_ = 1;
+
+    /// Non-null iff this network is one shard's mirror (parallel mode).
+    std::unique_ptr<ParallelHooks> par_;
+    /// Control-timeline priority counter. Every mirror replays the whole
+    /// control timeline, so these advance in lockstep across mirrors and
+    /// a notification's priority is independent of the partition.
+    std::uint64_t ctl_pri_ = 0;
 
     static constexpr std::size_t kPacketSlabSize = 64;
     std::vector<std::unique_ptr<Packet[]>> packet_slabs_;

@@ -109,6 +109,21 @@ public:
         return AnrLabel::from_raw(blob_[1 + size() + i]);
     }
 
+    /// Deep copy, for the cross-shard handoff in the parallel kernel. The
+    /// reverse track keeps being written after a boundary crossing — by
+    /// the onward chain in the receiving shard, and by any link-layer
+    /// duplicate of an earlier hop still in flight in the sending shard
+    /// (re-recording the same index with the same value) — so one blob
+    /// must never be visible to two shard mirrors.
+    Route clone() const {
+        Route r;
+        if (blob_ == nullptr) return r;
+        const std::size_t words = 1 + 2 * static_cast<std::size_t>(blob_[0]);
+        r.blob_ = std::make_shared<std::uint32_t[]>(words);
+        for (std::size_t i = 0; i < words; ++i) r.blob_[i] = blob_[i];
+        return r;
+    }
+
     void reset() { blob_.reset(); }
 
 private:

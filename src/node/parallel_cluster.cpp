@@ -1,0 +1,433 @@
+#include "node/parallel_cluster.hpp"
+
+#include <algorithm>
+#include <iterator>
+
+namespace fastnet::node {
+
+namespace {
+
+/// The minimum delay one hop can take under this configuration — the
+/// per-edge lookahead contribution (all edges share the jitter config).
+Tick min_hop_delay(const ModelParams& params, const hw::NetworkConfig& net) {
+    if (net.hop_delay_min >= 0 && params.hop_delay > net.hop_delay_min)
+        return net.hop_delay_min;
+    return params.hop_delay;
+}
+
+/// kNoNode sorts last so network-scope records trail their tick.
+std::uint64_t node_sort_key(NodeId node) {
+    return node == kNoNode ? ~std::uint64_t{0} : node;
+}
+
+}  // namespace
+
+ParallelCluster::ParallelCluster(graph::Graph g, ProtocolFactory factory,
+                                 ParallelClusterConfig config)
+    : graph_(std::move(g)), factory_(std::move(factory)), config_(std::move(config)) {
+    FASTNET_EXPECTS(factory_ != nullptr);
+    const NodeId n = graph_.node_count();
+
+    part_ = graph::partition_bfs(graph_, config_.shards == 0 ? 1 : config_.shards);
+    if (!part_.boundary_edges.empty()) {
+        const Tick link_min = min_hop_delay(config_.params, config_.net);
+        if (link_min <= 0) {
+            // Zero lookahead: a boundary packet could arrive "now", so no
+            // window is safe. Degrade to one shard rather than reject —
+            // the caller's configuration stays runnable, just serial.
+            part_ = graph::partition_bfs(graph_, 1);
+        } else {
+            lookahead_ = link_min;
+        }
+    }
+    const unsigned shard_count = part_.shard_count;
+    threads_ = shard_count == 1
+                   ? 1
+                   : (config_.threads != 0
+                          ? config_.threads
+                          : std::min(shard_count, exec::ThreadPool::hardware_threads()));
+    if (threads_ == 0) threads_ = 1;
+
+    // 40-bit keyed-priority budget: (context + 1) in the high bits
+    // (context 0 = control timeline), a per-context counter below.
+    pri_counter_bits_ = 40 - ceil_log2(static_cast<std::uint64_t>(n) + 2);
+
+    const std::uint64_t net_seed = config_.seed ^ 0x9e3779b97f4a7c15ULL;
+    node_rng_.reserve(n);
+    node_fault_rng_.reserve(n);
+    for (NodeId u = 0; u < n; ++u) {
+        // stream() is a pure function of (seed, index): per-node draws
+        // are identical whatever shard the node lands on.
+        node_rng_.push_back(Rng::stream(net_seed, 2ull * u));
+        node_fault_rng_.push_back(Rng::stream(net_seed, 2ull * u + 1));
+    }
+    node_send_seq_.assign(n, 0);
+    node_pri_.assign(n, 0);
+
+    // Protocol RNGs fork in global node order, exactly like Cluster.
+    Rng master(config_.seed);
+    std::vector<Rng> proto_rng;
+    proto_rng.reserve(n);
+    for (NodeId u = 0; u < n; ++u) proto_rng.push_back(master.fork());
+
+    shards_.reserve(shard_count);
+    for (unsigned s = 0; s < shard_count; ++s) {
+        auto sh = std::make_unique<Shard>();
+        sh->metrics = std::make_unique<cost::Metrics>(n);
+        if (config_.sample_window > 0) sh->metrics->enable_sampling(config_.sample_window);
+        if (config_.trace_capacity > 0)
+            sh->trace = std::make_shared<sim::Trace>(config_.trace_capacity);
+        if (config_.monitor_setup) {
+            sh->monitors = std::make_shared<obs::MonitorHub>();
+            config_.monitor_setup(*sh->monitors);
+            sh->monitors->attach_trace(sh->trace.get());
+        }
+        hw::NetworkConfig net_cfg = config_.net;
+        net_cfg.seed = net_seed;
+        net_cfg.trace = sh->trace;
+        net_cfg.monitors = sh->monitors;
+        sh->net = std::make_unique<hw::Network>(sh->sim, graph_, config_.params,
+                                                *sh->metrics, net_cfg);
+        hw::ParallelHooks hooks;
+        hooks.shard = s;
+        hooks.pri_counter_bits = pri_counter_bits_;
+        hooks.node_shard = part_.shard_of.data();
+        hooks.node_rng = node_rng_.data();
+        hooks.node_fault_rng = node_fault_rng_.data();
+        hooks.node_send_seq = node_send_seq_.data();
+        hooks.node_pri = node_pri_.data();
+        hooks.emit_remote = [this, s](hw::RemoteArrival&& r) {
+            shards_[s]->outbox.push_back(std::move(r));
+        };
+        sh->net->bind_parallel(std::move(hooks));
+
+        sh->runtimes.resize(n);
+        for (NodeId u = 0; u < n; ++u) {
+            if (part_.shard_of[u] != s) continue;
+            auto rt = std::make_unique<NodeRuntime>(u, *sh->net, factory_(u), proto_rng[u],
+                                                    config_.ncu_delay_min,
+                                                    config_.free_multisend);
+            rt->set_trace(sh->trace);
+            sh->net->set_ncu_sink(
+                u, [raw = rt.get()](const hw::Delivery& d) { raw->on_delivery(d); });
+            sh->runtimes[u] = std::move(rt);
+        }
+        sh->net->set_link_sink([this, s](NodeId at, EdgeId e, bool up) {
+            shards_[s]->runtimes[at]->on_link_notification(e, up);
+        });
+        shards_.push_back(std::move(sh));
+    }
+    if (shard_count > 1) pool_ = std::make_unique<exec::ThreadPool>(threads_);
+}
+
+ParallelCluster::~ParallelCluster() = default;
+
+NodeRuntime& ParallelCluster::runtime(NodeId u) {
+    FASTNET_EXPECTS(u < graph_.node_count());
+    return *shards_[part_.shard_of[u]]->runtimes[u];
+}
+
+const NodeRuntime& ParallelCluster::runtime(NodeId u) const {
+    FASTNET_EXPECTS(u < graph_.node_count());
+    return *shards_[part_.shard_of[u]]->runtimes[u];
+}
+
+void ParallelCluster::push_action(ScenarioAction a) {
+    FASTNET_EXPECTS_MSG(a.at >= control_floor_,
+                        "control action targets an already-simulated time");
+    actions_.push_back(a);
+    actions_dirty_ = true;
+}
+
+void ParallelCluster::sort_actions() {
+    if (!actions_dirty_) return;
+    actions_dirty_ = false;
+    // Only the unexecuted suffix moves; ties keep registration order,
+    // matching the sequential simulator's schedule-order tie-break.
+    std::stable_sort(actions_.begin() + static_cast<std::ptrdiff_t>(next_action_),
+                     actions_.end(),
+                     [](const ScenarioAction& a, const ScenarioAction& b) {
+                         return a.at < b.at;
+                     });
+}
+
+void ParallelCluster::start(NodeId u, Tick at) {
+    push_action({at, ScenarioAction::Kind::kStart, kNoEdge, u});
+}
+
+void ParallelCluster::start_all(Tick at) {
+    for (NodeId u = 0; u < graph_.node_count(); ++u) start(u, at);
+}
+
+void ParallelCluster::mark_phase(Tick at, std::uint64_t phase) {
+    push_action({at, ScenarioAction::Kind::kMarkPhase, kNoEdge, kNoNode,
+                 static_cast<Tick>(phase)});
+}
+
+void ParallelCluster::fail_link(Tick at, EdgeId e) {
+    push_action({at, ScenarioAction::Kind::kFailLink, e, kNoNode});
+}
+
+void ParallelCluster::restore_link(Tick at, EdgeId e) {
+    push_action({at, ScenarioAction::Kind::kRestoreLink, e, kNoNode});
+}
+
+void ParallelCluster::fail_node(Tick at, NodeId u) {
+    push_action({at, ScenarioAction::Kind::kFailNode, kNoEdge, u});
+}
+
+void ParallelCluster::restore_node(Tick at, NodeId u) {
+    push_action({at, ScenarioAction::Kind::kRestoreNode, kNoEdge, u});
+}
+
+void ParallelCluster::crash_node(Tick at, NodeId u) {
+    push_action({at, ScenarioAction::Kind::kCrashNode, kNoEdge, u});
+}
+
+void ParallelCluster::restart_node(Tick at, NodeId u) {
+    push_action({at, ScenarioAction::Kind::kRestartNode, kNoEdge, u});
+}
+
+void ParallelCluster::stall_node(Tick at, NodeId u, Tick extra) {
+    FASTNET_EXPECTS(extra >= 0);
+    push_action({at, ScenarioAction::Kind::kStallNode, kNoEdge, u, extra});
+}
+
+void ParallelCluster::schedule(const Scenario& scenario) {
+    for (const ScenarioAction& a : scenario.actions()) push_action(a);
+}
+
+void ParallelCluster::advance_all_to(Tick t) {
+    for (auto& sh : shards_) sh->sim.advance_to(t);
+}
+
+void ParallelCluster::apply_action(const ScenarioAction& a) {
+    switch (a.kind) {
+        case ScenarioAction::Kind::kStart:
+            runtime(a.node).request_start(a.at);
+            break;
+        case ScenarioAction::Kind::kFailLink:
+            for (auto& sh : shards_) sh->net->fail_link(a.edge);
+            break;
+        case ScenarioAction::Kind::kRestoreLink:
+            for (auto& sh : shards_) sh->net->restore_link(a.edge);
+            break;
+        case ScenarioAction::Kind::kFailNode:
+            for (auto& sh : shards_) sh->net->fail_node(a.node);
+            break;
+        case ScenarioAction::Kind::kRestoreNode:
+            for (auto& sh : shards_) sh->net->restore_node(a.node);
+            break;
+        case ScenarioAction::Kind::kCrashNode:
+            if (runtime(a.node).crashed()) break;
+            // Hardware first in every mirror (links down, epochs bump),
+            // then the owning shard's software loses its soft state —
+            // the same order Cluster::crash_node uses.
+            for (auto& sh : shards_) sh->net->fail_node(a.node);
+            runtime(a.node).crash();
+            break;
+        case ScenarioAction::Kind::kRestartNode:
+            if (!runtime(a.node).crashed()) break;
+            for (auto& sh : shards_) sh->net->restore_node(a.node);
+            runtime(a.node).restart(factory_(a.node));
+            break;
+        case ScenarioAction::Kind::kStallNode:
+            runtime(a.node).set_stall(a.amount);
+            break;
+        case ScenarioAction::Kind::kMarkPhase: {
+            const auto phase = static_cast<std::uint64_t>(a.amount);
+            for (auto& sh : shards_) sh->metrics->set_phase(phase);
+            // One control record, owned by shard 0's trace — the merge
+            // would otherwise duplicate it per shard.
+            sim::Trace* trace = shards_[0]->trace.get();
+            if (trace != nullptr && trace->enabled(sim::TraceKind::kPhase))
+                trace->record(a.at, kNoNode, sim::TraceKind::kPhase, {.a = phase});
+            for (auto& sh : shards_) {
+                if (sh->monitors == nullptr || !sh->monitors->active()) continue;
+                obs::MonitorEvent ev;
+                ev.kind = obs::MonitorEvent::Kind::kPhase;
+                ev.at = a.at;
+                ev.a = phase;
+                sh->monitors->dispatch(ev);
+            }
+            break;
+        }
+    }
+}
+
+void ParallelCluster::apply_control_at(Tick t) {
+    while (next_action_ < actions_.size() && actions_[next_action_].at == t) {
+        apply_action(actions_[next_action_]);
+        ++next_action_;
+    }
+}
+
+void ParallelCluster::run_window(Tick until) {
+    if (shards_.size() == 1) {
+        shards_[0]->sim.run_until(until);
+    } else {
+        for (auto& sh : shards_)
+            pool_->submit([raw = sh.get(), until] { raw->sim.run_until(until); });
+        pool_->wait_idle();
+    }
+    // Drain outboxes. (at, pri) is globally unique — pri embeds the
+    // sending context — so the injection order, and with it the kHandoff
+    // dispatch order per target hub, is a pure function of the run.
+    std::vector<hw::RemoteArrival> pending;
+    for (auto& sh : shards_) {
+        pending.insert(pending.end(), std::make_move_iterator(sh->outbox.begin()),
+                       std::make_move_iterator(sh->outbox.end()));
+        sh->outbox.clear();
+    }
+    std::sort(pending.begin(), pending.end(),
+              [](const hw::RemoteArrival& a, const hw::RemoteArrival& b) {
+                  return a.at != b.at ? a.at < b.at : a.pri < b.pri;
+              });
+    for (const hw::RemoteArrival& r : pending)
+        shards_[part_.shard_of[r.to]]->net->inject_remote(r);
+}
+
+void ParallelCluster::window_loop(Tick limit) {
+    sort_actions();
+    for (;;) {
+        Tick te = kNever;
+        for (const auto& sh : shards_) te = std::min(te, sh->sim.next_time());
+        const Tick tc = next_action_ < actions_.size() ? actions_[next_action_].at : kNever;
+        const Tick t0 = std::min(te, tc);
+        if (t0 == kNever) break;
+        if (limit != kNever && t0 > limit) break;
+        if (tc <= te) {
+            // Control barrier: all clocks meet at tc, then the timeline's
+            // due actions replay into every mirror, single-threaded.
+            advance_all_to(tc);
+            apply_control_at(tc);
+            continue;
+        }
+        // Event window [t0, end): bounded by the lookahead, the next
+        // control time and the caller's limit.
+        Tick end = lookahead_ == kNever ? kNever : t0 + lookahead_;
+        if (tc < end) end = tc;
+        if (limit != kNever && limit + 1 < end) end = limit + 1;
+        run_window(end == kNever ? kNever : end - 1);
+        // An unbounded window ran to quiescence; later control may still
+        // be scheduled, but only after everything already simulated.
+        control_floor_ = end == kNever ? now() + 1 : end;
+    }
+}
+
+Tick ParallelCluster::run() {
+    window_loop(kNever);
+    const Tick done = now();
+    for (auto& sh : shards_)
+        if (sh->monitors != nullptr && sh->monitors->active()) sh->monitors->finish(done);
+    return done;
+}
+
+Tick ParallelCluster::run_until(Tick until) {
+    window_loop(until);
+    return now();
+}
+
+Tick ParallelCluster::now() const {
+    Tick t = 0;
+    for (const auto& sh : shards_) t = std::max(t, sh->sim.now());
+    return t;
+}
+
+bool ParallelCluster::quiescent() const {
+    if (next_action_ < actions_.size()) return false;
+    for (const auto& sh : shards_) {
+        if (!sh->sim.idle()) return false;
+        if (!sh->outbox.empty()) return false;
+        for (const auto& rt : sh->runtimes)
+            if (rt != nullptr && !rt->ncu_idle()) return false;
+    }
+    return true;
+}
+
+cost::Metrics ParallelCluster::merged_metrics() const {
+    cost::Metrics m(graph_.node_count());
+    if (config_.sample_window > 0) m.enable_sampling(config_.sample_window);
+    for (const auto& sh : shards_) m.merge_from(*sh->metrics);
+    return m;
+}
+
+std::vector<sim::TraceRecord> ParallelCluster::merged_trace() const {
+    std::vector<sim::TraceRecord> all;
+    for (const auto& sh : shards_) {
+        if (sh->trace == nullptr) continue;
+        std::vector<sim::TraceRecord> part = sh->trace->snapshot();
+        all.insert(all.end(), std::make_move_iterator(part.begin()),
+                   std::make_move_iterator(part.end()));
+    }
+    // Each (at, node) belongs to one shard (control records to shard 0),
+    // so the stable sort fixes one global interleaving; within a pair the
+    // shard's own recording order survives.
+    std::stable_sort(all.begin(), all.end(),
+                     [](const sim::TraceRecord& a, const sim::TraceRecord& b) {
+                         if (a.at != b.at) return a.at < b.at;
+                         return node_sort_key(a.node) < node_sort_key(b.node);
+                     });
+    return all;
+}
+
+std::uint64_t ParallelCluster::trace_total_recorded() const {
+    std::uint64_t n = 0;
+    for (const auto& sh : shards_)
+        if (sh->trace != nullptr) n += sh->trace->total_recorded();
+    return n;
+}
+
+std::uint64_t ParallelCluster::trace_dropped() const {
+    std::uint64_t n = 0;
+    for (const auto& sh : shards_)
+        if (sh->trace != nullptr) n += sh->trace->dropped();
+    return n;
+}
+
+std::uint64_t ParallelCluster::trace_detail_dropped() const {
+    std::uint64_t n = 0;
+    for (const auto& sh : shards_)
+        if (sh->trace != nullptr) n += sh->trace->detail_dropped();
+    return n;
+}
+
+std::vector<obs::Violation> ParallelCluster::merged_violations() const {
+    std::vector<obs::Violation> all;
+    for (const auto& sh : shards_) {
+        if (sh->monitors == nullptr) continue;
+        const auto& v = sh->monitors->violations();
+        all.insert(all.end(), v.begin(), v.end());
+    }
+    std::stable_sort(all.begin(), all.end(),
+                     [](const obs::Violation& a, const obs::Violation& b) {
+                         if (a.at != b.at) return a.at < b.at;
+                         return node_sort_key(a.node) < node_sort_key(b.node);
+                     });
+    return all;
+}
+
+std::uint64_t ParallelCluster::violation_count() const {
+    std::uint64_t n = 0;
+    for (const auto& sh : shards_)
+        if (sh->monitors != nullptr) n += sh->monitors->violation_count();
+    return n;
+}
+
+std::size_t ParallelCluster::monitor_count() const {
+    return shards_[0]->monitors == nullptr ? 0 : shards_[0]->monitors->monitor_count();
+}
+
+std::size_t ParallelCluster::packets_in_flight() const {
+    std::size_t n = 0;
+    for (const auto& sh : shards_) n += sh->net->packets_in_flight();
+    return n;
+}
+
+Protocol& ParallelCluster::protocol(NodeId u) { return runtime(u).protocol(); }
+
+const Protocol& ParallelCluster::protocol(NodeId u) const { return runtime(u).protocol(); }
+
+bool ParallelCluster::crashed(NodeId u) const { return runtime(u).crashed(); }
+
+}  // namespace fastnet::node

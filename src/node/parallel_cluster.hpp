@@ -1,0 +1,227 @@
+// Spatially-partitioned parallel event kernel (conservative PDES).
+//
+// ParallelCluster runs ONE simulation across several shards: the graph
+// is partitioned (graph/partition.hpp), each shard gets a full mirror
+// hw::Network + its local NCU runtimes over its own sim::Simulator, and
+// shards execute concurrently on an exec::ThreadPool in bounded time
+// windows. The window width is the *lookahead* L — the minimum per-hop
+// delay over boundary edges: a packet leaving shard A at time t cannot
+// arrive in shard B before t + L, so shards may run [t, t + L) without
+// hearing from each other. Arrivals that cross a boundary land in a
+// per-shard outbox and are injected into the target mirror at the next
+// window barrier.
+//
+// Determinism contract (guarded by tests/test_parallel_sim.cpp): for a
+// fixed shard count, the merged metrics / trace / violations serialize
+// byte-identically at 1, 2 and N worker threads — shards only ever run
+// between barriers, where they share nothing. Across *shard counts* the
+// outputs are identical too, because every ordering decision is keyed by
+// state that is a pure function of the partitioned simulation:
+//
+//  * event tie-breaks use per-node priority counters advanced by the
+//    scheduling context's own execution order (hw::ParallelHooks);
+//  * packet ids / delay / fault draws come from per-node streams;
+//  * the control timeline (starts, failures, phase marks) executes at
+//    window barriers, replayed identically into every mirror;
+//  * merges sort by simulated coordinates only: trace records by
+//    (at, node), violations by (at, node), cross-shard arrivals by
+//    (at, pri).
+//
+// What is NOT promised: byte-equality with the *sequential* node::Cluster
+// — the sequential path keeps its global-counter schedule untouched (it
+// is the seed baseline). The parallel kernel at shards=1 is the bridge:
+// one mirror, no boundary, windows collapse to one run-to-quiescence
+// call, and bench_parallel_sim gates its per-hop cost against the
+// sequential kernel (docs/PERF.md).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cost/metrics.hpp"
+#include "exec/thread_pool.hpp"
+#include "graph/graph.hpp"
+#include "graph/partition.hpp"
+#include "hw/network.hpp"
+#include "node/cluster.hpp"
+#include "node/runtime.hpp"
+#include "node/scenario.hpp"
+#include "obs/monitor.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace fastnet::node {
+
+struct ParallelClusterConfig {
+    ModelParams params = ModelParams::fast_network();
+    hw::NetworkConfig net;
+    Tick ncu_delay_min = -1;
+    bool free_multisend = true;
+    std::uint64_t seed = 42;
+    /// Requested shard count (clamped to [1, node_count]; forced to 1
+    /// when the lookahead would be zero, i.e. net.hop_delay_min == 0
+    /// with jitter on — conservative windows need a positive minimum
+    /// link delay).
+    unsigned shards = 1;
+    /// Worker threads for shards > 1; 0 = min(shards, hardware). With
+    /// shards == 1 everything runs inline and no pool is created.
+    unsigned threads = 0;
+    /// Per-shard trace ring capacity; 0 = tracing off. Size generously:
+    /// merged exports are only byte-stable across shard counts while no
+    /// ring drops records (drops depend on the partition).
+    std::size_t trace_capacity = 0;
+    /// As ClusterConfig::sample_window, accumulated per shard and merged.
+    Tick sample_window = 0;
+    /// Monitor installer, invoked once per shard hub; null = no
+    /// monitors. Each shard audits its own slice of the run (plus
+    /// kHandoff credits for packets entering across a boundary).
+    std::function<void(obs::MonitorHub&)> monitor_setup;
+};
+
+/// The coordinator: construct, script (start/churn via the same
+/// Scenario vocabulary as Cluster), run, then read merged results.
+class ParallelCluster {
+public:
+    ParallelCluster(graph::Graph g, ProtocolFactory factory,
+                    ParallelClusterConfig config = {});
+    ~ParallelCluster();
+
+    ParallelCluster(const ParallelCluster&) = delete;
+    ParallelCluster& operator=(const ParallelCluster&) = delete;
+
+    const graph::Graph& graph() const { return graph_; }
+    NodeId node_count() const { return graph_.node_count(); }
+    unsigned shard_count() const { return static_cast<unsigned>(shards_.size()); }
+    unsigned thread_count() const { return threads_; }
+    /// Window width in ticks; kNever when there are no boundary edges
+    /// (single shard) — one window runs to quiescence.
+    Tick lookahead() const { return lookahead_; }
+    const graph::Partition& partition() const { return part_; }
+
+    // ---- control timeline --------------------------------------------
+    // All control is scripted: actions execute at window barriers, in
+    // time order (registration order on ties), identically into every
+    // mirror. `at` must not be in the past once the run has begun.
+    void start(NodeId u, Tick at = 0);
+    void start_all(Tick at = 0);
+    void mark_phase(Tick at, std::uint64_t phase);
+    void fail_link(Tick at, EdgeId e);
+    void restore_link(Tick at, EdgeId e);
+    void fail_node(Tick at, NodeId u);
+    void restore_node(Tick at, NodeId u);
+    void crash_node(Tick at, NodeId u);
+    void restart_node(Tick at, NodeId u);
+    void stall_node(Tick at, NodeId u, Tick extra);
+    /// Appends every action of `scenario` to the control timeline.
+    void schedule(const Scenario& scenario);
+
+    // ---- execution ----------------------------------------------------
+    /// Runs to quiescence (all shards drained, control timeline spent,
+    /// outboxes empty), closes the monitors' books, and returns the
+    /// completion time: the latest event time across shards.
+    Tick run();
+    /// Runs the window loop until simulated `until` inclusive.
+    Tick run_until(Tick until);
+    /// Latest simulated time reached by any shard.
+    Tick now() const;
+    bool quiescent() const;
+
+    // ---- merged results ----------------------------------------------
+    /// Per-shard ledgers folded into one (cost::Metrics::merge_from) —
+    /// exact, order-independent arithmetic.
+    cost::Metrics merged_metrics() const;
+    /// Per-shard trace snapshots merged by (at, node) — each (at, node)
+    /// pair belongs to exactly one shard, so the stable sort yields one
+    /// well-defined interleaving. Control records (kPhase) live in shard
+    /// 0's trace only.
+    std::vector<sim::TraceRecord> merged_trace() const;
+    std::uint64_t trace_total_recorded() const;
+    std::uint64_t trace_dropped() const;
+    std::uint64_t trace_detail_dropped() const;
+
+    /// All shards' violations, sorted by (at, node, shard).
+    std::vector<obs::Violation> merged_violations() const;
+    std::uint64_t violation_count() const;
+    /// Monitors per hub (what a single-hub run would report); 0 without
+    /// monitor_setup.
+    std::size_t monitor_count() const;
+    bool monitors_ok() const { return violation_count() == 0; }
+
+    // ---- per-shard / oracle surface ----------------------------------
+    /// Shard s's mirror network (full link state, local nodes live).
+    hw::Network& mirror(unsigned s) { return *shards_[s]->net; }
+    const hw::Network& mirror(unsigned s) const { return *shards_[s]->net; }
+    /// Live packet cursors across all mirrors (0 at quiescence).
+    std::size_t packets_in_flight() const;
+
+    /// The owning shard's protocol instance for node u.
+    Protocol& protocol(NodeId u);
+    const Protocol& protocol(NodeId u) const;
+
+    template <typename T>
+    T& protocol_as(NodeId u) {
+        auto* p = dynamic_cast<T*>(&protocol(u));
+        FASTNET_EXPECTS_MSG(p != nullptr, "protocol type mismatch");
+        return *p;
+    }
+
+    bool crashed(NodeId u) const;
+
+private:
+    struct Shard {
+        sim::Simulator sim;
+        std::unique_ptr<cost::Metrics> metrics;
+        std::shared_ptr<sim::Trace> trace;
+        std::shared_ptr<obs::MonitorHub> monitors;
+        std::unique_ptr<hw::Network> net;
+        /// Indexed by global NodeId; null for nodes owned elsewhere.
+        std::vector<std::unique_ptr<NodeRuntime>> runtimes;
+        /// Boundary-crossing arrivals emitted during the last window.
+        std::vector<hw::RemoteArrival> outbox;
+    };
+
+    NodeRuntime& runtime(NodeId u);
+    const NodeRuntime& runtime(NodeId u) const;
+    void push_action(ScenarioAction a);
+    void sort_actions();
+    /// Advances every shard's clock to the barrier time `t`.
+    void advance_all_to(Tick t);
+    /// Executes every pending control action scheduled at exactly `t`.
+    void apply_control_at(Tick t);
+    void apply_action(const ScenarioAction& a);
+    /// Runs every shard until `until` (inclusive), inline for one shard,
+    /// on the pool otherwise; then drains outboxes into target mirrors
+    /// in (at, pri) order.
+    void run_window(Tick until);
+    /// The window loop; `limit` == kNever runs to quiescence.
+    void window_loop(Tick limit);
+
+    graph::Graph graph_;
+    ProtocolFactory factory_;
+    ParallelClusterConfig config_;
+    graph::Partition part_;
+    Tick lookahead_ = kNever;
+    unsigned threads_ = 1;
+    unsigned pri_counter_bits_ = 0;
+
+    // Shared per-node state (hw::ParallelHooks points into these; entry u
+    // is touched only by u's owning shard mid-window).
+    std::vector<Rng> node_rng_;
+    std::vector<Rng> node_fault_rng_;
+    std::vector<std::uint64_t> node_send_seq_;
+    std::vector<std::uint64_t> node_pri_;
+
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::unique_ptr<exec::ThreadPool> pool_;
+
+    std::vector<ScenarioAction> actions_;
+    std::size_t next_action_ = 0;
+    bool actions_dirty_ = false;
+    /// Earliest time a new control action may target: the exclusive end
+    /// of the last event window (events before it have already run).
+    Tick control_floor_ = 0;
+};
+
+}  // namespace fastnet::node

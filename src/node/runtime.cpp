@@ -29,7 +29,7 @@ NodeRuntime::NodeRuntime(NodeId self, hw::Network& net, std::unique_ptr<Protocol
 Tick NodeRuntime::now() const { return net_.simulator().now(); }
 
 void NodeRuntime::request_start(Tick at) {
-    net_.simulator().at(at, [this, inc = incarnation_] {
+    net_.schedule_at(self_, at, [this, inc = incarnation_] {
         if (inc != incarnation_) return;  // node crashed since the request
         enqueue(StartWork{});
     });
@@ -46,7 +46,7 @@ void NodeRuntime::crash() {
     sends_this_call_ = 0;
     current_lineage_ = 0;
     queue_.clear();
-    for (const auto& [id, ev] : pending_timers_) net_.simulator().cancel(ev);
+    for (const auto& [id, ev] : pending_timers_) net_.cancel_scheduled(ev);
     pending_timers_.clear();
     cancelled_timers_.clear();
     net_.metrics().node(self_).crashes += 1;
@@ -120,8 +120,8 @@ void NodeRuntime::begin_next_if_idle() {
         s->node(self_).busy.add(now(), static_cast<double>(delay));
         s->ncu_busy().add(static_cast<std::uint64_t>(delay));
     }
-    net_.simulator().after(delay, [this, inc = incarnation_, delay,
-                                   w = std::move(w)]() mutable {
+    net_.schedule_after(self_, delay, [this, inc = incarnation_, delay,
+                                       w = std::move(w)]() mutable {
         if (inc != incarnation_) return;  // crashed mid-handler: never completes
         busy_ = false;
         sends_this_call_ = 0;
@@ -131,7 +131,7 @@ void NodeRuntime::begin_next_if_idle() {
             // Ablation A1: serialized sends keep the processor occupied.
             busy_ = true;
             net_.metrics().node(self_).busy_time += extra_busy_;
-            net_.simulator().after(extra_busy_, [this, inc] {
+            net_.schedule_after(self_, extra_busy_, [this, inc] {
                 if (inc != incarnation_) return;
                 busy_ = false;
                 begin_next_if_idle();
@@ -220,8 +220,8 @@ void NodeRuntime::send(hw::AnrHeader header, std::shared_ptr<const hw::Payload> 
     // processing slot: it leaves index * P later.
     const Tick wait = static_cast<Tick>(index) * net_.params().ncu_delay;
     extra_busy_ = std::max(extra_busy_, wait);
-    net_.simulator().after(wait, [this, inc = incarnation_, lin = current_lineage_,
-                                  h = std::move(header), p = std::move(payload)]() mutable {
+    net_.schedule_after(self_, wait, [this, inc = incarnation_, lin = current_lineage_,
+                                      h = std::move(header), p = std::move(payload)]() mutable {
         if (inc != incarnation_) return;  // crashed before the packet left
         net_.send(self_, std::move(h), std::move(p), lin);
     });
@@ -235,8 +235,8 @@ void NodeRuntime::reply(const hw::Delivery& to, std::shared_ptr<const hw::Payloa
 TimerId NodeRuntime::set_timer(Tick delay, std::uint64_t cookie) {
     FASTNET_EXPECTS(delay >= 0);
     const TimerId id = next_timer_++;
-    const sim::EventId ev = net_.simulator().after(
-        delay, [this, inc = incarnation_, lin = current_lineage_, id, cookie] {
+    const sim::EventId ev = net_.schedule_after(
+        self_, delay, [this, inc = incarnation_, lin = current_lineage_, id, cookie] {
             if (inc != incarnation_) return;  // crash already cancelled it
             std::erase_if(pending_timers_, [id](const auto& p) { return p.first == id; });
             enqueue(TimerWork{id, cookie, lin});
@@ -249,7 +249,7 @@ void NodeRuntime::cancel_timer(TimerId id) {
     auto it = std::find_if(pending_timers_.begin(), pending_timers_.end(),
                            [id](const auto& p) { return p.first == id; });
     if (it != pending_timers_.end()) {
-        net_.simulator().cancel(it->second);
+        net_.cancel_scheduled(it->second);
         pending_timers_.erase(it);
         return;
     }

@@ -25,6 +25,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
@@ -43,6 +44,7 @@ namespace fastnet::obs {
 /// | kDrop     | where      | yes     | edge (kNoEdge off) | DropReason     |
 /// | kDup      | sender side| yes     | edge               | new packet id  |
 /// | kRetire   | —          | yes     | —                  | —              |
+/// | kHandoff  | target     | yes     | edge               | —              |
 /// | kEnqueue  | NCU        | —       | queue depth        | —              |
 /// | kInvoke   | NCU        | maybe   | InvokeKind         | busy ticks     |
 /// | kPhase    | kNoNode    | —       | phase id           | —              |
@@ -54,6 +56,9 @@ struct MonitorEvent {
         kDrop,     ///< Packet died (any DropReason).
         kDup,      ///< Link-layer duplicate minted (a new live copy).
         kRetire,   ///< Packet cursor released (delivered, dropped or done).
+        kHandoff,  ///< Parallel kernel: packet entered this shard's mirror
+                   ///< from another shard (a new live copy *here*; the
+                   ///< sender's mirror retired its cursor at the boundary).
         kEnqueue,  ///< Work item queued at an NCU.
         kInvoke,   ///< NCU handler completed.
         kPhase,    ///< Experiment phase marker.
@@ -208,13 +213,71 @@ private:
     std::uint64_t calls_ = 0;
 };
 
+/// Per-direction link FIFO: packet arrivals on one link direction (the
+/// pair (edge, arriving node) identifies a direction) must come in
+/// non-decreasing time order — the fabric's FIFO promise, checked at the
+/// kHop events it actually delivered. With `link_spacing > 0`, two
+/// consecutive arrivals on the same direction must additionally be at
+/// least that far apart (the finite-capacity discipline of
+/// hw::NetworkConfig::link_spacing).
+class LinkFifoMonitor final : public Monitor {
+public:
+    explicit LinkFifoMonitor(Tick link_spacing = 0) : spacing_(link_spacing) {}
+    const char* name() const override { return "link_fifo"; }
+    void on_event(MonitorHub& hub, const MonitorEvent& ev) override;
+
+private:
+    Tick spacing_;
+    /// (edge, arriving node) -> last arrival tick. Ordered map: the state
+    /// is iteration-order-free, but keep determinism anyway.
+    std::map<std::pair<std::uint64_t, NodeId>, Tick> last_arrival_;
+};
+
+/// A1 serialized send: one NCU injects at most one packet per `min_gap`
+/// ticks — the paper's assumption that the software side emits messages
+/// serially at pace P. Pass the cluster's P when free_multisend is off;
+/// 0 (e.g. under free multisend, ablation A1 relaxed) makes the check
+/// vacuous but keeps the monitor accounting uniform. A node restart
+/// resets its gap state — the NCU hardware was power-cycled.
+class SerializedSendMonitor final : public Monitor {
+public:
+    explicit SerializedSendMonitor(Tick min_gap) : min_gap_(min_gap) {}
+    const char* name() const override { return "serialized_send"; }
+    void on_event(MonitorHub& hub, const MonitorEvent& ev) override;
+
+private:
+    Tick min_gap_;
+    std::vector<Tick> last_send_;  ///< Per node, lazily sized; kNever = none.
+};
+
 /// Registers the always-applicable invariants: lineage conservation,
 /// busy-window monotonicity and a queue-depth ceiling (default generous
 /// enough for every workload in this repo; pass a tighter one to probe).
 void add_standard_monitors(MonitorHub& hub, std::uint64_t queue_ceiling = 4096);
 
+/// Tunables for the full standard-monitor set (the chaos harness wires
+/// these from the cluster config so the hardware-discipline checks are
+/// exact, not guessed).
+struct StandardMonitorOptions {
+    std::uint64_t queue_ceiling = 4096;
+    Tick link_spacing = 0;  ///< hw::NetworkConfig::link_spacing (0 = FIFO only).
+    Tick min_send_gap = 0;  ///< P when sends are serialized; 0 = vacuous.
+};
+
+/// Full set: the three always-applicable invariants plus the per-edge
+/// FIFO and A1 serialized-send hardware-discipline checks.
+void add_standard_monitors(MonitorHub& hub, const StandardMonitorOptions& options);
+
 /// Deterministic JSON serialization of a hub's verdict (violation list +
 /// totals), embeddable next to metrics_json exports.
 std::string violations_json(const MonitorHub& hub, const std::string& name);
+
+/// Same serialization over already-merged pieces — the parallel kernel
+/// concatenates its per-shard hubs' violations (sorted by (at, node))
+/// and serializes them with this overload. `monitor_count` is the count
+/// per hub, matching what a sequential run would report.
+std::string violations_json(std::size_t monitor_count, std::uint64_t violation_count,
+                            const std::vector<Violation>& violations,
+                            const std::string& name);
 
 }  // namespace fastnet::obs

@@ -42,6 +42,13 @@ ExportMeta make_meta(const graph::Graph& g, std::string name) {
 }
 
 std::string canonical_trace_json(const sim::Trace& trace, const ExportMeta& meta) {
+    return canonical_trace_json(trace.snapshot(), meta, trace.total_recorded(),
+                                trace.dropped(), trace.detail_dropped());
+}
+
+std::string canonical_trace_json(const std::vector<sim::TraceRecord>& records,
+                                 const ExportMeta& meta, std::uint64_t total_recorded,
+                                 std::uint64_t dropped, std::uint64_t detail_dropped) {
     std::string out;
     out += "{\n\"fastnet_trace\": 1,\n\"name\": ";
     out += json_quote(meta.name);
@@ -57,13 +64,12 @@ std::string canonical_trace_json(const sim::Trace& trace, const ExportMeta& meta
         out += "]";
     }
     out += "],\n\"total_recorded\": ";
-    out += std::to_string(trace.total_recorded());
+    out += std::to_string(total_recorded);
     out += ",\n\"dropped\": ";
-    out += std::to_string(trace.dropped());
+    out += std::to_string(dropped);
     out += ",\n\"detail_dropped\": ";
-    out += std::to_string(trace.detail_dropped());
+    out += std::to_string(detail_dropped);
     out += ",\n\"records\": [\n";
-    const std::vector<sim::TraceRecord> records = trace.snapshot();
     for (std::size_t i = 0; i < records.size(); ++i) {
         append_record_json(out, records[i]);
         out += i + 1 < records.size() ? ",\n" : "\n";
@@ -112,6 +118,11 @@ std::string lin_arg(std::uint64_t lineage) { return "\"lin\":" + std::to_string(
 }  // namespace
 
 std::string chrome_trace_json(const sim::Trace& trace, const ExportMeta& meta) {
+    return chrome_trace_json(trace.snapshot(), meta);
+}
+
+std::string chrome_trace_json(const std::vector<sim::TraceRecord>& records,
+                              const ExportMeta& meta) {
     std::string out;
     out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
     // Track naming metadata: one process per layer, one thread per node
@@ -133,7 +144,7 @@ std::string chrome_trace_json(const sim::Trace& trace, const ExportMeta& meta) {
                std::to_string(meta.edges[e].second) + ")\"}},\n";
     }
 
-    for (const sim::TraceRecord& r : trace.snapshot()) {
+    for (const sim::TraceRecord& r : records) {
         const std::uint64_t ncu_tid = r.node == kNoNode ? 0 : r.node;
         switch (r.kind) {
             case sim::TraceKind::kStart:

@@ -78,15 +78,17 @@ void EventQueue::heap_pop() {
     heap_[i] = moved;
 }
 
-// Sorts `a` into exact (at, key) order. `a` is a staging batch, so its
-// keys (monotone seqs) already follow append order: a *stable* sort by
-// `at` alone is enough. Large batches therefore take a byte-wise LSD
-// radix sort — O(bytes-that-vary * n) sequential passes, no comparison
+// Sorts `a` into exact (at, key) order. In counter mode `a` is a staging
+// batch whose keys (monotone seqs) already follow append order: a
+// *stable* sort by `at` alone is enough, and large batches take a
+// byte-wise LSD radix sort. Keyed queues lose that invariant (caller
+// priorities are arbitrary), so they always take the comparison sort.
+// The radix path is — O(bytes-that-vary * n) sequential passes, no comparison
 // mispredicts, which beats std::sort by ~8x on big shuffled batches.
 // `at` is guaranteed non-negative (schedule checks), so unsigned byte
 // order matches signed order.
 void EventQueue::sort_batch(std::vector<HeapRec>& a) {
-    if (a.size() < 512) {
+    if (keyed_ || a.size() < 512) {
         std::sort(a.begin(), a.end(),
                   [](const HeapRec& x, const HeapRec& y) { return x.before(y); });
         return;
@@ -190,6 +192,22 @@ EventId EventQueue::schedule(Tick at, InlineFn fn) {
     s.live = true;
     s.fn = std::move(fn);
     staging_.push_back(HeapRec{at, (s.seq << kSlotBits) | index});
+    ++live_count_;
+    return make_id(s.gen, index);
+}
+
+EventId EventQueue::schedule_keyed(Tick at, std::uint64_t pri, InlineFn fn) {
+    FASTNET_EXPECTS(static_cast<bool>(fn));
+    FASTNET_EXPECTS(at >= 0);
+    FASTNET_EXPECTS_MSG(pri < kMaxSeq, "keyed priority out of range");
+    keyed_ = true;
+    const std::uint32_t index = alloc_slot();
+    Slot& s = slot(index);
+    s.gen += 1;
+    s.seq = pri;
+    s.live = true;
+    s.fn = std::move(fn);
+    staging_.push_back(HeapRec{at, (pri << kSlotBits) | index});
     ++live_count_;
     return make_id(s.gen, index);
 }

@@ -47,6 +47,18 @@ public:
     /// event currently executing). Returns a handle for cancel().
     EventId schedule(Tick at, InlineFn fn);
 
+    /// Like schedule(), but the caller supplies the tie-break priority
+    /// instead of the queue's monotone counter: events at equal `at`
+    /// execute in ascending `pri` order. Priorities must be unique across
+    /// the queue's lifetime (they double as the slot-liveness check) and
+    /// < 2^40. The parallel kernel uses this to give every event a
+    /// priority derived from its *scheduling context* rather than from
+    /// the global call order, which is what makes a sharded run's event
+    /// order independent of how work interleaves across shards. A queue
+    /// that has seen one keyed schedule must stay keyed: mixing modes
+    /// would collide caller priorities with counter values.
+    EventId schedule_keyed(Tick at, std::uint64_t pri, InlineFn fn);
+
     /// Cancels a pending event in O(1); no-op if it already ran or was
     /// cancelled (the generation tag makes stale handles harmless).
     void cancel(EventId id);
@@ -153,6 +165,10 @@ private:
     std::vector<HeapRec> heap_;              // 4-ary min-heap by (at, seq)
     std::uint64_t next_seq_ = 0;
     std::size_t live_count_ = 0;
+    // Set by the first schedule_keyed(): caller priorities do not follow
+    // append order, so sort_batch must compare full (at, key) instead of
+    // relying on the staging order for the tie-break.
+    bool keyed_ = false;
 };
 
 }  // namespace fastnet::sim

@@ -12,6 +12,17 @@ EventId Simulator::after(Tick delay, InlineFn fn) {
     return at(now_ + delay, std::move(fn));
 }
 
+EventId Simulator::at_keyed(Tick when, std::uint64_t pri, InlineFn fn) {
+    FASTNET_EXPECTS_MSG(when >= now_, "cannot schedule into the past");
+    return queue_.schedule_keyed(when, pri, std::move(fn));
+}
+
+void Simulator::advance_to(Tick t) {
+    FASTNET_EXPECTS_MSG(t >= now_, "clock cannot go backwards");
+    FASTNET_EXPECTS_MSG(queue_.next_time() >= t, "advance_to would skip pending events");
+    now_ = t;
+}
+
 std::uint64_t Simulator::run(std::uint64_t max_events) {
     return run_until(kNever, max_events);
 }

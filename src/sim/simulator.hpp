@@ -23,6 +23,11 @@ public:
     /// Schedules fn `delay` ticks from now (delay >= 0).
     EventId after(Tick delay, InlineFn fn);
 
+    /// Schedules fn at `when` >= now() with a caller-supplied tie-break
+    /// priority (see EventQueue::schedule_keyed). Used by the parallel
+    /// kernel, where event order must not depend on schedule-call order.
+    EventId at_keyed(Tick when, std::uint64_t pri, InlineFn fn);
+
     void cancel(EventId id) { queue_.cancel(id); }
 
     /// Runs until the queue is empty or `max_events` have executed.
@@ -36,8 +41,17 @@ public:
     /// Requests the run loop to return after the current event.
     void stop() { stopped_ = true; }
 
+    /// Advances the clock to `t` >= now() without running anything.
+    /// Requires that no pending event is earlier than `t`. The parallel
+    /// kernel uses this at window barriers so control actions applied
+    /// between windows schedule against the barrier time.
+    void advance_to(Tick t);
+
     bool idle() const { return queue_.empty(); }
     std::size_t pending_events() const { return queue_.size(); }
+
+    /// Time of the earliest pending event; kNever when idle.
+    Tick next_time() const { return queue_.next_time(); }
 
     static constexpr std::uint64_t kDefaultEventBudget = 200'000'000ULL;
 

@@ -105,12 +105,23 @@ int main(int argc, char** argv) {
     // ctest (scripts/trace_smoke.sh) relies on it.
     bool trace_case_found = false;
     auto maybe_trace = [&](exec::ClusterCase& c) {
-        // Every chaos case runs with the standard live invariant monitors
-        // attached (lineage conservation, busy-window monotonicity,
-        // queue-depth ceiling): a violating seed clears its row's ok and
-        // records the first violating event into the case's trace. The
-        // per-case hub keeps the sweep byte-identical at any thread count.
-        c.monitor_setup = [](obs::MonitorHub& hub) { obs::add_standard_monitors(hub); };
+        // Every chaos case runs with the full standard monitor set
+        // (lineage conservation, busy-window monotonicity, queue-depth
+        // ceiling, per-edge link FIFO, A1 serialized send): a violating
+        // seed clears its row's ok and records the first violating event
+        // into the case's trace. The per-case hub keeps the sweep
+        // byte-identical at any thread count. The hardware-discipline
+        // thresholds come from the case's own config, so they are exact:
+        // spacing is checked when the fabric enforces it, and the A1 send
+        // gap is P only when sends are serialized at a fixed P (jittered
+        // NCU delays make consecutive handlers finish closer than P).
+        obs::StandardMonitorOptions mon;
+        mon.link_spacing = c.config.net.link_spacing;
+        if (!c.config.free_multisend && c.config.ncu_delay_min < 0)
+            mon.min_send_gap = c.config.params.ncu_delay;
+        c.monitor_setup = [mon](obs::MonitorHub& hub) {
+            obs::add_standard_monitors(hub, mon);
+        };
         if (trace_case.empty() || c.name != trace_case) return;
         trace_case_found = true;
         c.config.trace = std::make_shared<sim::Trace>(std::size_t{1} << 20);
@@ -160,6 +171,14 @@ int main(int argc, char** argv) {
 
         node::ClusterConfig cfg = base_config();
         inj.configure(cfg);
+        // A slice of seeds exercises the hardware-discipline monitors
+        // non-vacuously: A1 serialized sends at a fixed P (the monitor
+        // then checks the exact gap) and finite link capacity.
+        if (seed % 7 == 3) {
+            cfg.free_multisend = false;
+            cfg.ncu_delay_min = -1;
+        }
+        if (seed % 7 == 4) cfg.net.link_spacing = cfg.params.ncu_delay;
 
         exec::ClusterCase c;
         c.name = "maint/seed" + std::to_string(seed);

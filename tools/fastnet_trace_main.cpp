@@ -13,7 +13,9 @@
 //   fastnet_trace trace.json --chain 17           # full causal chain
 //   fastnet_trace trace.json --summary            # per-kind counts
 //   fastnet_trace trace.json --reconvergence      # crash/recovery timeline
+//   fastnet_trace trace.json --violations         # violations + causal chains
 //   fastnet_trace trace.json --check              # schema validation only
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -21,6 +23,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "obs/json.hpp"
 #include "obs/trace_export.hpp"
@@ -32,7 +35,7 @@ namespace {
 
 int usage(const char* argv0) {
     std::cerr << "usage: " << argv0
-              << " FILE [--check] [--summary] [--reconvergence]\n"
+              << " FILE [--check] [--summary] [--reconvergence] [--violations]\n"
                  "       [--node N] [--kind NAME] [--lineage L] [--from T] [--to T]\n"
                  "       [--chain L]\n";
     return 2;
@@ -72,7 +75,7 @@ int run_check(const std::string& path, const std::string& text) {
 
 int main(int argc, char** argv) {
     std::string path;
-    bool check = false, summary = false, reconvergence = false;
+    bool check = false, summary = false, reconvergence = false, violations = false;
     obs::TraceFilter filter;
     std::optional<std::uint64_t> chain;
 
@@ -85,6 +88,8 @@ int main(int argc, char** argv) {
             summary = true;
         } else if (std::strcmp(arg, "--reconvergence") == 0) {
             reconvergence = true;
+        } else if (std::strcmp(arg, "--violations") == 0) {
+            violations = true;
         } else if (std::strcmp(arg, "--node") == 0 && has_value) {
             filter.node = static_cast<NodeId>(std::strtoull(argv[++i], nullptr, 10));
         } else if (std::strcmp(arg, "--kind") == 0 && has_value) {
@@ -143,6 +148,32 @@ int main(int argc, char** argv) {
     if (reconvergence) {
         std::cout << obs::format_reconvergence(trace.records);
         return 0;
+    }
+    if (violations) {
+        // Shorthand for --kind violation, plus the causal history of every
+        // packet lineage a monitor flagged. Exits 1 when any violation is
+        // recorded, so scripts can gate on it directly.
+        obs::TraceFilter vf;
+        vf.kind = sim::TraceKind::kViolation;
+        const auto found = obs::filter_records(trace.records, vf);
+        if (found.empty()) {
+            std::cout << "no violations recorded\n";
+            return 0;
+        }
+        std::cout << found.size() << " violation record(s):\n"
+                  << obs::format_records(found);
+        std::vector<std::uint64_t> seen;
+        for (const auto& r : found) {
+            if (r.lineage == 0) continue;
+            if (std::find(seen.begin(), seen.end(), r.lineage) != seen.end()) continue;
+            seen.push_back(r.lineage);
+            std::cout << "\nlineage " << r.lineage << " ancestry:";
+            for (std::uint64_t lin : obs::lineage_ancestry(trace.records, r.lineage))
+                std::cout << " " << lin;
+            std::cout << "\n"
+                      << obs::format_records(obs::causal_chain(trace.records, r.lineage));
+        }
+        return 1;
     }
     if (summary) {
         std::cout << "trace \"" << trace.meta.name << "\": " << trace.meta.nodes
