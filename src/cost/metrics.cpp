@@ -26,6 +26,7 @@ Sampling::Sampling(NodeId node_count, Tick window) : window_(window) {
     hops_ = TimeSeries(window);
     sends_ = TimeSeries(window);
     drops_ = TimeSeries(window);
+    bytes_per_node_ = TimeSeries(window);
 }
 
 void Sampling::phase_call(std::uint64_t phase) {
@@ -50,6 +51,7 @@ void Sampling::merge_from(const Sampling& o) {
     hops_.merge_from(o.hops_);
     sends_.merge_from(o.sends_);
     drops_.merge_from(o.drops_);
+    bytes_per_node_.merge_from(o.bytes_per_node_);
     hop_latency_.merge_from(o.hop_latency_);
     delivery_latency_.merge_from(o.delivery_latency_);
     header_len_.merge_from(o.header_len_);
@@ -98,10 +100,24 @@ void Metrics::merge_from(const Metrics& o) {
     if (sampling_ != nullptr && o.sampling_ != nullptr) sampling_->merge_from(*o.sampling_);
 }
 
+void Metrics::record_memory(const MemorySample& s) {
+    memory_latest_ = s;
+    ++memory_samples_;
+    peak_node_bytes_ = std::max(peak_node_bytes_, s.max_node_bytes);
+    if (sampling_ != nullptr && !nodes_.empty()) {
+        const double mean =
+            static_cast<double>(s.breakdown.total()) / static_cast<double>(nodes_.size());
+        sampling_->bytes_per_node().add(s.at, mean);
+    }
+}
+
 void Metrics::reset() {
     for (NodeCounters& c : nodes_) c = NodeCounters{};
     net_ = NetCounters{};
     phase_ = 0;
+    memory_latest_ = MemorySample{};
+    memory_samples_ = 0;
+    peak_node_bytes_ = 0;
     if (sampling_ != nullptr) {
         const Tick w = sampling_->window();
         sampling_ = std::make_unique<Sampling>(static_cast<NodeId>(nodes_.size()), w);

@@ -57,6 +57,32 @@ struct NetCounters {
     std::uint64_t dup_copies = 0;      ///< Fault injection: duplicated packets.
 };
 
+/// Where the bytes of a cluster live at one instant. All quantities are
+/// *logical* capacity-based bytes (what the data structures asked for,
+/// not what the allocator rounded to): deterministic and portable, so
+/// benches can gate on them across machines.
+struct MemoryBreakdown {
+    std::uint64_t graph = 0;      ///< Topology: edges, chains, CSR.
+    std::uint64_t network = 0;    ///< Fabric: ports, links, packet slabs.
+    std::uint64_t runtimes = 0;   ///< NCU runtimes incl. link tables/queues.
+    std::uint64_t protocols = 0;  ///< Protocol instances (self-reported).
+    /// Arena occupancy. `arena_used` overlaps `runtimes` (link tables and
+    /// the runtime array are arena-resident) — it is reported for
+    /// allocator visibility, NOT added into total().
+    std::uint64_t arena_used = 0;
+    std::uint64_t arena_reserved = 0;
+
+    std::uint64_t total() const { return graph + network + runtimes + protocols; }
+};
+
+/// One memory observation (Cluster::sample_memory).
+struct MemorySample {
+    Tick at = 0;
+    MemoryBreakdown breakdown;
+    std::uint64_t max_node_bytes = 0;  ///< Heaviest runtime+protocol pair.
+    NodeId max_node = kNoNode;
+};
+
 /// Optional windowed samplers riding the ledger (enable_sampling).
 /// Totals answer "how much"; these answer "when, where, and on which
 /// budget" — each tick of work is attributed to the hardware-C or
@@ -97,6 +123,11 @@ public:
     LogHistogram& queue_depth() { return queue_depth_; }
     const LogHistogram& queue_depth() const { return queue_depth_; }
 
+    /// Mean bytes/node at each memory sample (fed by
+    /// Cluster::sample_memory; empty unless memory sampling is on).
+    TimeSeries& bytes_per_node() { return bytes_per_node_; }
+    const TimeSeries& bytes_per_node() const { return bytes_per_node_; }
+
     /// Counts one system call under experiment phase `phase` (phases are
     /// marked by the harness — Scenario::mark_phase / Metrics::set_phase).
     /// Stored in first-use order, so serialization is deterministic.
@@ -114,7 +145,7 @@ public:
 private:
     Tick window_;
     std::vector<NodeSeries> nodes_;
-    TimeSeries hops_, sends_, drops_;
+    TimeSeries hops_, sends_, drops_, bytes_per_node_;
     LogHistogram hop_latency_, delivery_latency_, header_len_, ncu_busy_, queue_depth_;
     std::vector<std::pair<std::uint64_t, std::uint64_t>> phase_calls_;
 };
@@ -167,11 +198,26 @@ public:
     void set_phase(std::uint64_t p) { phase_ = p; }
     std::uint64_t phase() const { return phase_; }
 
+    // ---- memory ledger (optional; fed by Cluster::sample_memory) ------
+    /// Records one observation: keeps it as the latest, bumps the sample
+    /// count, tracks the peak per-node footprint seen, and (when windowed
+    /// sampling is on) appends mean bytes/node to the sampling series.
+    void record_memory(const MemorySample& s);
+    /// Latest observation, or nullptr when none was ever recorded.
+    const MemorySample* memory() const {
+        return memory_samples_ > 0 ? &memory_latest_ : nullptr;
+    }
+    std::uint64_t memory_samples() const { return memory_samples_; }
+    std::uint64_t peak_node_bytes() const { return peak_node_bytes_; }
+
 private:
     std::vector<NodeCounters> nodes_;
     NetCounters net_;
     std::unique_ptr<Sampling> sampling_;
     std::uint64_t phase_ = 0;
+    MemorySample memory_latest_;
+    std::uint64_t memory_samples_ = 0;
+    std::uint64_t peak_node_bytes_ = 0;
 };
 
 /// Snapshot of the headline costs for reporting.

@@ -94,6 +94,10 @@ public:
 
     void on_start(node::Context& ctx) override;
     void on_message(node::Context& ctx, const hw::Delivery& d) override;
+    std::size_t memory_bytes() const override {
+        return sizeof(*this) + tree_.memory_bytes() - sizeof(tree_) +
+               captures_by_phase_.capacity() * sizeof(std::uint64_t);
+    }
 
     // ---- observation ---------------------------------------------------
     Role role() const { return role_; }

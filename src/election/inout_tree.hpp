@@ -82,6 +82,13 @@ public:
     /// tree: ready-made input for the Section 3 broadcast machinery.
     graph::RootedTree to_rooted_tree(NodeId capacity) const;
 
+    /// Logical footprint for the per-node memory ledger. Map nodes are
+    /// estimated at payload + 4 words of red-black bookkeeping.
+    std::size_t memory_bytes() const {
+        return sizeof(*this) +
+               entries_.size() * (sizeof(std::pair<const NodeId, Entry>) + 4 * sizeof(void*));
+    }
+
 private:
     NodeId root_ = kNoNode;
     std::map<NodeId, Entry> entries_;  // ordered: deterministic iteration

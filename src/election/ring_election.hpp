@@ -34,6 +34,7 @@ public:
 
     void on_start(node::Context& ctx) override;
     void on_message(node::Context& ctx, const hw::Delivery& d) override;
+    std::size_t memory_bytes() const override { return sizeof(*this); }
 
     Role role() const { return role_; }
     NodeId known_leader() const { return known_leader_; }
@@ -57,6 +58,7 @@ public:
 
     void on_start(node::Context& ctx) override;
     void on_message(node::Context& ctx, const hw::Delivery& d) override;
+    std::size_t memory_bytes() const override { return sizeof(*this); }
 
     Role role() const { return role_; }
     NodeId known_leader() const { return known_leader_; }

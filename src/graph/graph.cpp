@@ -1,7 +1,5 @@
 #include "graph/graph.hpp"
 
-#include <algorithm>
-
 namespace fastnet::graph {
 
 EdgeId Graph::add_edge(NodeId a, NodeId b) {
@@ -10,8 +8,13 @@ EdgeId Graph::add_edge(NodeId a, NodeId b) {
     FASTNET_EXPECTS_MSG(!has_edge(a, b), "parallel edges are not part of the model");
     const EdgeId id = static_cast<EdgeId>(edges_.size());
     edges_.push_back(Edge{a, b});
-    adjacency_[a].push_back(IncidentEdge{id, b});
-    adjacency_[b].push_back(IncidentEdge{id, a});
+    half_next_.push_back(head_[a]);
+    head_[a] = 2 * id;
+    half_next_.push_back(head_[b]);
+    head_[b] = 2 * id + 1;
+    ++degree_[a];
+    ++degree_[b];
+    csr_valid_ = false;
     return id;
 }
 
@@ -19,12 +22,30 @@ bool Graph::has_edge(NodeId a, NodeId b) const { return find_edge(a, b) != kNoEd
 
 EdgeId Graph::find_edge(NodeId a, NodeId b) const {
     if (a >= node_count() || b >= node_count()) return kNoEdge;
-    // Scan the smaller adjacency list.
-    const NodeId u = degree(a) <= degree(b) ? a : b;
+    // Walk the smaller endpoint's half-edge chain.
+    const NodeId u = degree_[a] <= degree_[b] ? a : b;
     const NodeId v = (u == a) ? b : a;
-    for (const IncidentEdge& ie : adjacency_[u])
-        if (ie.neighbor == v) return ie.edge;
+    for (std::uint32_t h = head_[u]; h != kNoHalf; h = half_next_[h]) {
+        const Edge& e = edges_[h >> 1];
+        if (((h & 1) == 0 ? e.b : e.a) == v) return static_cast<EdgeId>(h >> 1);
+    }
     return kNoEdge;
+}
+
+void Graph::build_csr() const {
+    const NodeId n = node_count();
+    offsets_.assign(n + 1, 0);
+    for (NodeId u = 0; u < n; ++u) offsets_[u + 1] = offsets_[u] + degree_[u];
+    incident_.resize(std::size_t{2} * edges_.size());
+    // Counting pass in edge-id order: per-node chains were appended in the
+    // same order, so this reproduces insertion order exactly.
+    std::vector<std::uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+    for (EdgeId e = 0; e < edges_.size(); ++e) {
+        const Edge& ed = edges_[e];
+        incident_[cursor[ed.a]++] = IncidentEdge{e, ed.b};
+        incident_[cursor[ed.b]++] = IncidentEdge{e, ed.a};
+    }
+    csr_valid_ = true;
 }
 
 std::vector<NodeId> Graph::neighbors(NodeId u) const {
@@ -32,6 +53,14 @@ std::vector<NodeId> Graph::neighbors(NodeId u) const {
     out.reserve(degree(u));
     for (const IncidentEdge& ie : incident(u)) out.push_back(ie.neighbor);
     return out;
+}
+
+std::size_t Graph::memory_bytes() const {
+    return edges_.capacity() * sizeof(Edge) + head_.capacity() * sizeof(std::uint32_t) +
+           half_next_.capacity() * sizeof(std::uint32_t) +
+           degree_.capacity() * sizeof(std::uint32_t) +
+           offsets_.capacity() * sizeof(std::uint32_t) +
+           incident_.capacity() * sizeof(IncidentEdge);
 }
 
 }  // namespace fastnet::graph

@@ -5,6 +5,19 @@
 // paper). Dynamic state (active / inactive links) lives in hw::Network;
 // the Graph itself is immutable once built, which lets algorithms and the
 // simulator share one instance by const reference.
+//
+// Storage is struct-of-arrays throughout — a deliberate choice for
+// million-node topologies (docs/PERF.md, "Memory at scale"). During
+// construction, incidence is kept as intrusive per-node chains over
+// half-edge ids (edge e contributes half-edges 2e and 2e+1); the first
+// incident() call compacts them into a CSR layout (offsets_ + one flat
+// incident_ array) by a counting pass over edges_ in id order, which
+// reproduces per-node insertion order exactly. No per-node heap objects
+// exist at any point. The lazy compaction mutates `mutable` state: the
+// first incident()/neighbors() call on a given Graph instance must not
+// race with other accesses (in practice every Graph is finalized on the
+// thread that built it — e.g. hw::Network's constructor — before any
+// parallel phase starts).
 #pragma once
 
 #include <span>
@@ -37,10 +50,11 @@ struct Edge {
 class Graph {
 public:
     Graph() = default;
-    explicit Graph(NodeId node_count) : adjacency_(node_count) {}
+    explicit Graph(NodeId node_count)
+        : head_(node_count, kNoHalf), degree_(node_count, 0) {}
 
     /// Number of nodes, n.
-    NodeId node_count() const { return static_cast<NodeId>(adjacency_.size()); }
+    NodeId node_count() const { return static_cast<NodeId>(head_.size()); }
     /// Number of edges, m.
     EdgeId edge_count() const { return static_cast<EdgeId>(edges_.size()); }
 
@@ -52,7 +66,8 @@ public:
     /// True if {a, b} is an edge.
     bool has_edge(NodeId a, NodeId b) const;
 
-    /// Edge id of {a, b}, or kNoEdge.
+    /// Edge id of {a, b}, or kNoEdge. O(min degree) over the half-edge
+    /// chains; never forces the CSR build.
     EdgeId find_edge(NodeId a, NodeId b) const;
 
     const Edge& edge(EdgeId e) const {
@@ -63,19 +78,40 @@ public:
     /// All edges incident to u, in insertion order (deterministic).
     std::span<const IncidentEdge> incident(NodeId u) const {
         FASTNET_EXPECTS(u < node_count());
-        return adjacency_[u];
+        if (!csr_valid_) build_csr();
+        return {incident_.data() + offsets_[u], offsets_[u + 1] - offsets_[u]};
     }
 
-    std::size_t degree(NodeId u) const { return incident(u).size(); }
+    std::size_t degree(NodeId u) const {
+        FASTNET_EXPECTS(u < node_count());
+        return degree_[u];
+    }
 
     /// Neighbor list of u (materialized copy; prefer incident() in loops).
     std::vector<NodeId> neighbors(NodeId u) const;
 
     std::span<const Edge> edges() const { return edges_; }
 
+    /// Heap bytes held by this graph (capacities, both the build chains
+    /// and the CSR) — a cost::Metrics memory-ledger input.
+    std::size_t memory_bytes() const;
+
 private:
+    static constexpr std::uint32_t kNoHalf = 0xffffffffu;
+
+    void build_csr() const;
+
     std::vector<Edge> edges_;
-    std::vector<std::vector<IncidentEdge>> adjacency_;
+    /// Per node: most recently added incident half-edge, or kNoHalf.
+    std::vector<std::uint32_t> head_;
+    /// Per half-edge 2e (+1): next half-edge at the same endpoint.
+    std::vector<std::uint32_t> half_next_;
+    std::vector<std::uint32_t> degree_;
+
+    /// CSR incidence, built lazily from edges_ (see file comment).
+    mutable bool csr_valid_ = false;
+    mutable std::vector<std::uint32_t> offsets_;  ///< n + 1 prefix sums.
+    mutable std::vector<IncidentEdge> incident_;  ///< 2m entries.
 };
 
 }  // namespace fastnet::graph

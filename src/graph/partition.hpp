@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/types.hpp"
@@ -46,5 +47,18 @@ struct Partition {
 /// differ by more than one. Disconnected graphs are handled by restarting
 /// the BFS frontier at the next unassigned node.
 Partition partition_bfs(const Graph& g, std::uint32_t shards);
+
+/// Delay-aware variant for heterogeneous link delays: same quota and
+/// seeding rules as partition_bfs, but each shard grows Prim-style,
+/// always absorbing the unassigned node reachable over the *cheapest*
+/// (lowest `edge_min_delay`) connecting edge — ties broken by node id.
+/// Cheap edges are pulled inside shards, so the edges left on the
+/// boundary skew expensive: the conservative kernel's lookahead (the
+/// minimum boundary-crossing delay) can only match or beat the
+/// delay-blind partition's on the same graph. Deterministic: a pure
+/// function of (graph, shards, delays). `edge_min_delay[e]` is the
+/// minimum delay of edge e; the span must cover every edge.
+Partition partition_bfs_weighted(const Graph& g, std::uint32_t shards,
+                                 std::span<const Tick> edge_min_delay);
 
 }  // namespace fastnet::graph

@@ -18,22 +18,20 @@ Network::Network(sim::Simulator& sim, const graph::Graph& g, ModelParams params,
       rng_(config.seed),
       fault_rng_(Rng::stream(config.seed, 0xfa017ULL)),
       node_down_(g.node_count(), 0),
-      node_downed_(g.node_count()),
-      ports_(g.node_count()),
+      downed_head_(g.node_count(), kNoDowned),
       edge_ports_(g.edge_count(), {kNoPort, kNoPort}),
-      links_(g.edge_count()),
-      ncu_sinks_(g.node_count()) {
+      links_(g.edge_count()) {
     FASTNET_EXPECTS(metrics.node_count() == g.node_count());
+    // This loop also finalizes the graph's CSR on the constructing thread
+    // — mirrors sharing one graph in parallel mode rely on that.
     std::size_t max_degree = 0;
     for (NodeId u = 0; u < g.node_count(); ++u) {
-        auto& table = ports_[u].port_to_edge;
-        table.push_back(kNoEdge);  // port 0 = NCU
+        PortId p = 0;
         for (const graph::IncidentEdge& ie : g.incident(u)) {
-            const auto p = static_cast<PortId>(table.size());
-            table.push_back(ie.edge);
+            ++p;  // port 0 = NCU; link ports follow insertion order
             edge_ports_[ie.edge][g.edge(ie.edge).a == u ? 0 : 1] = p;
         }
-        max_degree = std::max(max_degree, g.degree(u));
+        max_degree = std::max(max_degree, static_cast<std::size_t>(p));
     }
     // k bits per label: port ids 0..max_degree plus the copy flag.
     label_bits_ = ceil_log2(max_degree + 1) + 1;
@@ -41,8 +39,11 @@ Network::Network(sim::Simulator& sim, const graph::Graph& g, ModelParams params,
 
 void Network::set_ncu_sink(NodeId node, NcuSink sink) {
     FASTNET_EXPECTS(node < graph_.node_count());
+    if (ncu_sinks_.empty()) ncu_sinks_.resize(graph_.node_count());
     ncu_sinks_[node] = std::move(sink);
 }
+
+void Network::set_ncu_dispatch(NcuDispatch dispatch) { ncu_dispatch_ = std::move(dispatch); }
 
 void Network::set_link_sink(LinkSink sink) { link_sink_ = std::move(sink); }
 
@@ -57,9 +58,9 @@ PortId Network::port_for_edge(NodeId node, EdgeId e) const {
 
 EdgeId Network::edge_at_port(NodeId node, PortId p) const {
     FASTNET_EXPECTS(node < graph_.node_count());
-    const auto& table = ports_[node].port_to_edge;
-    FASTNET_EXPECTS_MSG(p >= 1 && p < table.size(), "not a link port");
-    return table[p];
+    const std::span<const graph::IncidentEdge> inc = graph_.incident(node);
+    FASTNET_EXPECTS_MSG(p >= 1 && p <= inc.size(), "not a link port");
+    return inc[p - 1].edge;
 }
 
 PortId Network::port_to_neighbor(NodeId node, NodeId v) const {
@@ -338,7 +339,10 @@ void Network::arrive(NodeId at, EdgeId e, std::uint64_t epoch, Packet* pkt) {
 
 void Network::deliver_to_ncu(NodeId node, const Packet& pkt) {
     metrics_.net().ncu_deliveries += 1;
-    FASTNET_EXPECTS_MSG(ncu_sinks_[node] != nullptr, "no NCU sink registered");
+    const NcuSink* sink =
+        node < ncu_sinks_.size() && ncu_sinks_[node] ? &ncu_sinks_[node] : nullptr;
+    FASTNET_EXPECTS_MSG(sink != nullptr || ncu_dispatch_ != nullptr,
+                        "no NCU sink registered");
     Delivery d;
     d.at = node;
     // Materialize the cursor into plain vectors — the one place the
@@ -367,7 +371,10 @@ void Network::deliver_to_ncu(NodeId node, const Packet& pkt) {
         ev.a = pkt.hops;
         monitors_->dispatch(ev);
     }
-    ncu_sinks_[node](d);
+    if (sink != nullptr)
+        (*sink)(d);
+    else
+        ncu_dispatch_(node, d);
 }
 
 void Network::set_link_active(EdgeId e, bool active) {
@@ -495,10 +502,35 @@ void Network::inject_remote(const RemoteArrival& r) {
     sim_.at_keyed(r.at, r.pri, [this, to, e, epoch, pkt] { arrive(to, e, epoch, pkt); });
 }
 
+void Network::downed_push(NodeId u, EdgeId e, std::uint64_t epoch) {
+    std::uint32_t slot;
+    if (!downed_free_.empty()) {
+        slot = downed_free_.back();
+        downed_free_.pop_back();
+    } else {
+        slot = static_cast<std::uint32_t>(downed_pool_.size());
+        downed_pool_.emplace_back();
+    }
+    downed_pool_[slot] = DownedLink{e, epoch, downed_head_[u]};
+    downed_head_[u] = slot;
+}
+
+void Network::downed_take(NodeId u, std::vector<DownedLink>& out) {
+    out.clear();
+    for (std::uint32_t slot = downed_head_[u]; slot != kNoDowned;) {
+        const std::uint32_t next = downed_pool_[slot].next;
+        out.push_back(downed_pool_[slot]);
+        downed_free_.push_back(slot);
+        slot = next;
+    }
+    downed_head_[u] = kNoDowned;
+    // The chain is LIFO; reverse to recover insertion order (restore
+    // processing order is observable through notification scheduling).
+    std::reverse(out.begin(), out.end());
+}
+
 void Network::fail_node(NodeId u) {
     FASTNET_EXPECTS(u < graph_.node_count());
-    auto& rec = node_downed_[u];
-    if (!node_down_[u]) rec.clear();
     node_down_[u] = 1;
     for (const graph::IncidentEdge& ie : graph_.incident(u)) {
         // A link that is already down failed for some other reason (its
@@ -506,7 +538,7 @@ void Network::fail_node(NodeId u) {
         // no claim on it.
         if (!links_[ie.edge].active()) continue;
         set_link_active(ie.edge, false);
-        rec.push_back({ie.edge, links_[ie.edge].epoch()});
+        downed_push(u, ie.edge, links_[ie.edge].epoch());
     }
 }
 
@@ -514,8 +546,8 @@ void Network::restore_node(NodeId u) {
     FASTNET_EXPECTS(u < graph_.node_count());
     if (!node_down_[u]) return;
     node_down_[u] = 0;
-    std::vector<DownedLink> rec = std::move(node_downed_[u]);
-    node_downed_[u].clear();
+    std::vector<DownedLink> rec;
+    downed_take(u, rec);
     for (const DownedLink& d : rec) {
         // The epoch moved on: something else failed/restored the link in
         // the meantime, so its current state is not ours to overwrite.
@@ -524,11 +556,24 @@ void Network::restore_node(NodeId u) {
         if (node_down_[other]) {
             // Both endpoints went down; hand the claim to the peer so the
             // link returns when the *last* failed endpoint recovers.
-            node_downed_[other].push_back(d);
+            downed_push(other, d.edge, d.epoch);
             continue;
         }
         set_link_active(d.edge, true);
     }
+}
+
+std::size_t Network::memory_bytes() const {
+    return node_down_.capacity() * sizeof(std::uint8_t) +
+           downed_head_.capacity() * sizeof(std::uint32_t) +
+           downed_pool_.capacity() * sizeof(DownedLink) +
+           downed_free_.capacity() * sizeof(std::uint32_t) +
+           edge_ports_.capacity() * sizeof(std::array<PortId, 2>) +
+           links_.capacity() * sizeof(LinkState) +
+           ncu_sinks_.capacity() * sizeof(NcuSink) +
+           packet_slabs_.capacity() * sizeof(std::unique_ptr<Packet[]>) +
+           packet_slabs_.size() * kPacketSlabSize * sizeof(Packet) +
+           packet_free_.capacity() * sizeof(Packet*);
 }
 
 }  // namespace fastnet::hw

@@ -129,6 +129,8 @@ struct ParallelHooks {
 class Network {
 public:
     using NcuSink = std::function<void(const Delivery&)>;
+    /// Cluster-wide delivery dispatch: (receiving node, delivery).
+    using NcuDispatch = std::function<void(NodeId, const Delivery&)>;
     /// (node notified, edge, new activity state)
     using LinkSink = std::function<void(NodeId, EdgeId, bool)>;
 
@@ -149,6 +151,12 @@ public:
     /// Registers where deliveries for `node`'s NCU go. Must be set before
     /// any packet can be delivered there.
     void set_ncu_sink(NodeId node, NcuSink sink);
+
+    /// Registers one dispatch callback covering every node — how a
+    /// Cluster routes deliveries to its runtimes without materializing n
+    /// std::functions. A per-node sink (set_ncu_sink) takes precedence
+    /// where registered, so tests can still intercept a single node.
+    void set_ncu_dispatch(NcuDispatch dispatch);
 
     /// Registers the data-link notification callback (one for the whole
     /// network; it receives the node to notify).
@@ -226,11 +234,11 @@ public:
     /// mirror and schedules its arrival. Called only at window barriers.
     void inject_remote(const RemoteArrival& r);
 
-private:
-    struct PortTable {
-        std::vector<EdgeId> port_to_edge;  // index 0 unused (NCU)
-    };
+    /// Heap bytes held by the fabric (link states, port geometry, packet
+    /// slabs, sinks) — a cost::Metrics memory-ledger input.
+    std::size_t memory_bytes() const;
 
+private:
     // Packet flow. Packets live in a slab pool owned by the network; the
     // hot path hands a Packet* from switch to link event to switch with
     // zero copies and zero allocations (see docs/PERF.md). Ownership
@@ -281,21 +289,36 @@ private:
 
     /// One link downed by a node failure: restore_node honours the record
     /// only if the link's epoch still matches (nothing else happened to
-    /// the link since).
+    /// the link since). Records live in one pooled store chained through
+    /// per-node head indices (LIFO; consumers reverse to recover
+    /// insertion order) instead of a vector-of-vectors — node failures
+    /// are rare, but the empty per-node vectors were 24 bytes each.
     struct DownedLink {
         EdgeId edge = kNoEdge;
         std::uint64_t epoch = 0;
+        std::uint32_t next = kNoDowned;
     };
+    static constexpr std::uint32_t kNoDowned = 0xffffffffu;
     std::vector<std::uint8_t> node_down_;
-    std::vector<std::vector<DownedLink>> node_downed_;
+    std::vector<std::uint32_t> downed_head_;   ///< Per node; kNoDowned = none.
+    std::vector<DownedLink> downed_pool_;
+    std::vector<std::uint32_t> downed_free_;   ///< Recycled pool slots.
+
+    void downed_push(NodeId u, EdgeId e, std::uint64_t epoch);
+    /// Pops u's whole chain into `out` in insertion order.
+    void downed_take(NodeId u, std::vector<DownedLink>& out);
 
     unsigned label_bits_ = 1;
-    std::vector<PortTable> ports_;
     /// Per-edge {port at edge.a, port at edge.b} — O(1) reverse-label
-    /// lookup in the per-hop path instead of a port-table scan.
+    /// lookup in the per-hop path. The forward map (port -> edge) needs
+    /// no storage at all: port p at node u is u's (p-1)-th incident edge
+    /// in the graph's CSR, by the port-assignment rule above.
     std::vector<std::array<PortId, 2>> edge_ports_;
     std::vector<LinkState> links_;
+    /// Lazily sized: empty until the first set_ncu_sink call (clusters
+    /// use the dispatch below instead and never pay n functions).
     std::vector<NcuSink> ncu_sinks_;
+    NcuDispatch ncu_dispatch_;
     LinkSink link_sink_;
     std::uint64_t next_packet_id_ = 1;
 

@@ -5,9 +5,11 @@ namespace fastnet::node {
 Cluster::Cluster(graph::Graph g, ProtocolFactory factory, ClusterConfig config)
     : graph_(std::move(g)),
       factory_(std::move(factory)),
+      memory_sample_every_(config.memory_sample_every),
       trace_(config.trace),
       monitors_(config.monitors) {
     FASTNET_EXPECTS(factory_ != nullptr);
+    FASTNET_EXPECTS(config.memory_sample_every >= 0);
     metrics_ = std::make_unique<cost::Metrics>(graph_.node_count());
     if (config.sample_window > 0) metrics_->enable_sampling(config.sample_window);
     hw::NetworkConfig net_cfg = config.net;
@@ -19,18 +21,29 @@ Cluster::Cluster(graph::Graph g, ProtocolFactory factory, ClusterConfig config)
     }
     net_ = std::make_unique<hw::Network>(sim_, graph_, config.params, *metrics_, net_cfg);
 
+    // All runtimes live in one contiguous arena block (their link tables
+    // follow in the same arena): a single allocation, stable addresses,
+    // and index-based dispatch instead of n std::function sinks.
+    const NodeId n = graph_.node_count();
     Rng master(config.seed);
-    runtimes_.reserve(graph_.node_count());
-    for (NodeId u = 0; u < graph_.node_count(); ++u) {
-        auto rt = std::make_unique<NodeRuntime>(u, *net_, factory_(u), master.fork(),
-                                                config.ncu_delay_min, config.free_multisend);
-        rt->set_trace(config.trace);
-        net_->set_ncu_sink(u, [raw = rt.get()](const hw::Delivery& d) { raw->on_delivery(d); });
-        runtimes_.push_back(std::move(rt));
+    runtimes_ = arena_.allocate_uninitialized<NodeRuntime>(n);
+    for (NodeId u = 0; u < n; ++u) {
+        new (&runtimes_[u]) NodeRuntime(u, *net_, factory_(u), master.fork(),
+                                        config.ncu_delay_min, config.free_multisend, &arena_);
+        ++runtime_count_;  // tracks constructed prefix: ~Cluster after a throw
+        runtimes_[u].set_trace(config.trace);
     }
+    net_->set_ncu_dispatch(
+        [this](NodeId at, const hw::Delivery& d) { runtimes_[at].on_delivery(d); });
     net_->set_link_sink([this](NodeId at, EdgeId e, bool up) {
-        runtimes_[at]->on_link_notification(e, up);
+        runtime(at).on_link_notification(e, up);
     });
+}
+
+Cluster::~Cluster() {
+    // Placement-new'd into the arena: destroy explicitly (the arena only
+    // releases raw memory).
+    for (NodeId u = runtime_count_; u > 0; --u) runtimes_[u - 1].~NodeRuntime();
 }
 
 void Cluster::mark_phase(Tick at, std::uint64_t phase) {
@@ -48,43 +61,76 @@ void Cluster::mark_phase(Tick at, std::uint64_t phase) {
     });
 }
 
-void Cluster::start(NodeId u, Tick at) {
-    FASTNET_EXPECTS(u < runtimes_.size());
-    runtimes_[u]->request_start(at);
-}
+void Cluster::start(NodeId u, Tick at) { runtime(u).request_start(at); }
 
 void Cluster::start_all(Tick at) {
-    for (NodeId u = 0; u < runtimes_.size(); ++u) start(u, at);
+    for (NodeId u = 0; u < runtime_count_; ++u) start(u, at);
 }
 
 void Cluster::crash_node(NodeId u) {
-    FASTNET_EXPECTS(u < runtimes_.size());
-    if (runtimes_[u]->crashed()) return;
+    if (runtime(u).crashed()) return;
     // Hardware first (links drop, epochs bump, in-flight packets die),
     // then software: the NCU loses queue, timers and protocol state.
     net_->fail_node(u);
-    runtimes_[u]->crash();
+    runtimes_[u].crash();
 }
 
 void Cluster::restart_node(NodeId u) {
-    FASTNET_EXPECTS(u < runtimes_.size());
-    if (!runtimes_[u]->crashed()) return;
+    if (!runtime(u).crashed()) return;
     net_->restore_node(u);
-    runtimes_[u]->restart(factory_(u));
+    runtimes_[u].restart(factory_(u));
 }
 
 bool Cluster::crashed(NodeId u) const {
-    FASTNET_EXPECTS(u < runtimes_.size());
-    return runtimes_[u]->crashed();
+    FASTNET_EXPECTS(u < runtime_count_);
+    return runtimes_[u].crashed();
 }
 
-void Cluster::stall_node(NodeId u, Tick extra) {
-    FASTNET_EXPECTS(u < runtimes_.size());
-    runtimes_[u]->set_stall(extra);
+void Cluster::stall_node(NodeId u, Tick extra) { runtime(u).set_stall(extra); }
+
+void Cluster::sample_memory() {
+    cost::MemorySample s;
+    s.at = sim_.now();
+    s.breakdown.graph = graph().memory_bytes();
+    s.breakdown.network = net_->memory_bytes();
+    s.breakdown.arena_used = arena_.bytes_used();
+    s.breakdown.arena_reserved = arena_.bytes_reserved();
+    const bool watch = monitors_ && monitors_->active();
+    for (NodeId u = 0; u < runtime_count_; ++u) {
+        const std::uint64_t rt = runtimes_[u].memory_bytes();
+        const std::uint64_t proto =
+            runtimes_[u].crashed() ? 0 : runtimes_[u].protocol().memory_bytes();
+        s.breakdown.runtimes += rt;
+        s.breakdown.protocols += proto;
+        const std::uint64_t node_bytes = rt + proto;
+        if (node_bytes > s.max_node_bytes) {
+            s.max_node_bytes = node_bytes;
+            s.max_node = u;
+        }
+        if (watch) {
+            obs::MonitorEvent ev;
+            ev.kind = obs::MonitorEvent::Kind::kMemory;
+            ev.at = s.at;
+            ev.node = u;
+            ev.a = node_bytes;
+            monitors_->dispatch(ev);
+        }
+    }
+    metrics_->record_memory(s);
 }
 
 Tick Cluster::run() {
-    sim_.run();
+    if (memory_sample_every_ > 0) {
+        // Sampling reads state between event batches; it schedules
+        // nothing, so the run's event order is identical to an unmetered
+        // run. One final sample lands at quiescence.
+        while (!sim_.idle()) {
+            sim_.run_until(sim_.now() + memory_sample_every_);
+            sample_memory();
+        }
+    } else {
+        sim_.run();
+    }
     // Quiescence reached: conservation-style monitors can close their
     // books (anything still "in flight" now is a real leak).
     if (monitors_ && monitors_->active()) monitors_->finish(sim_.now());
@@ -98,8 +144,8 @@ Tick Cluster::run_until(Tick until) {
 
 bool Cluster::quiescent() const {
     if (!sim_.idle()) return false;
-    for (const auto& rt : runtimes_) {
-        if (!rt->ncu_idle()) return false;
+    for (NodeId u = 0; u < runtime_count_; ++u) {
+        if (!runtimes_[u].ncu_idle()) return false;
     }
     return true;
 }

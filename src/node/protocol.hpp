@@ -93,6 +93,13 @@ public:
 
     /// A timer set via Context::set_timer fired.
     virtual void on_timer(Context&, std::uint64_t cookie) { (void)cookie; }
+
+    /// Self-reported footprint of this protocol instance, for the
+    /// per-node memory ledger (cost::Metrics, docs/PERF.md "Memory at
+    /// scale"). Convention: the object itself plus any heap it owns —
+    /// overrides return sizeof(*this) (the derived size) + container
+    /// capacities. The base default covers stateless protocols.
+    virtual std::size_t memory_bytes() const { return sizeof(*this); }
 };
 
 }  // namespace fastnet::node

@@ -5,7 +5,8 @@
 namespace fastnet::node {
 
 NodeRuntime::NodeRuntime(NodeId self, hw::Network& net, std::unique_ptr<Protocol> protocol,
-                         Rng rng, Tick ncu_delay_min, bool free_multisend)
+                         Rng rng, Tick ncu_delay_min, bool free_multisend,
+                         util::Arena* arena)
     : self_(self),
       net_(net),
       protocol_(std::move(protocol)),
@@ -14,7 +15,14 @@ NodeRuntime::NodeRuntime(NodeId self, hw::Network& net, std::unique_ptr<Protocol
       free_multisend_(free_multisend) {
     FASTNET_EXPECTS(protocol_ != nullptr);
     const graph::Graph& g = net_.graph();
-    links_.reserve(g.degree(self));
+    link_count_ = static_cast<std::uint32_t>(g.degree(self));
+    if (arena != nullptr) {
+        links_ = arena->allocate_uninitialized<LocalLink>(link_count_);
+    } else {
+        links_owned_ = std::make_unique<LocalLink[]>(link_count_);
+        links_ = links_owned_.get();
+    }
+    std::uint32_t i = 0;
     for (const graph::IncidentEdge& ie : g.incident(self)) {
         LocalLink l;
         l.edge = ie.edge;
@@ -22,7 +30,7 @@ NodeRuntime::NodeRuntime(NodeId self, hw::Network& net, std::unique_ptr<Protocol
         l.port = net_.port_for_edge(self, ie.edge);
         l.remote_port = net_.port_for_edge(ie.neighbor, ie.edge);
         l.active = net_.link_active(ie.edge);
-        links_.push_back(l);
+        links_[i++] = l;
     }
 }
 
@@ -61,7 +69,8 @@ void NodeRuntime::restart(std::unique_ptr<Protocol> fresh) {
     protocol_ = std::move(fresh);
     // Data-link re-initialization: the fresh incarnation learns the
     // *current* state of its links, not the state at crash time.
-    for (LocalLink& l : links_) l.active = net_.link_active(l.edge);
+    for (std::uint32_t i = 0; i < link_count_; ++i)
+        links_[i].active = net_.link_active(links_[i].edge);
     if (trace_) trace_->record(now(), self_, sim::TraceKind::kRestart, {.a = incarnation_});
     enqueue(RestartWork{});
 }
@@ -71,8 +80,14 @@ void NodeRuntime::set_stall(Tick extra) {
     stall_extra_ = extra;
 }
 
+std::size_t NodeRuntime::memory_bytes() const {
+    return sizeof(NodeRuntime) + link_count_ * sizeof(LocalLink) + queue_.memory_bytes() +
+           pending_timers_.capacity() * sizeof(pending_timers_[0]) +
+           cancelled_timers_.capacity() * sizeof(TimerId);
+}
+
 void NodeRuntime::on_link_notification(EdgeId e, bool up) {
-    for (std::size_t i = 0; i < links_.size(); ++i) {
+    for (std::size_t i = 0; i < link_count_; ++i) {
         if (links_[i].edge == e) {
             enqueue(LinkWork{i, up});
             return;

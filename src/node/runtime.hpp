@@ -11,7 +11,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <variant>
 #include <vector>
@@ -22,6 +21,8 @@
 #include "node/protocol.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
+#include "util/arena.hpp"
+#include "util/ring_queue.hpp"
 
 namespace fastnet::node {
 
@@ -32,8 +33,15 @@ public:
     /// processing cost. When false (ablation A1), the i-th send of a
     /// handler leaves i*P later and the NCU stays busy until the last
     /// one has left.
+    ///
+    /// `arena` — optional backing store for the link table. When given
+    /// (Cluster passes its arena) the LocalLink array is bump-allocated
+    /// with the cluster's lifetime: zero per-node heap objects. When
+    /// null, the runtime owns a heap array (standalone construction in
+    /// tests).
     NodeRuntime(NodeId self, hw::Network& net, std::unique_ptr<Protocol> protocol,
-                Rng rng, Tick ncu_delay_min = -1, bool free_multisend = true);
+                Rng rng, Tick ncu_delay_min = -1, bool free_multisend = true,
+                util::Arena* arena = nullptr);
 
     NodeRuntime(const NodeRuntime&) = delete;
     NodeRuntime& operator=(const NodeRuntime&) = delete;
@@ -75,11 +83,19 @@ public:
     /// overloaded/thermally-throttled NCU — inflated P). 0 clears.
     void set_stall(Tick extra);
 
+    /// This node's software footprint: the runtime object, its link
+    /// table, queued-work buffer and timer bookkeeping — everything per
+    /// node *except* the protocol instance, which cost::Metrics ledgers
+    /// separately (see Protocol::memory_bytes). Arena-resident state is
+    /// included: the quantity is logical bytes per node, regardless of
+    /// which allocator holds them.
+    std::size_t memory_bytes() const;
+
     // ---- Context ------------------------------------------------------
     NodeId self() const override { return self_; }
     Tick now() const override;
     const ModelParams& params() const override { return net_.params(); }
-    std::span<const LocalLink> links() const override { return links_; }
+    std::span<const LocalLink> links() const override { return {links_, link_count_}; }
     void send(hw::AnrHeader header, std::shared_ptr<const hw::Payload> payload) override;
     void reply(const hw::Delivery& to, std::shared_ptr<const hw::Payload> payload) override;
     TimerId set_timer(Tick delay, std::uint64_t cookie) override;
@@ -129,8 +145,11 @@ private:
     /// armed timers.
     std::uint64_t current_lineage_ = 0;
 
-    std::vector<LocalLink> links_;
-    std::deque<Work> queue_;
+    /// Link table: arena-resident (links_owned_ empty) or heap-owned.
+    LocalLink* links_ = nullptr;
+    std::uint32_t link_count_ = 0;
+    std::unique_ptr<LocalLink[]> links_owned_;
+    util::RingQueue<Work> queue_;
     bool busy_ = false;
     TimerId next_timer_ = 1;
     std::vector<TimerId> cancelled_timers_;

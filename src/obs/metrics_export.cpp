@@ -66,6 +66,26 @@ std::string metrics_json(const cost::Metrics& metrics, const std::string& name) 
     append_kv(out, ",\n\"invocations\": ", metrics.total_invocations());
     append_kv(out, ",\n\"direct_messages\": ", metrics.total_direct_messages());
     append_kv(out, ",\n\"hops\": ", metrics.net().hops);
+    if (const cost::MemorySample* mem = metrics.memory()) {
+        out += ",\n\"memory\": {";
+        append_kv(out, "\"at\": ", static_cast<std::uint64_t>(mem->at));
+        append_kv(out, ",\"samples\": ", metrics.memory_samples());
+        append_kv(out, ",\"graph\": ", mem->breakdown.graph);
+        append_kv(out, ",\"network\": ", mem->breakdown.network);
+        append_kv(out, ",\"runtimes\": ", mem->breakdown.runtimes);
+        append_kv(out, ",\"protocols\": ", mem->breakdown.protocols);
+        append_kv(out, ",\"arena_used\": ", mem->breakdown.arena_used);
+        append_kv(out, ",\"arena_reserved\": ", mem->breakdown.arena_reserved);
+        append_kv(out, ",\"total\": ", mem->breakdown.total());
+        append_kv(out, ",\"max_node_bytes\": ", mem->max_node_bytes);
+        out += ",\"max_node\": ";
+        out += mem->max_node == kNoNode ? std::string("null")
+                                        : std::to_string(mem->max_node);
+        append_kv(out, ",\"peak_node_bytes\": ", metrics.peak_node_bytes());
+        out += "}";
+    } else {
+        out += ",\n\"memory\": null";
+    }
     const cost::Sampling* s = metrics.sampling();
     if (s == nullptr) {
         out += ",\n\"sampling\": null\n}\n";
@@ -79,6 +99,8 @@ std::string metrics_json(const cost::Metrics& metrics, const std::string& name) 
     append_series(out, "sends", s->sends());
     out += ",";
     append_series(out, "drops", s->drops());
+    out += ",";
+    append_series(out, "bytes_per_node", s->bytes_per_node());
     out += "},\n\"histograms\": {";
     append_histogram(out, "hop_latency", s->hop_latency());
     out += ",";

@@ -1,5 +1,6 @@
 #include "obs/monitor.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace fastnet::obs {
@@ -64,14 +65,14 @@ void LineageConservationMonitor::on_event(MonitorHub& hub, const MonitorEvent& e
             last_at_ = ev.at;
             break;
         case MonitorEvent::Kind::kRetire: {
-            auto it = live_.find(ev.lineage);
-            if (it == live_.end() || it->second <= 0) {
+            std::int64_t* copies = live_.find(ev.lineage);
+            if (copies == nullptr || *copies <= 0) {
                 hub.report(*this, ev.at, ev.node, ev.lineage,
                            "retire without a live copy (lineage " +
                                std::to_string(ev.lineage) + ")");
                 break;
             }
-            if (--it->second == 0) live_.erase(it);
+            --*copies;  // balanced entries stay at 0 (no erase; see on_finish)
             last_at_ = ev.at;
             break;
         }
@@ -81,7 +82,14 @@ void LineageConservationMonitor::on_event(MonitorHub& hub, const MonitorEvent& e
 }
 
 void LineageConservationMonitor::on_finish(MonitorHub& hub, Tick now) {
-    for (const auto& [lineage, copies] : live_) {
+    // The map is probe-ordered; collect the unbalanced lineages and sort
+    // so the report order is a function of the run, not the hash layout.
+    std::vector<std::pair<std::uint64_t, std::int64_t>> open;
+    for (const auto& e : live_.raw_entries()) {
+        if (e.occupied && e.value != 0) open.emplace_back(e.key, e.value);
+    }
+    std::sort(open.begin(), open.end());
+    for (const auto& [lineage, copies] : open) {
         hub.report(*this, now > last_at_ ? now : last_at_, kNoNode, lineage,
                    std::to_string(copies) + " live cop" + (copies == 1 ? "y" : "ies") +
                        " never retired (lineage " + std::to_string(lineage) + ")");
@@ -144,24 +152,38 @@ void PhaseBudgetMonitor::on_event(MonitorHub& hub, const MonitorEvent& ev) {
 
 void LinkFifoMonitor::on_event(MonitorHub& hub, const MonitorEvent& ev) {
     if (ev.kind != MonitorEvent::Kind::kHop) return;
-    const auto key = std::make_pair(ev.a, ev.node);
-    const auto it = last_arrival_.find(key);
-    if (it != last_arrival_.end()) {
-        if (ev.at < it->second) {
+    // One direction = (edge, arriving node); edges and nodes are 32-bit.
+    const std::uint64_t key = (ev.a << 32) | ev.node;
+    if (Tick* prev = last_arrival_.find(key)) {
+        if (ev.at < *prev) {
             hub.report(*this, ev.at, ev.node, ev.lineage,
                        "FIFO order broken on edge " + std::to_string(ev.a) +
                            ": arrival at t=" + std::to_string(ev.at) +
-                           " after one at t=" + std::to_string(it->second));
-        } else if (spacing_ > 0 && ev.at - it->second < spacing_) {
+                           " after one at t=" + std::to_string(*prev));
+        } else if (spacing_ > 0 && ev.at - *prev < spacing_) {
             hub.report(*this, ev.at, ev.node, ev.lineage,
-                       "arrivals " + std::to_string(ev.at - it->second) +
+                       "arrivals " + std::to_string(ev.at - *prev) +
                            " apart on edge " + std::to_string(ev.a) +
                            " (link spacing " + std::to_string(spacing_) + ")");
         }
-        it->second = ev.at > it->second ? ev.at : it->second;
+        *prev = ev.at > *prev ? ev.at : *prev;
         return;
     }
-    last_arrival_.emplace(key, ev.at);
+    last_arrival_[key] = ev.at;
+}
+
+// ---- MemoryBudgetMonitor -------------------------------------------------
+
+void MemoryBudgetMonitor::on_event(MonitorHub& hub, const MonitorEvent& ev) {
+    if (ev.kind != MonitorEvent::Kind::kMemory || ev.node == kNoNode) return;
+    if (ev.node >= over_.size()) over_.resize(ev.node + 1, 0);
+    const bool over = ev.a > ceiling_;
+    if (over && !over_[ev.node]) {
+        hub.report(*this, ev.at, ev.node, 0,
+                   "node footprint " + std::to_string(ev.a) + " bytes exceeds budget " +
+                       std::to_string(ceiling_));
+    }
+    over_[ev.node] = over ? 1 : 0;
 }
 
 // ---- SerializedSendMonitor -----------------------------------------------

@@ -22,7 +22,6 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <string>
 #include <utility>
@@ -30,6 +29,7 @@
 
 #include "common/types.hpp"
 #include "sim/trace.hpp"
+#include "util/flat_map.hpp"
 
 namespace fastnet::obs {
 
@@ -48,6 +48,7 @@ namespace fastnet::obs {
 /// | kEnqueue  | NCU        | —       | queue depth        | —              |
 /// | kInvoke   | NCU        | maybe   | InvokeKind         | busy ticks     |
 /// | kPhase    | kNoNode    | —       | phase id           | —              |
+/// | kMemory   | node       | —       | bytes at this node | —              |
 struct MonitorEvent {
     enum class Kind : std::uint8_t {
         kSend,     ///< Packet injected into the fabric.
@@ -62,6 +63,7 @@ struct MonitorEvent {
         kEnqueue,  ///< Work item queued at an NCU.
         kInvoke,   ///< NCU handler completed.
         kPhase,    ///< Experiment phase marker.
+        kMemory,   ///< Per-node footprint sample (Cluster::sample_memory).
     };
     /// Work-item discriminator of a kInvoke event (`a`).
     enum class InvokeKind : std::uint8_t {
@@ -163,9 +165,10 @@ public:
     void on_finish(MonitorHub& hub, Tick now) override;
 
 private:
-    /// lineage -> live copies. Ordered so end-of-run reporting is
-    /// deterministic (lowest lineage first).
-    std::map<std::uint64_t, std::int64_t> live_;
+    /// lineage -> live copies. Open-addressed (O(1) per event instead of
+    /// a red-black walk); on_finish sorts the survivors so end-of-run
+    /// reporting stays deterministic (lowest lineage first).
+    util::FlatMap64<std::int64_t> live_;
     Tick last_at_ = 0;
 };
 
@@ -228,9 +231,26 @@ public:
 
 private:
     Tick spacing_;
-    /// (edge, arriving node) -> last arrival tick. Ordered map: the state
-    /// is iteration-order-free, but keep determinism anyway.
-    std::map<std::pair<std::uint64_t, NodeId>, Tick> last_arrival_;
+    /// (edge << 32 | arriving node) -> last arrival tick. Open-addressed;
+    /// never iterated, so probe order cannot leak into any report.
+    util::FlatMap64<Tick> last_arrival_;
+};
+
+/// Per-node memory ceiling: fires when a node's sampled footprint
+/// (runtime + protocol bytes, the `a` of a kMemory event) first crosses
+/// `ceiling_bytes`, and re-arms once the node drops back under — so a
+/// leak that grows across crash/restart epochs reports each excursion,
+/// not every sample. Requires ClusterConfig::memory_sample_every > 0 to
+/// see any events.
+class MemoryBudgetMonitor final : public Monitor {
+public:
+    explicit MemoryBudgetMonitor(std::uint64_t ceiling_bytes) : ceiling_(ceiling_bytes) {}
+    const char* name() const override { return "memory_budget"; }
+    void on_event(MonitorHub& hub, const MonitorEvent& ev) override;
+
+private:
+    std::uint64_t ceiling_;
+    std::vector<std::uint8_t> over_;  ///< Per node, lazily sized.
 };
 
 /// A1 serialized send: one NCU injects at most one packet per `min_gap`

@@ -23,12 +23,14 @@ BroadcastProtocol::BroadcastProtocol(const graph::Graph& g, BroadcastScheme sche
     : graph_(g), scheme_(scheme) {}
 
 std::uint64_t& BroadcastProtocol::seen_round(NodeId origin) {
-    // Lazily sized: only flooding needs the per-origin duplicate filter,
-    // and eagerly giving every node an n-entry vector made constructing a
-    // cluster O(n^2) memory — the dominant cost of a planned broadcast at
-    // n >= 4096, dwarfing the simulation itself.
-    if (seen_rounds_.empty()) seen_rounds_.resize(graph_.node_count(), 0);
-    return seen_rounds_[origin];
+    for (auto& [o, round] : seen_rounds_) {
+        if (o == origin) return round;
+    }
+    return seen_rounds_.emplace_back(origin, 0).second;
+}
+
+std::size_t BroadcastProtocol::memory_bytes() const {
+    return sizeof(*this) + seen_rounds_.capacity() * sizeof(seen_rounds_[0]);
 }
 
 void BroadcastProtocol::on_start(node::Context& ctx) {

@@ -59,6 +59,8 @@ public:
     void on_start(node::Context& ctx) override;
     void on_message(node::Context& ctx, const hw::Delivery& d) override;
 
+    std::size_t memory_bytes() const override;
+
     // ---- observation ----------------------------------------------------
     bool received() const { return receive_time_ != kNever; }
     Tick receive_time() const { return receive_time_; }
@@ -75,9 +77,12 @@ private:
     Tick dispatch_time_ = kNever;  ///< Origin only: when its messages left.
     std::uint64_t next_round_ = 1;
     std::uint64_t& seen_round(NodeId origin);
-    std::vector<std::uint64_t> seen_rounds_;  // flooding duplicate filter (per origin);
-                                              // lazily sized on first flood
-
+    /// Flooding duplicate filter: newest round seen per origin. One node
+    /// only ever hears from the few origins that actually flood, so this
+    /// is a find-or-append list, NOT an n-entry table — the eager n-entry
+    /// version made a cluster O(n^2) memory, which is exactly what the
+    /// bytes/node bench guards against (docs/PERF.md "Memory at scale").
+    std::vector<std::pair<NodeId, std::uint64_t>> seen_rounds_;
 };
 
 /// Outcome of one standalone broadcast run.

@@ -22,6 +22,12 @@ void TopologyMaintenance::refresh_local(node::Context& ctx) {
         mine.links.push_back(NeighborRecord{l.neighbor, l.port, l.remote_port, l.active});
 }
 
+std::size_t TopologyMaintenance::memory_bytes() const {
+    std::size_t bytes = sizeof(*this) + db_.capacity() * sizeof(LocalTopology);
+    for (const LocalTopology& t : db_) bytes += t.links.capacity() * sizeof(NeighborRecord);
+    return bytes;
+}
+
 void TopologyMaintenance::on_start(node::Context& ctx) {
     refresh_local(ctx);
     if (rounds_left_ == 0) return;

@@ -79,6 +79,7 @@ public:
     void on_timer(node::Context& ctx, std::uint64_t cookie) override;
     void on_link_state(node::Context& ctx, const node::LocalLink& link, bool up) override;
     void on_message(node::Context& ctx, const hw::Delivery& d) override;
+    std::size_t memory_bytes() const override;
 
     // ---- observation -----------------------------------------------------
     const LocalTopology& view_of(NodeId u) const { return db_[u]; }

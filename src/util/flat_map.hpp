@@ -1,0 +1,106 @@
+// Open-addressing hash map from 64-bit keys to a trivial value type.
+//
+// The live-invariant monitors sit on the per-hop fast path; the
+// std::map-based ledgers they started with cost an O(log n) pointer
+// chase plus a heap node per key, which at million-packet runs dominated
+// the monitors themselves. FlatMap64 is the compact indexed replacement:
+// one flat power-of-two table, linear probing, no per-entry allocation,
+// amortized O(1) find/insert. There is no erase — the use sites only
+// ever zero values and compact at end-of-run — which keeps probing
+// correct without tombstones.
+//
+// Iteration order is the table's probe order and therefore depends on
+// insertion history; callers needing deterministic output collect and
+// sort entries (see LineageConservationMonitor::on_finish).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/expect.hpp"
+
+namespace fastnet::util {
+
+template <typename Value>
+class FlatMap64 {
+public:
+    struct Entry {
+        std::uint64_t key = 0;
+        Value value{};
+        bool occupied = false;
+    };
+
+    FlatMap64() = default;
+
+    /// Returns the value slot for `key`, inserting a default-constructed
+    /// value on first use.
+    Value& operator[](std::uint64_t key) {
+        if (entries_.empty() || (size_ + 1) * 8 > entries_.size() * 5) grow();
+        std::size_t i = probe(key);
+        if (!entries_[i].occupied) {
+            entries_[i].occupied = true;
+            entries_[i].key = key;
+            ++size_;
+        }
+        return entries_[i].value;
+    }
+
+    /// Pointer to the value for `key`, or nullptr.
+    Value* find(std::uint64_t key) {
+        if (entries_.empty()) return nullptr;
+        const std::size_t i = probe(key);
+        return entries_[i].occupied ? &entries_[i].value : nullptr;
+    }
+    const Value* find(std::uint64_t key) const {
+        return const_cast<FlatMap64*>(this)->find(key);
+    }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    void clear() {
+        entries_.clear();
+        size_ = 0;
+    }
+
+    /// All occupied entries, probe order (not deterministic across
+    /// insertion histories — sort before reporting).
+    const std::vector<Entry>& raw_entries() const { return entries_; }
+
+    /// Heap footprint, for the memory ledger.
+    std::size_t memory_bytes() const { return entries_.capacity() * sizeof(Entry); }
+
+private:
+    static std::uint64_t mix(std::uint64_t x) {
+        // splitmix64 finalizer — full-avalanche, so linear probing stays
+        // clustered only by genuine collisions.
+        x += 0x9e3779b97f4a7c15ULL;
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+        return x ^ (x >> 31);
+    }
+
+    std::size_t probe(std::uint64_t key) const {
+        const std::size_t mask = entries_.size() - 1;
+        std::size_t i = static_cast<std::size_t>(mix(key)) & mask;
+        while (entries_[i].occupied && entries_[i].key != key) i = (i + 1) & mask;
+        return i;
+    }
+
+    void grow() {
+        std::vector<Entry> old = std::move(entries_);
+        entries_.assign(old.empty() ? 16 : old.size() * 2, Entry{});
+        for (const Entry& e : old) {
+            if (!e.occupied) continue;
+            const std::size_t i = probe(e.key);
+            FASTNET_ENSURES(!entries_[i].occupied);
+            entries_[i] = e;
+        }
+    }
+
+    std::vector<Entry> entries_;
+    std::size_t size_ = 0;
+};
+
+}  // namespace fastnet::util

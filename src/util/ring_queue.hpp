@@ -1,0 +1,87 @@
+// Growable ring-buffer FIFO, sized for a million idle queues.
+//
+// std::deque is the wrong container for per-node NCU work queues at
+// scale: libstdc++'s deque holds a chunk map plus one 512-byte chunk
+// even when empty — ~0.6 KB per node before the first work item, which
+// at 10^6 nodes is more memory than all protocol state combined.
+// RingQueue stores nothing until the first push, then a single
+// power-of-two buffer grown by doubling. FIFO order matches deque
+// push_back/pop_front exactly.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+#include "common/expect.hpp"
+
+namespace fastnet::util {
+
+template <typename T>
+class RingQueue {
+public:
+    RingQueue() = default;
+
+    RingQueue(const RingQueue&) = delete;
+    RingQueue& operator=(const RingQueue&) = delete;
+    RingQueue(RingQueue&&) = default;
+    RingQueue& operator=(RingQueue&&) = default;
+
+    ~RingQueue() { clear(); }
+
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
+    std::size_t capacity() const { return capacity_; }
+
+    void push_back(T value) {
+        if (size_ == capacity_) grow();
+        ::new (static_cast<void*>(slot((head_ + size_) & (capacity_ - 1))))
+            T(std::move(value));
+        ++size_;
+    }
+
+    T& front() {
+        FASTNET_EXPECTS(size_ != 0);
+        return *slot(head_);
+    }
+
+    void pop_front() {
+        FASTNET_EXPECTS(size_ != 0);
+        slot(head_)->~T();
+        head_ = (head_ + 1) & (capacity_ - 1);
+        --size_;
+    }
+
+    /// Destroys all queued items; keeps the buffer for reuse.
+    void clear() {
+        while (size_ != 0) pop_front();
+        head_ = 0;
+    }
+
+    /// Buffer footprint, for the memory ledger.
+    std::size_t memory_bytes() const { return capacity_ * sizeof(T); }
+
+private:
+    T* slot(std::size_t i) { return reinterpret_cast<T*>(buffer_.get()) + i; }
+
+    void grow() {
+        const std::size_t new_cap = capacity_ == 0 ? 4 : capacity_ * 2;
+        auto fresh = std::make_unique<std::byte[]>(new_cap * sizeof(T));
+        T* dst = reinterpret_cast<T*>(fresh.get());
+        for (std::size_t i = 0; i < size_; ++i) {
+            T* src = slot((head_ + i) & (capacity_ - 1));
+            ::new (static_cast<void*>(dst + i)) T(std::move(*src));
+            src->~T();
+        }
+        buffer_ = std::move(fresh);
+        capacity_ = new_cap;
+        head_ = 0;
+    }
+
+    std::unique_ptr<std::byte[]> buffer_;
+    std::size_t capacity_ = 0;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+};
+
+}  // namespace fastnet::util

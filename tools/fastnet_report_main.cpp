@@ -123,12 +123,18 @@ struct Regression {
 
 std::string fmt(double v) { return exec::format_double(v); }
 
-std::string fmt_delta(double old_v, double new_v) {
+/// Delta with its direction resolved per unit, so a bytes/node or ns
+/// drop and a throughput rise both read "better": "-3.10% (better)",
+/// "+4.00% (worse)".
+std::string fmt_delta(double old_v, double new_v, const std::string& unit) {
     if (old_v == 0) return new_v == 0 ? "n/a" : "inf";
     const double pct = 100.0 * (new_v - old_v) / std::abs(old_v);
     char buf[64];
     std::snprintf(buf, sizeof buf, "%+.2f%%", pct);
-    return buf;
+    std::string out = buf;
+    if (pct != 0)
+        out += (higher_is_better(unit) ? pct > 0 : pct < 0) ? " (better)" : " (worse)";
+    return out;
 }
 
 void report_trajectories(std::string& md, const std::vector<Snapshot>& history,
@@ -195,7 +201,7 @@ void report_trajectories(std::string& md, const std::vector<Snapshot>& history,
             }
             if (prev && last) {
                 md += " ";
-                md += fmt_delta(prev->first, last->first);
+                md += fmt_delta(prev->first, last->first, unit);
                 md += " |";
                 if (fail_set && prev->first != 0) {
                     const double pct =
