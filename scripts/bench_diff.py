@@ -4,9 +4,9 @@
 Prints every metric present in either file with old/new values and the
 relative change. With --fail-on-regression P (or its older spelling
 --threshold P), exits 1 when any shared metric regressed by more than P
-percent — "regressed" respects the unit's direction: throughput units
-(*_per_sec) regress downwards, everything else (ns, ms, allocs, pct,
-bytes) regresses upwards.
+percent — "regressed" respects the unit's direction: throughput and
+carried-work units (*_per_sec, calls) regress downwards, everything
+else (ns, ms, allocs, pct, bytes, ticks, retries) regresses upwards.
 
   scripts/bench_diff.py old/BENCH_sim_core.json new/BENCH_sim_core.json
   scripts/bench_diff.py --fail-on-regression 5 old.json new.json
@@ -26,7 +26,7 @@ def load(path):
 
 
 def higher_is_better(unit):
-    return "per_sec" in unit
+    return "per_sec" in unit or unit == "calls"
 
 
 def main():

@@ -73,6 +73,21 @@ void Sampling::merge_from(const Sampling& o) {
     std::sort(phase_calls_.begin(), phase_calls_.end());
 }
 
+void CallStats::merge_from(const CallStats& o) {
+    offered += o.offered;
+    shed += o.shed;
+    placed += o.placed;
+    accepted += o.accepted;
+    blocked += o.blocked;
+    completed += o.completed;
+    failed += o.failed;
+    timeouts += o.timeouts;
+    retries += o.retries;
+    reaped += o.reaped;
+    setup_latency.merge_from(o.setup_latency);
+    retries_per_call.merge_from(o.retries_per_call);
+}
+
 void Metrics::merge_from(const Metrics& o) {
     FASTNET_EXPECTS(o.nodes_.size() == nodes_.size());
     for (std::size_t u = 0; u < nodes_.size(); ++u) {
@@ -97,6 +112,7 @@ void Metrics::merge_from(const Metrics& o) {
     net_.header_bits += o.net_.header_bits;
     net_.drops_injected += o.net_.drops_injected;
     net_.dup_copies += o.net_.dup_copies;
+    calls_.merge_from(o.calls_);
     if (sampling_ != nullptr && o.sampling_ != nullptr) sampling_->merge_from(*o.sampling_);
 }
 
@@ -114,6 +130,7 @@ void Metrics::record_memory(const MemorySample& s) {
 void Metrics::reset() {
     for (NodeCounters& c : nodes_) c = NodeCounters{};
     net_ = NetCounters{};
+    calls_ = CallStats{};
     phase_ = 0;
     memory_latest_ = MemorySample{};
     memory_samples_ = 0;

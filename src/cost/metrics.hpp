@@ -150,6 +150,36 @@ private:
     std::vector<std::pair<std::uint64_t, std::uint64_t>> phase_calls_;
 };
 
+/// Call-level accounting for the PARIS workload (ROADMAP item 3): final
+/// outcome counters plus latency/retry distributions. Sources tally
+/// their own calls; the harness folds per-agent stats into the run's
+/// ledger in node order (paris::fold_call_stats), so the serialized
+/// result is independent of thread and shard counts. All-integer, so
+/// merge_from is exact.
+struct CallStats {
+    std::uint64_t offered = 0;    ///< Arrivals (scripted + generated).
+    std::uint64_t shed = 0;       ///< Refused by admission control.
+    std::uint64_t placed = 0;     ///< Setup attempts injected (incl. retries).
+    std::uint64_t accepted = 0;   ///< Went active.
+    std::uint64_t blocked = 0;    ///< Final capacity/timeout rejection.
+    std::uint64_t completed = 0;  ///< Released after a full holding time.
+    std::uint64_t failed = 0;     ///< Lost to link failure after activation.
+    std::uint64_t timeouts = 0;   ///< Setup timer expiries.
+    std::uint64_t retries = 0;    ///< Re-placements after backoff.
+    std::uint64_t reaped = 0;     ///< Orphaned reservations reclaimed by lease expiry.
+    LogHistogram setup_latency;   ///< Ticks from first placement to active.
+    LogHistogram retries_per_call;  ///< Per finally-resolved call.
+
+    bool any() const { return offered != 0 || placed != 0; }
+    /// Erlang-style blocking: offered calls that never went active.
+    double blocking_probability() const {
+        return offered == 0 ? 0.0
+                            : static_cast<double>(shed + blocked) /
+                                  static_cast<double>(offered);
+    }
+    void merge_from(const CallStats& o);
+};
+
 /// One experiment's ledger; owned by the Cluster, shared by reference.
 class Metrics {
 public:
@@ -198,6 +228,10 @@ public:
     void set_phase(std::uint64_t p) { phase_ = p; }
     std::uint64_t phase() const { return phase_; }
 
+    // ---- call ledger (fed by paris::fold_call_stats post-run) ---------
+    CallStats& calls() { return calls_; }
+    const CallStats& calls() const { return calls_; }
+
     // ---- memory ledger (optional; fed by Cluster::sample_memory) ------
     /// Records one observation: keeps it as the latest, bumps the sample
     /// count, tracks the peak per-node footprint seen, and (when windowed
@@ -213,6 +247,7 @@ public:
 private:
     std::vector<NodeCounters> nodes_;
     NetCounters net_;
+    CallStats calls_;
     std::unique_ptr<Sampling> sampling_;
     std::uint64_t phase_ = 0;
     MemorySample memory_latest_;

@@ -34,6 +34,7 @@
 #include "exec/sweep_runner.hpp"
 #include "exec/thread_pool.hpp"
 #include "election/inout_tree.hpp"
+#include "fault/call_oracle.hpp"
 #include "fault/injector.hpp"
 #include "fault/oracle.hpp"
 #include "election/ring_election.hpp"
@@ -63,6 +64,7 @@
 #include "node/runtime.hpp"
 #include "node/scenario.hpp"
 #include "paris/call_setup.hpp"
+#include "paris/workload.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"

@@ -18,6 +18,7 @@
 #include "common/types.hpp"
 #include "hw/anr.hpp"
 #include "hw/packet.hpp"
+#include "sim/trace.hpp"
 
 namespace fastnet::node {
 
@@ -65,6 +66,16 @@ public:
     /// NVRAM, which is what lets recovery protocols generate sequence
     /// numbers that dominate everything issued before the crash.
     virtual std::uint64_t incarnation() const { return 0; }
+
+    /// Appends an application-level trace record at (now, self), stamped
+    /// with the current handler's causal lineage — how protocols emit
+    /// kCallEvent and friends. Purely observational: a no-op when no
+    /// trace is attached or the kind is filtered, so it may sit on hot
+    /// paths unguarded.
+    virtual void record(sim::TraceKind kind, std::uint64_t a, std::uint64_t b = 0,
+                        std::uint8_t flag = 0) {
+        (void)kind, (void)a, (void)b, (void)flag;
+    }
 };
 
 /// Base class for node software. Handlers run serialized per node; each

@@ -102,6 +102,11 @@ public:
     void cancel_timer(TimerId id) override;
     Rng& rng() override { return rng_; }
     std::uint64_t incarnation() const override { return incarnation_; }
+    void record(sim::TraceKind kind, std::uint64_t a, std::uint64_t b = 0,
+                std::uint8_t flag = 0) override {
+        if (trace_ && trace_->enabled(kind))
+            trace_->record(now(), self_, kind, {current_lineage_, a, b, flag});
+    }
 
 private:
     struct StartWork {};

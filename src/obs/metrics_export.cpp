@@ -66,6 +66,28 @@ std::string metrics_json(const cost::Metrics& metrics, const std::string& name) 
     append_kv(out, ",\n\"invocations\": ", metrics.total_invocations());
     append_kv(out, ",\n\"direct_messages\": ", metrics.total_direct_messages());
     append_kv(out, ",\n\"hops\": ", metrics.net().hops);
+    if (const cost::CallStats& c = metrics.calls(); c.any()) {
+        out += ",\n\"calls\": {";
+        append_kv(out, "\"offered\": ", c.offered);
+        append_kv(out, ",\"shed\": ", c.shed);
+        append_kv(out, ",\"placed\": ", c.placed);
+        append_kv(out, ",\"accepted\": ", c.accepted);
+        append_kv(out, ",\"blocked\": ", c.blocked);
+        append_kv(out, ",\"completed\": ", c.completed);
+        append_kv(out, ",\"failed\": ", c.failed);
+        append_kv(out, ",\"timeouts\": ", c.timeouts);
+        append_kv(out, ",\"retries\": ", c.retries);
+        append_kv(out, ",\"reaped\": ", c.reaped);
+        out += ",\"blocking\": ";
+        out += exec::format_double(c.blocking_probability());
+        out += ",";
+        append_histogram(out, "setup_latency", c.setup_latency);
+        out += ",";
+        append_histogram(out, "retries_per_call", c.retries_per_call);
+        out += "}";
+    } else {
+        out += ",\n\"calls\": null";
+    }
     if (const cost::MemorySample* mem = metrics.memory()) {
         out += ",\n\"memory\": {";
         append_kv(out, "\"at\": ", static_cast<std::uint64_t>(mem->at));

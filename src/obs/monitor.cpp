@@ -184,6 +184,7 @@ void MemoryBudgetMonitor::on_event(MonitorHub& hub, const MonitorEvent& ev) {
                        std::to_string(ceiling_));
     }
     over_[ev.node] = over ? 1 : 0;
+    if (board_) board_->set(ev.node, over);
 }
 
 // ---- SerializedSendMonitor -----------------------------------------------

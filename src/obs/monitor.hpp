@@ -242,15 +242,40 @@ private:
 /// leak that grows across crash/restart epochs reports each excursion,
 /// not every sample. Requires ClusterConfig::memory_sample_every > 0 to
 /// see any events.
+/// Shared memory-pressure signal. The MemoryBudgetMonitor raises a
+/// node's flag while its sampled footprint exceeds the budget and clears
+/// it once the node drops back under; consumers (the call agents'
+/// admission control) poll their own node's flag. One byte per node, no
+/// callback coupling — and deterministic, because producer and consumer
+/// live inside the same simulation. Wire one board per case/cluster;
+/// sharing a board across concurrently-running cases or shard mirrors
+/// would break replay determinism.
+class PressureBoard {
+public:
+    bool over(NodeId u) const { return u < over_.size() && over_[u] != 0; }
+    void set(NodeId u, bool over) {
+        if (u >= over_.size()) over_.resize(u + 1, 0);
+        over_[u] = over ? 1 : 0;
+    }
+
+private:
+    std::vector<std::uint8_t> over_;
+};
+
 class MemoryBudgetMonitor final : public Monitor {
 public:
     explicit MemoryBudgetMonitor(std::uint64_t ceiling_bytes) : ceiling_(ceiling_bytes) {}
     const char* name() const override { return "memory_budget"; }
     void on_event(MonitorHub& hub, const MonitorEvent& ev) override;
 
+    /// Mirrors each node's over/under state onto `board` (see
+    /// PressureBoard) so protocols can shed load under memory pressure.
+    void share_pressure(std::shared_ptr<PressureBoard> board) { board_ = std::move(board); }
+
 private:
     std::uint64_t ceiling_;
     std::vector<std::uint8_t> over_;  ///< Per node, lazily sized.
+    std::shared_ptr<PressureBoard> board_;
 };
 
 /// A1 serialized send: one NCU injects at most one packet per `min_gap`

@@ -204,6 +204,14 @@ std::string chrome_trace_json(const std::vector<sim::TraceRecord>& records,
                 append_instant(out, "violation", kNcuPid, ncu_tid, r.at, args);
                 break;
             }
+            case sim::TraceKind::kCallEvent:
+                append_instant(out, "call", kNcuPid, ncu_tid, r.at,
+                               lin_arg(r.lineage) + ",\"call\":\"" +
+                                   std::to_string(r.a >> 32) + "." +
+                                   std::to_string(r.a & 0xffffffffULL) +
+                                   "\",\"event\":" + std::to_string(r.b) +
+                                   ",\"attempt\":" + std::to_string(r.flag));
+                break;
             case sim::TraceKind::kCustom: {
                 std::string args = lin_arg(r.lineage);
                 if (!r.detail.empty()) args += ",\"detail\":" + json_quote(r.detail);

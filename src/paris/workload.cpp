@@ -1,0 +1,65 @@
+#include "paris/workload.hpp"
+
+#include <cmath>
+
+#include "common/expect.hpp"
+
+namespace fastnet::paris {
+namespace {
+
+/// Rounds a positive draw to whole ticks, clamped to [1, ~2^53] so a
+/// deep Pareto tail can never overflow the simulator clock.
+Tick to_ticks(double x) {
+    if (!(x >= 1.0)) return 1;
+    constexpr double kCeiling = 9.0e15;
+    if (x >= kCeiling) return static_cast<Tick>(kCeiling);
+    return static_cast<Tick>(std::llround(x));
+}
+
+double draw(Rng& rng, ArrivalProcess p, double mean, double alpha) {
+    // uniform01() lies in [0, 1); flip it into (0, 1] so the log/power
+    // transforms below stay finite.
+    const double u = 1.0 - rng.uniform01();
+    switch (p) {
+        case ArrivalProcess::kNone: return mean;
+        case ArrivalProcess::kPoisson: return -mean * std::log(u);
+        case ArrivalProcess::kPareto: {
+            // Scale chosen so the requested mean comes out exactly:
+            // E[X] = xm * alpha / (alpha - 1).
+            const double xm = mean * (alpha - 1.0) / alpha;
+            return xm / std::pow(u, 1.0 / alpha);
+        }
+    }
+    return mean;
+}
+
+}  // namespace
+
+const char* arrival_process_name(ArrivalProcess p) {
+    switch (p) {
+        case ArrivalProcess::kNone: return "none";
+        case ArrivalProcess::kPoisson: return "poisson";
+        case ArrivalProcess::kPareto: return "pareto";
+    }
+    return "?";
+}
+
+Tick draw_gap(Rng& rng, const WorkloadSpec& w) {
+    FASTNET_EXPECTS(w.mean_interarrival > 0);
+    FASTNET_EXPECTS(w.arrivals != ArrivalProcess::kPareto || w.arrival_alpha > 1.0);
+    return to_ticks(draw(rng, w.arrivals, w.mean_interarrival, w.arrival_alpha));
+}
+
+Tick draw_hold(Rng& rng, const WorkloadSpec& w) {
+    FASTNET_EXPECTS(w.mean_hold > 0);
+    FASTNET_EXPECTS(w.holding != ArrivalProcess::kPareto || w.hold_alpha > 1.0);
+    return to_ticks(draw(rng, w.holding, w.mean_hold, w.hold_alpha));
+}
+
+NodeId draw_destination(Rng& rng, NodeId self, NodeId node_count) {
+    FASTNET_EXPECTS(node_count >= 2 && self < node_count);
+    const NodeId d = static_cast<NodeId>(rng.below(node_count - 1));
+    return d >= self ? d + 1 : d;
+}
+
+}  // namespace fastnet::paris

@@ -1,0 +1,59 @@
+// Open-loop call workload generation (ROADMAP item 3: PARIS at
+// production load).
+//
+// Each source node draws inter-arrival gaps and holding times from its
+// own deterministic Rng stream, so the offered load is independent of
+// how the network responds — overload is reached by design, not by
+// accident, and the generator never backs off just because setups are
+// being rejected (the defining property of an open-loop driver).
+//
+// Two arrival families cover the classic regimes: Poisson (memoryless,
+// the Erlang setting) and Pareto (heavy-tailed, bursty — long silences
+// punctuated by arrival clusters that push a link deep past capacity).
+// Everything is drawn through Rng::uniform01() and rounded to whole
+// ticks, so a given (seed, node) stream reproduces byte-identically
+// across thread and shard counts.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace fastnet::paris {
+
+/// Distribution family for inter-arrival gaps and holding times.
+enum class ArrivalProcess : std::uint8_t {
+    kNone,     ///< No generated arrivals (scripted requests only).
+    kPoisson,  ///< Exponential gaps — memoryless arrivals.
+    kPareto,   ///< Heavy-tailed gaps — bursty overload.
+};
+
+const char* arrival_process_name(ArrivalProcess p);
+
+/// Open-loop workload attached to one call agent. Disabled by default
+/// (`arrivals == kNone`): scripted CallRequests keep working unchanged.
+struct WorkloadSpec {
+    ArrivalProcess arrivals = ArrivalProcess::kNone;
+    double mean_interarrival = 0;  ///< Mean ticks between arrivals at one source.
+    double arrival_alpha = 1.5;    ///< Pareto tail index for arrivals (> 1).
+    ArrivalProcess holding = ArrivalProcess::kPoisson;
+    double mean_hold = 200;        ///< Mean holding time in ticks.
+    double hold_alpha = 2.5;       ///< Pareto tail index for holding times (> 1).
+    Tick first_at = 1;             ///< Earliest generated arrival.
+    Tick until = 0;                ///< Generation stops at this tick.
+    std::uint32_t demand = 1;      ///< Capacity units per generated call.
+
+    bool enabled() const { return arrivals != ArrivalProcess::kNone && until > 0; }
+};
+
+/// One inter-arrival gap, always >= 1 tick.
+Tick draw_gap(Rng& rng, const WorkloadSpec& w);
+
+/// One holding time, always >= 1 tick.
+Tick draw_hold(Rng& rng, const WorkloadSpec& w);
+
+/// Uniform destination over [0, node_count) excluding `self`.
+NodeId draw_destination(Rng& rng, NodeId self, NodeId node_count);
+
+}  // namespace fastnet::paris

@@ -21,6 +21,7 @@ const char* trace_kind_name(TraceKind k) {
         case TraceKind::kDup: return "dup";
         case TraceKind::kPhase: return "phase";
         case TraceKind::kViolation: return "violation";
+        case TraceKind::kCallEvent: return "call";
         case TraceKind::kCustom: return "custom";
     }
     return "?";
@@ -197,6 +198,12 @@ std::string format_record(const TraceRecord& r) {
             break;
         case TraceKind::kViolation:
             line += " monitor=" + std::to_string(r.a);
+            break;
+        case TraceKind::kCallEvent:
+            line += " call=" + std::to_string(r.a >> 32) + "." +
+                    std::to_string(r.a & 0xffffffffULL);
+            line += " event=" + std::to_string(r.b);
+            if (r.flag != 0) line += " attempt=" + std::to_string(r.flag);
             break;
         case TraceKind::kStart:
         case TraceKind::kCustom:

@@ -46,10 +46,11 @@ enum class TraceKind : std::uint8_t {
     kDup,         ///< Link-layer duplicate was minted.      a = edge, b = new packet id
     kPhase,       ///< Experiment phase marker.              a = phase id (node = kNoNode)
     kViolation,   ///< Invariant monitor tripped.            a = monitor index, detail = message
+    kCallEvent,   ///< Call state-machine transition.        a = packed call id, b = event code, flag = attempt
     kCustom,      ///< Free-form (detail arena).
 };
 
-inline constexpr unsigned kTraceKindCount = 13;
+inline constexpr unsigned kTraceKindCount = 14;
 
 const char* trace_kind_name(TraceKind k);
 

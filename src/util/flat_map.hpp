@@ -5,9 +5,10 @@
 // chase plus a heap node per key, which at million-packet runs dominated
 // the monitors themselves. FlatMap64 is the compact indexed replacement:
 // one flat power-of-two table, linear probing, no per-entry allocation,
-// amortized O(1) find/insert. There is no erase — the use sites only
-// ever zero values and compact at end-of-run — which keeps probing
-// correct without tombstones.
+// amortized O(1) find/insert. The monitor use sites never erase (they
+// zero values and compact at end-of-run); erase() exists for long-lived
+// churning ledgers (the call agents' per-call records) and uses
+// backward-shift deletion, so probing stays correct without tombstones.
 //
 // Iteration order is the table's probe order and therefore depends on
 // insertion history; callers needing deterministic output collect and
@@ -54,6 +55,34 @@ public:
     }
     const Value* find(std::uint64_t key) const {
         return const_cast<FlatMap64*>(this)->find(key);
+    }
+
+    /// Removes `key` if present; returns whether it was. Backward-shift
+    /// deletion: entries in the probe run after the hole move back when
+    /// their home slot lies at or before it, so lookups never cross a
+    /// vacated slot they would have probed through.
+    bool erase(std::uint64_t key) {
+        if (entries_.empty()) return false;
+        std::size_t i = probe(key);
+        if (!entries_[i].occupied) return false;
+        const std::size_t mask = entries_.size() - 1;
+        std::size_t hole = i;
+        std::size_t j = (hole + 1) & mask;
+        while (entries_[j].occupied) {
+            const std::size_t home =
+                static_cast<std::size_t>(mix(entries_[j].key)) & mask;
+            // Shift j into the hole unless its home lies strictly inside
+            // (hole, j] — i.e. the cyclic distance home->hole is no
+            // larger than home->j.
+            if (((hole - home) & mask) <= ((j - home) & mask)) {
+                entries_[hole] = entries_[j];
+                hole = j;
+            }
+            j = (j + 1) & mask;
+        }
+        entries_[hole] = Entry{};
+        --size_;
+        return true;
     }
 
     std::size_t size() const { return size_; }

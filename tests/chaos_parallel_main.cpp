@@ -24,11 +24,14 @@
 #include "exec/result.hpp"
 #include "exec/sweep_runner.hpp"
 #include "exec/thread_pool.hpp"
+#include "fault/call_oracle.hpp"
 #include "fault/injector.hpp"
 #include "fault/oracle.hpp"
 #include "graph/generators.hpp"
 #include "node/parallel_cluster.hpp"
 #include "obs/monitor.hpp"
+#include "paris/call_setup.hpp"
+#include "paris/workload.hpp"
 #include "topo/topology_maintenance.hpp"
 
 using namespace fastnet;
@@ -144,6 +147,89 @@ int main(int argc, char** argv) {
         const fault::OracleReport rep = fault::check_theorem1(cluster);
         r.ok = rep.ok() && cluster.monitors_ok();
         if (!rep.ok()) std::cerr << r.name << " oracle: " << rep.summary() << "\n";
+        if (!cluster.monitors_ok())
+            std::cerr << r.name << ": " << cluster.violation_count()
+                      << " monitor violation(s)\n";
+        all_ok = all_ok && r.ok;
+        rows.push_back(std::move(r));
+    }
+
+    // --- call workload through the sharded kernel -----------------------
+    // The same hardened call agents + open-loop workload as the
+    // sequential chaos sweep, run through ParallelCluster: timeouts,
+    // backoff retries, leases and refresh packets all cross shard
+    // boundaries, and the CallOracle must still find every unit of
+    // capacity accounted for at quiescence. Call counters fold into the
+    // row so the cross-(shards, threads) byte-diff pins them too.
+    const unsigned call_seeds = seeds >= 10 ? 10 : seeds;
+    for (std::uint64_t seed = 0; seed < call_seeds; ++seed) {
+        auto g = std::make_shared<graph::Graph>(shape_for(seed + 5));
+
+        fault::FaultModel model;
+        model.link_flaps = 3 + static_cast<unsigned>(seed % 3);
+        model.node_crashes = 2;  // crash-mid-setup inside the arrival window
+        model.window_from = 40;
+        model.window_to = 700;
+        model.heal_at = 800;
+        if (seed % 2 == 0) model.loss_ppm = 20'000;
+        if (seed % 4 == 1) model.dup_ppm = 20'000;
+        fault::FaultInjector inj(model, seed ^ 0xca115ULL);
+
+        paris::CallAgentOptions aopt;
+        aopt.link_capacity = 3;
+        aopt.setup_timeout = 24;
+        aopt.max_retries = 3;
+        aopt.retry_backoff = 8;
+        aopt.retry_jitter = 4;
+        aopt.reservation_ttl = 150;
+        aopt.refresh_interval = 50;
+        aopt.max_inflight = 4;
+        aopt.workload.arrivals = (seed % 3 == 2) ? paris::ArrivalProcess::kPareto
+                                                 : paris::ArrivalProcess::kPoisson;
+        aopt.workload.mean_interarrival = 60;
+        aopt.workload.mean_hold = 80;
+        aopt.workload.first_at = 10;
+        aopt.workload.until = 700;
+
+        node::ParallelClusterConfig cfg;
+        cfg.params.hop_delay = 2;
+        cfg.params.ncu_delay = 2;
+        cfg.ncu_delay_min = 1;
+        cfg.seed = seed * 7919 + 1988;
+        cfg.shards = shards;
+        cfg.threads = threads;
+        cfg.net.hop_delay_min = (seed % 2 == 0) ? 1 : -1;
+        cfg.net.loss_ppm = model.loss_ppm;
+        cfg.net.dup_ppm = model.dup_ppm;
+        obs::StandardMonitorOptions mon;
+        cfg.monitor_setup = [mon](obs::MonitorHub& hub) {
+            obs::add_standard_monitors(hub, mon);
+        };
+
+        node::ParallelCluster cluster(*g, paris::make_call_workload(g, aopt), cfg);
+        cluster.start_all(0);
+        cluster.schedule(inj.compile(*g));
+
+        exec::CaseResult r;
+        r.name = "pcalls/seed" + std::to_string(seed);
+        r.index = rows.size();
+        r.completion = cluster.run();
+
+        const cost::Metrics m = cluster.merged_metrics();
+        r.system_calls = m.total_message_system_calls();
+        r.direct_messages = m.total_direct_messages();
+        r.hops = m.net().hops;
+        const cost::CallStats s = paris::fold_call_stats(cluster);
+        r.set("offered", static_cast<double>(s.offered));
+        r.set("accepted", static_cast<double>(s.accepted));
+        r.set("blocked", static_cast<double>(s.shed + s.blocked));
+        r.set("retries", static_cast<double>(s.retries));
+        r.set("reaped", static_cast<double>(s.reaped));
+        r.set("violations", static_cast<double>(cluster.violation_count()));
+
+        const fault::OracleReport calls = fault::check_calls(cluster);
+        r.ok = calls.ok() && cluster.monitors_ok();
+        if (!calls.ok()) std::cerr << r.name << " call oracle: " << calls.summary() << "\n";
         if (!cluster.monitors_ok())
             std::cerr << r.name << ": " << cluster.violation_count()
                       << " monitor violation(s)\n";

@@ -26,12 +26,15 @@
 #include "election/election.hpp"
 #include "exec/result.hpp"
 #include "exec/sweep_runner.hpp"
+#include "fault/call_oracle.hpp"
 #include "fault/injector.hpp"
 #include "fault/oracle.hpp"
 #include "graph/generators.hpp"
 #include "obs/metrics_export.hpp"
 #include "obs/monitor.hpp"
 #include "obs/trace_export.hpp"
+#include "paris/call_setup.hpp"
+#include "paris/workload.hpp"
 #include "topo/router.hpp"
 #include "topo/topology_maintenance.hpp"
 
@@ -272,6 +275,73 @@ int main(int argc, char** argv) {
             o.require_quiescent().require_no_inflight().require_at_most_one_leader();
             r.ok = o.ok();
             if (!o.ok()) std::cerr << "oracle: " << o.report().summary() << "\n";
+        };
+        maybe_trace(c);
+        runner.add(std::move(c));
+    }
+
+    // --- sustained call workload under loss, cuts and crash-mid-setup ---
+    // Hardened PARIS call agents driven by an open-loop Poisson/Pareto
+    // workload while the injector flaps links, drops/dups packets and
+    // crashes nodes inside the arrival window (so setups are cut mid
+    // flight and sources crash with reservations outstanding). The
+    // CallOracle then audits capacity conservation at quiescence:
+    // records == ledger at every node, nothing over capacity, nothing
+    // still reserved, no call left in a non-terminal state.
+    const unsigned call_cases = seeds >= 16 ? 16 : seeds;
+    for (std::uint64_t seed = 0; seed < call_cases; ++seed) {
+        auto g = std::make_shared<graph::Graph>(shape_for(seed + 5));
+
+        fault::FaultModel model;
+        model.link_flaps = 3 + static_cast<unsigned>(seed % 3);
+        model.node_crashes = 2;  // crash-mid-setup: inside the arrival window
+        model.window_from = 40;
+        model.window_to = 700;
+        model.heal_at = 800;
+        if (seed % 2 == 0) model.loss_ppm = 20'000;  // 2% per transmission
+        if (seed % 4 == 1) model.dup_ppm = 20'000;
+        fault::FaultInjector inj(model, seed ^ 0xca115ULL);
+
+        paris::CallAgentOptions aopt;
+        aopt.link_capacity = 3;
+        aopt.setup_timeout = 24;
+        aopt.max_retries = 3;
+        aopt.retry_backoff = 8;
+        aopt.retry_jitter = 4;
+        aopt.reservation_ttl = 150;
+        aopt.refresh_interval = 50;
+        aopt.max_inflight = 4;
+        aopt.workload.arrivals = (seed % 3 == 2) ? paris::ArrivalProcess::kPareto
+                                                 : paris::ArrivalProcess::kPoisson;
+        aopt.workload.mean_interarrival = 60;
+        aopt.workload.mean_hold = 80;  // finite: leases + refresh need quiescence
+        aopt.workload.first_at = 10;
+        aopt.workload.until = 700;
+
+        node::ClusterConfig cfg = base_config();
+        inj.configure(cfg);
+
+        exec::ClusterCase c;
+        c.name = "calls/seed" + std::to_string(seed);
+        c.protocol = paris::make_call_workload(g, aopt);
+        c.config = cfg;
+        c.scenario = inj.compile(*g);
+        c.graph = *g;
+        c.probe = [](node::Cluster& cluster, exec::CaseResult& r) {
+            const fault::OracleReport calls = fault::check_calls(cluster);
+            fault::Oracle o(cluster);
+            o.require_quiescent().require_no_inflight();
+            r.ok = calls.ok() && o.ok();
+            if (!calls.ok()) std::cerr << "call oracle: " << calls.summary() << "\n";
+            if (!o.ok()) std::cerr << "oracle: " << o.report().summary() << "\n";
+            // Fold the call counters into the row so the cross-thread
+            // byte-diff also pins the workload + retry/backoff behaviour.
+            const cost::CallStats s = paris::fold_call_stats(cluster);
+            r.set("offered", static_cast<double>(s.offered));
+            r.set("accepted", static_cast<double>(s.accepted));
+            r.set("blocked", static_cast<double>(s.shed + s.blocked));
+            r.set("retries", static_cast<double>(s.retries));
+            r.set("reaped", static_cast<double>(s.reaped));
         };
         maybe_trace(c);
         runner.add(std::move(c));

@@ -104,10 +104,12 @@ bool load_bench(const std::string& path, BenchRun& out, std::string& error) {
     return true;
 }
 
-/// The same direction rule as scripts/bench_diff.py: throughput units
-/// regress downwards, cost units (ns, ms, allocs, pct...) upwards.
+/// The same direction rule as scripts/bench_diff.py: throughput and
+/// carried-work units ("per_sec", "calls" — e.g. the call benches'
+/// carried load) regress downwards; cost units (ns, ms, allocs, pct,
+/// ticks, retries...) regress upwards.
 bool higher_is_better(const std::string& unit) {
-    return unit.find("per_sec") != std::string::npos;
+    return unit.find("per_sec") != std::string::npos || unit == "calls";
 }
 
 struct Snapshot {

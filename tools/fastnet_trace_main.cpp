@@ -14,12 +14,14 @@
 //   fastnet_trace trace.json --summary            # per-kind counts
 //   fastnet_trace trace.json --reconvergence      # crash/recovery timeline
 //   fastnet_trace trace.json --violations         # violations + causal chains
+//   fastnet_trace trace.json --calls              # per-call leg reconstruction
 //   fastnet_trace trace.json --check              # schema validation only
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -28,6 +30,7 @@
 #include "obs/json.hpp"
 #include "obs/trace_export.hpp"
 #include "obs/trace_query.hpp"
+#include "paris/call_setup.hpp"
 
 using namespace fastnet;
 
@@ -36,8 +39,10 @@ namespace {
 int usage(const char* argv0) {
     std::cerr << "usage: " << argv0
               << " FILE [--check] [--summary] [--reconvergence] [--violations]\n"
-                 "       [--node N] [--kind NAME] [--lineage L] [--from T] [--to T]\n"
-                 "       [--chain L]\n";
+                 "       [--calls] [--node N] [--kind NAME] [--lineage L] [--from T]\n"
+                 "       [--to T] [--chain L]\n"
+                 "  --calls groups call-event records into per-call leg timelines\n"
+                 "  (combines with --node/--from/--to to narrow the set)\n";
     return 2;
 }
 
@@ -76,6 +81,7 @@ int run_check(const std::string& path, const std::string& text) {
 int main(int argc, char** argv) {
     std::string path;
     bool check = false, summary = false, reconvergence = false, violations = false;
+    bool calls = false;
     obs::TraceFilter filter;
     std::optional<std::uint64_t> chain;
 
@@ -90,6 +96,8 @@ int main(int argc, char** argv) {
             reconvergence = true;
         } else if (std::strcmp(arg, "--violations") == 0) {
             violations = true;
+        } else if (std::strcmp(arg, "--calls") == 0) {
+            calls = true;
         } else if (std::strcmp(arg, "--node") == 0 && has_value) {
             filter.node = static_cast<NodeId>(std::strtoull(argv[++i], nullptr, 10));
         } else if (std::strcmp(arg, "--kind") == 0 && has_value) {
@@ -147,6 +155,47 @@ int main(int argc, char** argv) {
     }
     if (reconvergence) {
         std::cout << obs::format_reconvergence(trace.records);
+        return 0;
+    }
+    if (calls) {
+        // Per-call leg reconstruction: every call-event record carries
+        // the packed call id in `a` (source << 32 | seq), the CallEvent
+        // code in `b` and the attempt number in `flag`, so grouping by
+        // `a` rebuilds each call's full life across every node it
+        // touched — offered, placed, per-hop reservations, rejects,
+        // retries, activation, release. Ring order is chronological.
+        obs::TraceFilter cf = filter;
+        cf.kind = sim::TraceKind::kCallEvent;
+        const auto found = obs::filter_records(trace.records, cf);
+        if (found.empty()) {
+            std::cout << "no call events recorded\n";
+            return 0;
+        }
+        std::vector<std::uint64_t> order;
+        std::map<std::uint64_t, std::vector<const sim::TraceRecord*>> by_call;
+        for (const auto& r : found) {
+            auto& legs = by_call[r.a];
+            if (legs.empty()) order.push_back(r.a);
+            legs.push_back(&r);
+        }
+        std::cout << order.size() << " call(s), " << found.size()
+                  << " call event(s)\n";
+        for (const std::uint64_t key : order) {
+            const auto& legs = by_call[key];
+            const sim::TraceRecord& last = *legs.back();
+            std::cout << "\ncall " << static_cast<NodeId>(key >> 32) << "."
+                      << (key & 0xffffffffULL) << " — " << legs.size()
+                      << " leg(s), last "
+                      << paris::call_event_name(
+                             static_cast<paris::CallEvent>(last.b))
+                      << " at t=" << last.at << "\n";
+            for (const sim::TraceRecord* r : legs)
+                std::cout << "  t=" << r->at << " node=" << r->node << " "
+                          << paris::call_event_name(
+                                 static_cast<paris::CallEvent>(r->b))
+                          << " attempt=" << static_cast<unsigned>(r->flag)
+                          << "\n";
+        }
         return 0;
     }
     if (violations) {
