@@ -18,6 +18,14 @@
 //
 // Plus allocs_per_hop_trace_disabled via the global operator-new counter
 // (target: 0 — the same invariant Alloc.SteadyStateHopPath enforces).
+//
+// This PR adds the always-on handler profiler (cost::Profiler) to the
+// gate: a two-node ping-pong cluster prices one handler invocation with
+// the profiler recording versus the identical cluster with registration
+// off (the hook still runs, it just hits the kNoProtocol no-op). Gated
+// in-binary: overhead <= 5% and zero steady-state allocations per
+// invocation — FASTNET_ENSURES aborts the bench otherwise.
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <new>
@@ -105,6 +113,77 @@ HopMeasurement measure_hops(std::shared_ptr<sim::Trace> trace, Tick sample_windo
     return {ns / hops, static_cast<double>(allocs_one_send) / hops};
 }
 
+// ---- profiler invocation rig -------------------------------------------
+
+constexpr int kVolley = 2048;
+
+/// Two nodes exchanging a packet kVolley times: every message is one
+/// hop plus one delivery-handler invocation, so the per-invocation cost
+/// isolates the NCU system-call path the profiler hooks.
+struct PingPong final : public node::Protocol {
+    const char* name() const override { return "pingpong"; }
+
+    void on_start(node::Context& ctx) override {
+        remaining_ = kVolley;
+        const auto links = ctx.links();
+        ctx.send({hw::AnrLabel::normal(links[0].port),
+                  hw::AnrLabel::normal(hw::kNcuPort)},
+                 nullptr);
+    }
+    void on_message(node::Context& ctx, const hw::Delivery& d) override {
+        if (ctx.self() == 0 && --remaining_ <= 0) return;
+        ctx.reply(d, nullptr);
+    }
+    std::size_t memory_bytes() const override { return sizeof(*this); }
+
+private:
+    int remaining_ = 0;
+};
+
+struct ProfilerMeasurement {
+    double ns_on = 0, ns_off = 0;          ///< Per invocation, min over rounds.
+    double allocs_on = 0, allocs_off = 0;  ///< Per invocation, one warm volley.
+    std::uint64_t profiled_invocations = 0;
+};
+
+/// Prices the profiler hook on ONE cluster, toggling it between
+/// alternating timing rounds: two separately constructed clusters
+/// differ by more machine noise (allocator layout, cache aliasing) than
+/// the few-ns hook, so only a same-cluster A/B isolates the delta.
+ProfilerMeasurement measure_profiler() {
+    node::Cluster c(graph::make_path(2),
+                    [](NodeId) { return std::make_unique<PingPong>(); });
+    auto volley = [&] {
+        c.start(0, c.simulator().now() + 1);
+        c.run();
+    };
+    volley();  // warm pools/caches
+    ProfilerMeasurement m;
+    const double invocations = 2.0 * kVolley;
+    auto count_allocs = [&] {
+        const std::uint64_t before = g_alloc_count.load();
+        volley();
+        return static_cast<double>(g_alloc_count.load() - before) / invocations;
+    };
+    m.allocs_on = count_allocs();
+    c.set_profile(false);
+    m.allocs_off = count_allocs();
+    double on = 0, off = 0;
+    for (int round = 0; round < 4; ++round) {
+        c.set_profile(true);
+        const double t_on = bench::min_time_ns(volley) / invocations;
+        c.set_profile(false);
+        const double t_off = bench::min_time_ns(volley) / invocations;
+        on = round == 0 ? t_on : std::min(on, t_on);
+        off = round == 0 ? t_off : std::min(off, t_off);
+    }
+    m.ns_on = on;
+    m.ns_off = off;
+    for (const auto& e : c.metrics().profiler().entries())
+        m.profiled_invocations += e.invocations();
+    return m;
+}
+
 }  // namespace
 
 int main() {
@@ -151,6 +230,23 @@ int main() {
     out.add("allocs_per_hop_no_trace", none.allocs_per_hop, "allocs");
     out.add("allocs_per_hop_trace_disabled", disabled.allocs_per_hop, "allocs");
     out.add("allocs_per_hop_monitors_empty", empty_hub.allocs_per_hop, "allocs");
+
+    // Always-on handler profiler: same-cluster A/B of the hook.
+    const ProfilerMeasurement prof = measure_profiler();
+    const double profiler_pct = 100.0 * (prof.ns_on - prof.ns_off) / prof.ns_off;
+    out.add("invocation_ns_profiler_off", prof.ns_off, "ns");
+    out.add("invocation_ns_profiler_on", prof.ns_on, "ns");
+    out.add("profiler_overhead_pct", profiler_pct, "pct");
+    // The rig's reply path allocates (fresh reverse-route headers); the
+    // profiler itself must add nothing on top of that baseline.
+    out.add("profiler_allocs_per_invocation", prof.allocs_on - prof.allocs_off, "allocs");
+    out.add("profiler_invocations", static_cast<double>(prof.profiled_invocations),
+            "invocations");
+    FASTNET_ENSURES_MSG(prof.profiled_invocations > 0,
+                        "profiler recorded no invocations");
+    FASTNET_ENSURES_MSG(profiler_pct <= 5.0, "profiler overhead above the 5% gate");
+    FASTNET_ENSURES_MSG(prof.allocs_on == prof.allocs_off,
+                        "profiler must not allocate in steady state");
     out.write();
     return 0;
 }

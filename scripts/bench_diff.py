@@ -26,7 +26,7 @@ def load(path):
 
 
 def higher_is_better(unit):
-    return "per_sec" in unit or unit == "calls"
+    return "per_sec" in unit or unit in ("calls", "invocations")
 
 
 def main():

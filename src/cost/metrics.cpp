@@ -73,6 +73,63 @@ void Sampling::merge_from(const Sampling& o) {
     std::sort(phase_calls_.begin(), phase_calls_.end());
 }
 
+const char* handler_kind_name(HandlerKind k) {
+    switch (k) {
+        case HandlerKind::kStart: return "start";
+        case HandlerKind::kRestart: return "restart";
+        case HandlerKind::kDelivery: return "delivery";
+        case HandlerKind::kLink: return "link";
+        case HandlerKind::kTimer: return "timer";
+    }
+    return "?";
+}
+
+std::uint16_t Profiler::register_protocol(std::string_view name) {
+    for (std::size_t i = 0; i < entries_.size(); ++i)
+        if (entries_[i].name == name) return static_cast<std::uint16_t>(i);
+    FASTNET_EXPECTS(entries_.size() < kNoProtocol);
+    entries_.push_back(Entry{std::string(name), {}});
+    return static_cast<std::uint16_t>(entries_.size() - 1);
+}
+
+bool Profiler::any() const {
+    for (const Entry& e : entries_)
+        if (e.invocations() != 0) return true;
+    return false;
+}
+
+std::vector<std::size_t> Profiler::sorted() const {
+    std::vector<std::size_t> order(entries_.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [this](std::size_t x, std::size_t y) {
+        return entries_[x].name < entries_[y].name;
+    });
+    return order;
+}
+
+void Profiler::merge_from(const Profiler& o) {
+    for (const Entry& from : o.entries_) {
+        const std::uint16_t id = register_protocol(from.name);
+        Entry& into = entries_[id];
+        for (unsigned k = 0; k < kHandlerKindCount; ++k)
+            into.by_kind[k].merge_from(from.by_kind[k]);
+    }
+}
+
+void Profiler::reset() {
+    for (Entry& e : entries_) e.by_kind = {};
+}
+
+void TraceStats::merge_from(const TraceStats& o) {
+    total_recorded += o.total_recorded;
+    dropped += o.dropped;
+    detail_dropped += o.detail_dropped;
+    spilled_records += o.spilled_records;
+    spill_segments += o.spill_segments;
+    spilled_bytes += o.spilled_bytes;
+    resident_bytes += o.resident_bytes;
+}
+
 void CallStats::merge_from(const CallStats& o) {
     offered += o.offered;
     shed += o.shed;
@@ -113,6 +170,8 @@ void Metrics::merge_from(const Metrics& o) {
     net_.drops_injected += o.net_.drops_injected;
     net_.dup_copies += o.net_.dup_copies;
     calls_.merge_from(o.calls_);
+    profiler_.merge_from(o.profiler_);
+    trace_stats_.merge_from(o.trace_stats_);
     if (sampling_ != nullptr && o.sampling_ != nullptr) sampling_->merge_from(*o.sampling_);
 }
 
@@ -131,6 +190,8 @@ void Metrics::reset() {
     for (NodeCounters& c : nodes_) c = NodeCounters{};
     net_ = NetCounters{};
     calls_ = CallStats{};
+    profiler_.reset();  // keeps registrations; clears the histograms
+    trace_stats_ = TraceStats{};
     phase_ = 0;
     memory_latest_ = MemorySample{};
     memory_samples_ = 0;

@@ -8,9 +8,12 @@
 // the paper's headline quantities and diagnostic detail.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -71,6 +74,11 @@ struct MemoryBreakdown {
     /// allocator visibility, NOT added into total().
     std::uint64_t arena_used = 0;
     std::uint64_t arena_reserved = 0;
+    /// Resident trace footprint (ring + detail arena capacity; see
+    /// sim::Trace::resident_bytes). Observability memory, reported
+    /// separately from the per-node total() so traced and untraced runs
+    /// gate the same bytes/node quantity.
+    std::uint64_t trace = 0;
 
     std::uint64_t total() const { return graph + network + runtimes + protocols; }
 };
@@ -180,6 +188,86 @@ struct CallStats {
     void merge_from(const CallStats& o);
 };
 
+/// Which NCU handler a profiled invocation ran (mirrors
+/// obs::MonitorEvent::InvokeKind — cost:: stays below obs:: in the layer
+/// order, so the enum is duplicated here).
+enum class HandlerKind : std::uint8_t { kStart = 0, kRestart, kDelivery, kLink, kTimer };
+
+inline constexpr unsigned kHandlerKindCount = 5;
+
+const char* handler_kind_name(HandlerKind k);
+
+/// Always-on sampling profiler: per-protocol × per-handler-kind busy-tick
+/// histograms, fed by NodeRuntime on every completed handler. The hot
+/// path is one bounds check plus a LogHistogram::add — no allocation, no
+/// branch on configuration — so it stays on in production runs (gated ≤5%
+/// overhead in bench_obs_overhead). Protocols register once at cluster
+/// construction; an unregistered runtime (id kNoProtocol) records
+/// nothing.
+class Profiler {
+public:
+    static constexpr std::uint16_t kNoProtocol = 0xffff;
+
+    struct Entry {
+        std::string name;
+        std::array<LogHistogram, kHandlerKindCount> by_kind;
+
+        std::uint64_t invocations() const {
+            std::uint64_t total = 0;
+            for (const LogHistogram& h : by_kind) total += h.count();
+            return total;
+        }
+        Tick busy_ticks() const {
+            std::uint64_t total = 0;
+            for (const LogHistogram& h : by_kind) total += h.sum();
+            return static_cast<Tick>(total);
+        }
+    };
+
+    /// Registers (or finds) the entry for `name`; returns its id.
+    std::uint16_t register_protocol(std::string_view name);
+
+    /// Hot path: counts one completed handler invocation.
+    void record(std::uint16_t id, HandlerKind kind, Tick busy) {
+        if (id >= entries_.size()) return;
+        entries_[id].by_kind[static_cast<unsigned>(kind)].add(
+            static_cast<std::uint64_t>(busy < 0 ? 0 : busy));
+    }
+
+    const std::vector<Entry>& entries() const { return entries_; }
+    bool any() const;
+
+    /// Entry indices sorted by protocol name — per-shard registration
+    /// order depends on the partition, names do not, so serialization
+    /// goes through this view.
+    std::vector<std::size_t> sorted() const;
+
+    /// Accumulates another profiler, matching entries by name (exact:
+    /// all-integer histograms).
+    void merge_from(const Profiler& o);
+    void reset();
+
+private:
+    std::vector<Entry> entries_;
+};
+
+/// Trace-ledger totals folded in by the cluster at the end of a run —
+/// the explicit answer to "did the ring silently truncate?" plus the
+/// spill subsystem's footprint (see sim/trace_spill.hpp). Serialized as
+/// the "trace" section of metrics JSON.
+struct TraceStats {
+    std::uint64_t total_recorded = 0;
+    std::uint64_t dropped = 0;          ///< Lost to ring overwrite.
+    std::uint64_t detail_dropped = 0;   ///< Detail strings the arena refused.
+    std::uint64_t spilled_records = 0;
+    std::uint64_t spill_segments = 0;
+    std::uint64_t spilled_bytes = 0;
+    std::uint64_t resident_bytes = 0;   ///< Ring + arena capacity at fold time.
+
+    bool any() const { return total_recorded != 0 || dropped != 0 || detail_dropped != 0; }
+    void merge_from(const TraceStats& o);
+};
+
 /// One experiment's ledger; owned by the Cluster, shared by reference.
 class Metrics {
 public:
@@ -232,6 +320,14 @@ public:
     CallStats& calls() { return calls_; }
     const CallStats& calls() const { return calls_; }
 
+    // ---- handler profiler (always on; fed by NodeRuntime) -------------
+    Profiler& profiler() { return profiler_; }
+    const Profiler& profiler() const { return profiler_; }
+
+    // ---- trace ledger (fed by the cluster at end of run) --------------
+    void set_trace_stats(const TraceStats& s) { trace_stats_ = s; }
+    const TraceStats& trace_stats() const { return trace_stats_; }
+
     // ---- memory ledger (optional; fed by Cluster::sample_memory) ------
     /// Records one observation: keeps it as the latest, bumps the sample
     /// count, tracks the peak per-node footprint seen, and (when windowed
@@ -248,6 +344,8 @@ private:
     std::vector<NodeCounters> nodes_;
     NetCounters net_;
     CallStats calls_;
+    Profiler profiler_;
+    TraceStats trace_stats_;
     std::unique_ptr<Sampling> sampling_;
     std::uint64_t phase_ = 0;
     MemorySample memory_latest_;

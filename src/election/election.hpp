@@ -90,6 +90,7 @@ struct LeaderToken final : hw::TypedPayload<LeaderToken> {
 
 class ElectionProtocol final : public node::Protocol {
 public:
+    const char* name() const override { return "election"; }
     explicit ElectionProtocol(ElectionOptions options = {});
 
     void on_start(node::Context& ctx) override;

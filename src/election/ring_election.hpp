@@ -30,6 +30,7 @@ namespace fastnet::elect {
 /// worst case.
 class ChangRobertsProtocol final : public node::Protocol {
 public:
+    const char* name() const override { return "chang_roberts"; }
     explicit ChangRobertsProtocol(std::uint64_t priority) : priority_(priority) {}
 
     void on_start(node::Context& ctx) override;
@@ -54,6 +55,7 @@ private:
 /// best case, random priorities exhibit the Theta(n log n) behaviour.
 class HirschbergSinclairProtocol final : public node::Protocol {
 public:
+    const char* name() const override { return "hirschberg_sinclair"; }
     explicit HirschbergSinclairProtocol(std::uint64_t priority) : priority_(priority) {}
 
     void on_start(node::Context& ctx) override;

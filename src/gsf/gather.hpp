@@ -45,6 +45,7 @@ struct GatherSpec {
 /// Per-node protocol.
 class TreeGatherProtocol final : public node::Protocol {
 public:
+    const char* name() const override { return "tree_gather"; }
     /// `spec` is shared by all nodes (immutable).
     explicit TreeGatherProtocol(std::shared_ptr<const GatherSpec> spec);
 

@@ -2,6 +2,18 @@
 
 namespace fastnet::node {
 
+cost::TraceStats gather_trace_stats(const sim::Trace& trace) {
+    cost::TraceStats s;
+    s.total_recorded = trace.total_recorded();
+    s.dropped = trace.dropped();
+    s.detail_dropped = trace.detail_dropped();
+    s.spilled_records = trace.spilled_records();
+    s.spill_segments = trace.spill_segments();
+    s.spilled_bytes = trace.spilled_bytes();
+    s.resident_bytes = trace.resident_bytes();
+    return s;
+}
+
 Cluster::Cluster(graph::Graph g, ProtocolFactory factory, ClusterConfig config)
     : graph_(std::move(g)),
       factory_(std::move(factory)),
@@ -32,6 +44,9 @@ Cluster::Cluster(graph::Graph g, ProtocolFactory factory, ClusterConfig config)
                                         config.ncu_delay_min, config.free_multisend, &arena_);
         ++runtime_count_;  // tracks constructed prefix: ~Cluster after a throw
         runtimes_[u].set_trace(config.trace);
+        if (config.profile)
+            runtimes_[u].set_profile_id(
+                metrics_->profiler().register_protocol(runtimes_[u].protocol().name()));
     }
     net_->set_ncu_dispatch(
         [this](NodeId at, const hw::Delivery& d) { runtimes_[at].on_delivery(d); });
@@ -88,6 +103,15 @@ bool Cluster::crashed(NodeId u) const {
 
 void Cluster::stall_node(NodeId u, Tick extra) { runtime(u).set_stall(extra); }
 
+void Cluster::set_profile(bool on) {
+    // register_protocol dedups by name, so re-enabling lands on the
+    // entries the construction-time registration created.
+    for (NodeId u = 0; u < runtime_count_; ++u)
+        runtimes_[u].set_profile_id(
+            on ? metrics_->profiler().register_protocol(runtimes_[u].protocol().name())
+               : cost::Profiler::kNoProtocol);
+}
+
 void Cluster::sample_memory() {
     cost::MemorySample s;
     s.at = sim_.now();
@@ -95,6 +119,7 @@ void Cluster::sample_memory() {
     s.breakdown.network = net_->memory_bytes();
     s.breakdown.arena_used = arena_.bytes_used();
     s.breakdown.arena_reserved = arena_.bytes_reserved();
+    if (trace_) s.breakdown.trace = trace_->resident_bytes();
     const bool watch = monitors_ && monitors_->active();
     for (NodeId u = 0; u < runtime_count_; ++u) {
         const std::uint64_t rt = runtimes_[u].memory_bytes();
@@ -131,10 +156,30 @@ Tick Cluster::run() {
     } else {
         sim_.run();
     }
-    // Quiescence reached: conservation-style monitors can close their
-    // books (anything still "in flight" now is a real leak).
-    if (monitors_ && monitors_->active()) monitors_->finish(sim_.now());
+    finish_observability();
     return sim_.now();
+}
+
+void Cluster::finish_observability() {
+    if (monitors_ && monitors_->active()) {
+        // Overflowed trace buffers are a violation, not a silent
+        // truncation: surface the counts before monitors close.
+        if (trace_ && (trace_->dropped() != 0 || trace_->detail_dropped() != 0)) {
+            obs::MonitorEvent ev;
+            ev.kind = obs::MonitorEvent::Kind::kTraceDrop;
+            ev.at = sim_.now();
+            ev.a = trace_->dropped();
+            ev.b = trace_->detail_dropped();
+            monitors_->dispatch(ev);
+        }
+        // Quiescence reached: conservation-style monitors can close
+        // their books (anything still "in flight" now is a real leak).
+        monitors_->finish(sim_.now());
+    }
+    if (trace_) {
+        if (trace_->spill_enabled()) trace_->finish_spill();
+        metrics_->set_trace_stats(gather_trace_stats(*trace_));
+    }
 }
 
 Tick Cluster::run_until(Tick until) {

@@ -51,10 +51,21 @@ struct ClusterConfig {
     /// attached) — what MemoryBudgetMonitor watches. Sampling injects no
     /// simulation events, so the event order of the run is untouched.
     Tick memory_sample_every = 0;
+    /// The always-on handler profiler (cost::Profiler): per-protocol,
+    /// per-handler-kind busy-tick histograms in the metrics "profile"
+    /// section. Off exists only so bench_obs_overhead can price the
+    /// profiler against an otherwise identical cluster.
+    bool profile = true;
 };
 
 /// Creates the protocol instance for one node.
 using ProtocolFactory = std::function<std::unique_ptr<Protocol>(NodeId)>;
+
+/// Folds one trace's bookkeeping (total recorded, drops, spill volume,
+/// resident footprint) into the counter block metrics JSON exposes as
+/// the "trace" section. Used by Cluster and ParallelCluster at end of
+/// run; callers with their own Trace can reuse it.
+cost::TraceStats gather_trace_stats(const sim::Trace& trace);
 
 class Cluster {
 public:
@@ -121,6 +132,12 @@ public:
     /// what a sample feeds.
     void sample_memory();
 
+    /// Toggles the handler profiler hook at runtime. Exists for
+    /// bench_obs_overhead, which prices the profiler by measuring the
+    /// *same* cluster in both states (two separately constructed
+    /// clusters differ by more machine noise than the hook costs).
+    void set_profile(bool on);
+
     /// The bump arena backing the runtime array and link tables.
     const util::Arena& arena() const { return arena_; }
 
@@ -146,6 +163,10 @@ private:
         FASTNET_EXPECTS(u < runtime_count_);
         return runtimes_[u];
     }
+
+    /// End-of-run sweep: kTraceDrop dispatch for overflowed buffers,
+    /// monitor finish, spill finalization, trace stats into metrics.
+    void finish_observability();
 
     sim::Simulator sim_;
     graph::Graph graph_;

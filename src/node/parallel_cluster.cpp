@@ -1,7 +1,10 @@
 #include "node/parallel_cluster.hpp"
 
 #include <algorithm>
+#include <filesystem>
 #include <iterator>
+
+#include "sim/trace_spill.hpp"
 
 namespace fastnet::node {
 
@@ -15,10 +18,7 @@ Tick min_hop_delay(const ModelParams& params, const hw::NetworkConfig& net) {
     return params.hop_delay;
 }
 
-/// kNoNode sorts last so network-scope records trail their tick.
-std::uint64_t node_sort_key(NodeId node) {
-    return node == kNoNode ? ~std::uint64_t{0} : node;
-}
+using sim::trace_node_sort_key;
 
 }  // namespace
 
@@ -75,8 +75,23 @@ ParallelCluster::ParallelCluster(graph::Graph g, ProtocolFactory factory,
         auto sh = std::make_unique<Shard>();
         sh->metrics = std::make_unique<cost::Metrics>(n);
         if (config_.sample_window > 0) sh->metrics->enable_sampling(config_.sample_window);
-        if (config_.trace_capacity > 0)
-            sh->trace = std::make_shared<sim::Trace>(config_.trace_capacity);
+        if (config_.trace_capacity > 0) {
+            sh->trace = std::make_shared<sim::Trace>(config_.trace_capacity,
+                                                     config_.trace_detail_capacity);
+            if (!config_.trace_spill_dir.empty()) {
+                if (s == 0) {
+                    std::error_code ec;
+                    std::filesystem::create_directories(config_.trace_spill_dir, ec);
+                }
+                sim::TraceSpillConfig spill;
+                spill.path = sim::spill_shard_path(config_.trace_spill_dir, s);
+                spill.shard = s;
+                spill.resident_budget_bytes = config_.trace_budget_bytes;
+                std::string error;
+                FASTNET_EXPECTS_MSG(sh->trace->enable_spill(spill, &error),
+                                    "trace spill enable failed");
+            }
+        }
         if (config_.monitor_setup) {
             sh->monitors = std::make_shared<obs::MonitorHub>();
             config_.monitor_setup(*sh->monitors);
@@ -108,6 +123,8 @@ ParallelCluster::ParallelCluster(graph::Graph g, ProtocolFactory factory,
                                                     config_.ncu_delay_min,
                                                     config_.free_multisend);
             rt->set_trace(sh->trace);
+            rt->set_profile_id(
+                sh->metrics->profiler().register_protocol(rt->protocol().name()));
             sh->net->set_ncu_sink(
                 u, [raw = rt.get()](const hw::Delivery& d) { raw->on_delivery(d); });
             sh->runtimes[u] = std::move(rt);
@@ -318,8 +335,29 @@ void ParallelCluster::window_loop(Tick limit) {
 Tick ParallelCluster::run() {
     window_loop(kNever);
     const Tick done = now();
-    for (auto& sh : shards_)
-        if (sh->monitors != nullptr && sh->monitors->active()) sh->monitors->finish(done);
+    for (auto& sh : shards_) {
+        if (sh->monitors == nullptr || !sh->monitors->active()) continue;
+        // Overflowed trace buffers surface as an explicit violation
+        // before the books close, never as a silent truncation.
+        if (sh->trace != nullptr &&
+            (sh->trace->dropped() != 0 || sh->trace->detail_dropped() != 0)) {
+            obs::MonitorEvent ev;
+            ev.kind = obs::MonitorEvent::Kind::kTraceDrop;
+            ev.at = done;
+            ev.a = sh->trace->dropped();
+            ev.b = sh->trace->detail_dropped();
+            sh->monitors->dispatch(ev);
+        }
+        sh->monitors->finish(done);
+    }
+    // Spill finalization runs after the monitors so their kViolation
+    // records land in the file; trace stats then fold into each shard's
+    // ledger (merged_metrics sums them).
+    for (auto& sh : shards_) {
+        if (sh->trace == nullptr) continue;
+        if (sh->trace->spill_enabled()) sh->trace->finish_spill();
+        sh->metrics->set_trace_stats(gather_trace_stats(*sh->trace));
+    }
     return done;
 }
 
@@ -366,7 +404,7 @@ std::vector<sim::TraceRecord> ParallelCluster::merged_trace() const {
     std::stable_sort(all.begin(), all.end(),
                      [](const sim::TraceRecord& a, const sim::TraceRecord& b) {
                          if (a.at != b.at) return a.at < b.at;
-                         return node_sort_key(a.node) < node_sort_key(b.node);
+                         return trace_node_sort_key(a.node) < trace_node_sort_key(b.node);
                      });
     return all;
 }
@@ -392,6 +430,28 @@ std::uint64_t ParallelCluster::trace_detail_dropped() const {
     return n;
 }
 
+std::uint64_t ParallelCluster::trace_spilled_records() const {
+    std::uint64_t n = 0;
+    for (const auto& sh : shards_)
+        if (sh->trace != nullptr) n += sh->trace->spilled_records();
+    return n;
+}
+
+std::size_t ParallelCluster::trace_resident_bytes_peak() const {
+    std::size_t peak = 0;
+    for (const auto& sh : shards_)
+        if (sh->trace != nullptr) peak = std::max(peak, sh->trace->resident_bytes());
+    return peak;
+}
+
+std::vector<std::string> ParallelCluster::spill_paths() const {
+    std::vector<std::string> out;
+    for (const auto& sh : shards_)
+        if (sh->trace != nullptr && !sh->trace->spill_path().empty())
+            out.push_back(sh->trace->spill_path());
+    return out;
+}
+
 std::vector<obs::Violation> ParallelCluster::merged_violations() const {
     std::vector<obs::Violation> all;
     for (const auto& sh : shards_) {
@@ -402,7 +462,7 @@ std::vector<obs::Violation> ParallelCluster::merged_violations() const {
     std::stable_sort(all.begin(), all.end(),
                      [](const obs::Violation& a, const obs::Violation& b) {
                          if (a.at != b.at) return a.at < b.at;
-                         return node_sort_key(a.node) < node_sort_key(b.node);
+                         return trace_node_sort_key(a.node) < trace_node_sort_key(b.node);
                      });
     return all;
 }

@@ -70,8 +70,25 @@ struct ParallelClusterConfig {
     unsigned threads = 0;
     /// Per-shard trace ring capacity; 0 = tracing off. Size generously:
     /// merged exports are only byte-stable across shard counts while no
-    /// ring drops records (drops depend on the partition).
+    /// ring drops records (drops depend on the partition) — or enable
+    /// spill (below), which never drops records.
     std::size_t trace_capacity = 0;
+    /// Per-shard trace detail-arena capacity in bytes (violation texts,
+    /// custom records). Size generously for byte-stable merged exports:
+    /// a full arena drops details, and which details drop depends on the
+    /// partition and (with spill) the drain cadence.
+    std::size_t trace_detail_capacity = 1 << 16;
+    /// When non-empty, each shard's trace spills to
+    /// `<trace_spill_dir>/shard-NNNN.fnspill` instead of overwriting its
+    /// ring (sim/trace_spill.hpp): resident trace memory stays bounded
+    /// while the full record stream lands on disk, and
+    /// obs::SpillMerge over the directory reproduces merged_trace()
+    /// byte-identically at any shard x thread count. The directory is
+    /// created if missing. Requires trace_capacity > 0.
+    std::string trace_spill_dir;
+    /// Optional per-shard resident-byte budget (ring + detail arena)
+    /// forwarded to sim::TraceSpillConfig::resident_budget_bytes.
+    std::size_t trace_budget_bytes = 0;
     /// As ClusterConfig::sample_window, accumulated per shard and merged.
     Tick sample_window = 0;
     /// Monitor installer, invoked once per shard hub; null = no
@@ -140,6 +157,14 @@ public:
     std::uint64_t trace_total_recorded() const;
     std::uint64_t trace_dropped() const;
     std::uint64_t trace_detail_dropped() const;
+    /// Records drained to spill files so far, summed over shards.
+    std::uint64_t trace_spilled_records() const;
+    /// Largest per-shard resident trace footprint (ring + detail arena
+    /// capacity) — the quantity trace_budget_bytes bounds.
+    std::size_t trace_resident_bytes_peak() const;
+    /// The per-shard spill files (empty without trace_spill_dir), in
+    /// shard order. Finalized (trailer written) once run() returns.
+    std::vector<std::string> spill_paths() const;
 
     /// All shards' violations, sorted by (at, node, shard).
     std::vector<obs::Violation> merged_violations() const;

@@ -84,6 +84,12 @@ class Protocol {
 public:
     virtual ~Protocol() = default;
 
+    /// Stable identifier for the always-on handler profiler
+    /// (cost::Profiler): invocations of every instance sharing a name
+    /// aggregate into one per-handler-kind histogram set. Must return a
+    /// string with static lifetime.
+    virtual const char* name() const { return "protocol"; }
+
     /// Spontaneous start (the paper's START message from outside).
     virtual void on_start(Context&) {}
 

@@ -213,6 +213,10 @@ void NodeRuntime::complete(Work w, Tick busy) {
         protocol_->on_timer(*this, t->cookie);
         current_lineage_ = 0;
     }
+    // Always-on profiler: InvokeKind and cost::HandlerKind share value
+    // order, so the cast is the whole mapping.
+    net_.metrics().profiler().record(
+        profile_id_, static_cast<cost::HandlerKind>(invoke_kind), busy);
     if (obs::MonitorHub* hub = net_.monitors(); hub != nullptr && hub->active()) {
         obs::MonitorEvent ev;
         ev.kind = obs::MonitorEvent::Kind::kInvoke;

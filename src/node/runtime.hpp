@@ -49,6 +49,14 @@ public:
     /// Attaches an observational trace (may be null).
     void set_trace(std::shared_ptr<sim::Trace> trace) { trace_ = std::move(trace); }
 
+    /// Routes this runtime's handler completions into the always-on
+    /// profiler (cost::Metrics::profiler) under the given protocol id
+    /// (from Profiler::register_protocol). kNoProtocol (the default)
+    /// records nothing. Survives crash/restart — the fresh instance
+    /// keeps the same protocol name.
+    void set_profile_id(std::uint16_t id) { profile_id_ = id; }
+    std::uint16_t profile_id() const { return profile_id_; }
+
     /// Enqueues a spontaneous start at simulated time `at`.
     void request_start(Tick at);
 
@@ -139,6 +147,7 @@ private:
     Tick extra_busy_ = 0;
     Tick stall_extra_ = 0;
     bool crashed_ = false;
+    std::uint16_t profile_id_ = cost::Profiler::kNoProtocol;
     /// Bumped on every crash. Every scheduled continuation (handler
     /// completion, deferred A1 send, timer fire, scripted start) carries
     /// the incarnation it was scheduled under and is dropped if the node

@@ -98,6 +98,7 @@ std::string metrics_json(const cost::Metrics& metrics, const std::string& name) 
         append_kv(out, ",\"protocols\": ", mem->breakdown.protocols);
         append_kv(out, ",\"arena_used\": ", mem->breakdown.arena_used);
         append_kv(out, ",\"arena_reserved\": ", mem->breakdown.arena_reserved);
+        append_kv(out, ",\"trace\": ", mem->breakdown.trace);
         append_kv(out, ",\"total\": ", mem->breakdown.total());
         append_kv(out, ",\"max_node_bytes\": ", mem->max_node_bytes);
         out += ",\"max_node\": ";
@@ -107,6 +108,49 @@ std::string metrics_json(const cost::Metrics& metrics, const std::string& name) 
         out += "}";
     } else {
         out += ",\n\"memory\": null";
+    }
+    if (const cost::TraceStats& t = metrics.trace_stats(); t.any()) {
+        out += ",\n\"trace\": {";
+        append_kv(out, "\"total_recorded\": ", t.total_recorded);
+        append_kv(out, ",\"dropped\": ", t.dropped);
+        append_kv(out, ",\"detail_dropped\": ", t.detail_dropped);
+        append_kv(out, ",\"spilled_records\": ", t.spilled_records);
+        append_kv(out, ",\"spill_segments\": ", t.spill_segments);
+        append_kv(out, ",\"spilled_bytes\": ", t.spilled_bytes);
+        // resident_bytes stays programmatic (gather_trace_stats): ring
+        // growth is amortized, so the value depends on the partition —
+        // serializing it would break cross-shard-count byte identity.
+        out += "}";
+    } else {
+        out += ",\n\"trace\": null";
+    }
+    if (const cost::Profiler& p = metrics.profiler(); p.any()) {
+        // Per-protocol handler profile, sorted by name: per-shard
+        // registration order depends on the partition, names do not.
+        out += ",\n\"profile\": [\n";
+        const std::vector<std::size_t> order = p.sorted();
+        bool first_entry = true;
+        for (const std::size_t idx : order) {
+            const cost::Profiler::Entry& e = p.entries()[idx];
+            if (e.invocations() == 0) continue;
+            if (!first_entry) out += ",\n";
+            first_entry = false;
+            out += "{\"protocol\": ";
+            out += json_quote(e.name);
+            append_kv(out, ",\"invocations\": ", e.invocations());
+            append_kv(out, ",\"busy_ticks\": ", static_cast<std::uint64_t>(e.busy_ticks()));
+            for (unsigned k = 0; k < cost::kHandlerKindCount; ++k) {
+                const cost::LogHistogram& h = e.by_kind[k];
+                if (h.count() == 0) continue;
+                out += ",";
+                append_histogram(out, cost::handler_kind_name(static_cast<cost::HandlerKind>(k)),
+                                 h);
+            }
+            out += "}";
+        }
+        out += "\n]";
+    } else {
+        out += ",\n\"profile\": null";
     }
     const cost::Sampling* s = metrics.sampling();
     if (s == nullptr) {

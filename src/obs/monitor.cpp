@@ -207,6 +207,24 @@ void SerializedSendMonitor::on_event(MonitorHub& hub, const MonitorEvent& ev) {
     last_send_[ev.node] = ev.at;
 }
 
+// ---- TraceOverflowMonitor ------------------------------------------------
+
+void TraceOverflowMonitor::on_event(MonitorHub& hub, const MonitorEvent& ev) {
+    if (ev.kind != MonitorEvent::Kind::kTraceDrop) return;
+    if (ev.a != 0 && !reported_records_) {
+        reported_records_ = true;
+        hub.report(*this, ev.at, ev.node, 0,
+                   "trace ring overflowed: " + std::to_string(ev.a) +
+                       " record(s) dropped (size the ring up or enable spill)");
+    }
+    if (ev.b != 0 && !reported_details_) {
+        reported_details_ = true;
+        hub.report(*this, ev.at, ev.node, 0,
+                   "trace detail arena overflowed: " + std::to_string(ev.b) +
+                       " detail string(s) dropped");
+    }
+}
+
 void add_standard_monitors(MonitorHub& hub, std::uint64_t queue_ceiling) {
     hub.add(std::make_unique<LineageConservationMonitor>());
     hub.add(std::make_unique<BusyWindowMonitor>());
@@ -217,6 +235,7 @@ void add_standard_monitors(MonitorHub& hub, const StandardMonitorOptions& option
     add_standard_monitors(hub, options.queue_ceiling);
     hub.add(std::make_unique<LinkFifoMonitor>(options.link_spacing));
     hub.add(std::make_unique<SerializedSendMonitor>(options.min_send_gap));
+    hub.add(std::make_unique<TraceOverflowMonitor>());
 }
 
 std::string violations_json(const MonitorHub& hub, const std::string& name) {

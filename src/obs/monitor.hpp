@@ -64,6 +64,10 @@ struct MonitorEvent {
         kInvoke,   ///< NCU handler completed.
         kPhase,    ///< Experiment phase marker.
         kMemory,   ///< Per-node footprint sample (Cluster::sample_memory).
+        kTraceDrop,  ///< Trace ring overflowed: a = records dropped,
+                     ///< b = detail strings dropped (node = kNoNode).
+                     ///< Dispatched by the cluster before the end-of-run
+                     ///< sweep so truncation is loud, never silent.
     };
     /// Work-item discriminator of a kInvoke event (`a`).
     enum class InvokeKind : std::uint8_t {
@@ -293,6 +297,21 @@ public:
 private:
     Tick min_gap_;
     std::vector<Tick> last_send_;  ///< Per node, lazily sized; kNever = none.
+};
+
+/// Trace-ring overflow: fires when the cluster reports records lost to
+/// ring overwrite (kTraceDrop) — the explicit alternative to silently
+/// truncated traces. Runs with spill disabled rings; a spill-enabled
+/// trace never drops records (sim/trace_spill.hpp), so this stays quiet
+/// there. Fires once per run per counter kind.
+class TraceOverflowMonitor final : public Monitor {
+public:
+    const char* name() const override { return "trace_overflow"; }
+    void on_event(MonitorHub& hub, const MonitorEvent& ev) override;
+
+private:
+    bool reported_records_ = false;
+    bool reported_details_ = false;
 };
 
 /// Registers the always-applicable invariants: lineage conservation,

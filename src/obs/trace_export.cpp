@@ -11,7 +11,9 @@ std::string node_field(NodeId node) {
     return node == kNoNode ? std::string("-1") : std::to_string(node);
 }
 
-void append_record_json(std::string& out, const sim::TraceRecord& r) {
+}  // namespace
+
+void append_canonical_record(std::string& out, const sim::TraceRecord& r) {
     out += "{\"at\":" + std::to_string(r.at);
     out += ",\"node\":" + node_field(r.node);
     out += ",\"kind\":\"";
@@ -26,8 +28,6 @@ void append_record_json(std::string& out, const sim::TraceRecord& r) {
     }
     out += "}";
 }
-
-}  // namespace
 
 ExportMeta make_meta(const graph::Graph& g, std::string name) {
     ExportMeta meta;
@@ -46,9 +46,8 @@ std::string canonical_trace_json(const sim::Trace& trace, const ExportMeta& meta
                                 trace.dropped(), trace.detail_dropped());
 }
 
-std::string canonical_trace_json(const std::vector<sim::TraceRecord>& records,
-                                 const ExportMeta& meta, std::uint64_t total_recorded,
-                                 std::uint64_t dropped, std::uint64_t detail_dropped) {
+std::string canonical_trace_header(const ExportMeta& meta, std::uint64_t total_recorded,
+                                   std::uint64_t dropped, std::uint64_t detail_dropped) {
     std::string out;
     out += "{\n\"fastnet_trace\": 1,\n\"name\": ";
     out += json_quote(meta.name);
@@ -70,11 +69,20 @@ std::string canonical_trace_json(const std::vector<sim::TraceRecord>& records,
     out += ",\n\"detail_dropped\": ";
     out += std::to_string(detail_dropped);
     out += ",\n\"records\": [\n";
+    return out;
+}
+
+std::string canonical_trace_footer() { return "]\n}\n"; }
+
+std::string canonical_trace_json(const std::vector<sim::TraceRecord>& records,
+                                 const ExportMeta& meta, std::uint64_t total_recorded,
+                                 std::uint64_t dropped, std::uint64_t detail_dropped) {
+    std::string out = canonical_trace_header(meta, total_recorded, dropped, detail_dropped);
     for (std::size_t i = 0; i < records.size(); ++i) {
-        append_record_json(out, records[i]);
+        append_canonical_record(out, records[i]);
         out += i + 1 < records.size() ? ",\n" : "\n";
     }
-    out += "]\n}\n";
+    out += canonical_trace_footer();
     return out;
 }
 
@@ -121,8 +129,7 @@ std::string chrome_trace_json(const sim::Trace& trace, const ExportMeta& meta) {
     return chrome_trace_json(trace.snapshot(), meta);
 }
 
-std::string chrome_trace_json(const std::vector<sim::TraceRecord>& records,
-                              const ExportMeta& meta) {
+std::string chrome_trace_header(const ExportMeta& meta) {
     std::string out;
     out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
     // Track naming metadata: one process per layer, one thread per node
@@ -143,89 +150,102 @@ std::string chrome_trace_json(const std::vector<sim::TraceRecord>& records,
                std::to_string(meta.edges[e].first) + "-" +
                std::to_string(meta.edges[e].second) + ")\"}},\n";
     }
+    return out;
+}
 
-    for (const sim::TraceRecord& r : records) {
-        const std::uint64_t ncu_tid = r.node == kNoNode ? 0 : r.node;
-        switch (r.kind) {
-            case sim::TraceKind::kStart:
-                append_complete(out, "start", ncu_tid, r.at, r.b, "");
-                break;
-            case sim::TraceKind::kDeliver:
-                append_complete(out, "deliver", ncu_tid, r.at, r.b,
-                                lin_arg(r.lineage) + ",\"hops\":" + std::to_string(r.a));
-                break;
-            case sim::TraceKind::kTimer:
-                append_complete(out, "timer", ncu_tid, r.at, r.b,
-                                lin_arg(r.lineage) + ",\"cookie\":" + std::to_string(r.a));
-                break;
-            case sim::TraceKind::kLinkChange:
-                append_complete(out, r.flag ? "link_up" : "link_down", ncu_tid, r.at, r.b,
-                                "\"edge\":" + std::to_string(r.a));
-                break;
-            case sim::TraceKind::kSend:
-                append_instant(out, "send", kNcuPid, ncu_tid, r.at,
-                               lin_arg(r.lineage) +
-                                   ",\"header_len\":" + std::to_string(r.a) +
-                                   ",\"parent\":" + std::to_string(r.b));
-                break;
-            case sim::TraceKind::kCrash:
-                append_instant(out, "crash", kNcuPid, ncu_tid, r.at,
-                               "\"incarnation\":" + std::to_string(r.a));
-                break;
-            case sim::TraceKind::kRestart:
-                append_instant(out, "restart", kNcuPid, ncu_tid, r.at,
-                               "\"incarnation\":" + std::to_string(r.a));
-                break;
-            case sim::TraceKind::kPhase:
-                append_instant(out, "phase", kNcuPid, 0, r.at,
-                               "\"phase\":" + std::to_string(r.a));
-                break;
-            case sim::TraceKind::kHop:
-                append_instant(out, "hop", kLinkPid, r.a, r.at,
-                               lin_arg(r.lineage) + ",\"hops\":" + std::to_string(r.b));
-                break;
-            case sim::TraceKind::kDup:
-                append_instant(out, "dup", kLinkPid, r.a, r.at,
-                               lin_arg(r.lineage) + ",\"copy_id\":" + std::to_string(r.b));
-                break;
-            case sim::TraceKind::kDrop: {
-                const std::string args =
-                    lin_arg(r.lineage) + ",\"reason\":" +
-                    json_quote(sim::drop_reason_name(static_cast<sim::DropReason>(r.flag)));
-                if (r.a != kNoEdge)
-                    append_instant(out, "drop", kLinkPid, r.a, r.at, args);
-                else
-                    append_instant(out, "drop", kNcuPid, ncu_tid, r.at, args);
-                break;
-            }
-            case sim::TraceKind::kViolation: {
-                std::string args = lin_arg(r.lineage) + ",\"monitor\":" + std::to_string(r.a);
-                if (!r.detail.empty()) args += ",\"detail\":" + json_quote(r.detail);
-                append_instant(out, "violation", kNcuPid, ncu_tid, r.at, args);
-                break;
-            }
-            case sim::TraceKind::kCallEvent:
-                append_instant(out, "call", kNcuPid, ncu_tid, r.at,
-                               lin_arg(r.lineage) + ",\"call\":\"" +
-                                   std::to_string(r.a >> 32) + "." +
-                                   std::to_string(r.a & 0xffffffffULL) +
-                                   "\",\"event\":" + std::to_string(r.b) +
-                                   ",\"attempt\":" + std::to_string(r.flag));
-                break;
-            case sim::TraceKind::kCustom: {
-                std::string args = lin_arg(r.lineage);
-                if (!r.detail.empty()) args += ",\"detail\":" + json_quote(r.detail);
-                append_instant(out, "custom", kNcuPid, ncu_tid, r.at, args);
-                break;
-            }
+void append_chrome_record(std::string& out, const sim::TraceRecord& r) {
+    const std::uint64_t ncu_tid = r.node == kNoNode ? 0 : r.node;
+    switch (r.kind) {
+        case sim::TraceKind::kStart:
+            append_complete(out, "start", ncu_tid, r.at, r.b, "");
+            break;
+        case sim::TraceKind::kDeliver:
+            append_complete(out, "deliver", ncu_tid, r.at, r.b,
+                            lin_arg(r.lineage) + ",\"hops\":" + std::to_string(r.a));
+            break;
+        case sim::TraceKind::kTimer:
+            append_complete(out, "timer", ncu_tid, r.at, r.b,
+                            lin_arg(r.lineage) + ",\"cookie\":" + std::to_string(r.a));
+            break;
+        case sim::TraceKind::kLinkChange:
+            append_complete(out, r.flag ? "link_up" : "link_down", ncu_tid, r.at, r.b,
+                            "\"edge\":" + std::to_string(r.a));
+            break;
+        case sim::TraceKind::kSend:
+            append_instant(out, "send", kNcuPid, ncu_tid, r.at,
+                           lin_arg(r.lineage) +
+                               ",\"header_len\":" + std::to_string(r.a) +
+                               ",\"parent\":" + std::to_string(r.b));
+            break;
+        case sim::TraceKind::kCrash:
+            append_instant(out, "crash", kNcuPid, ncu_tid, r.at,
+                           "\"incarnation\":" + std::to_string(r.a));
+            break;
+        case sim::TraceKind::kRestart:
+            append_instant(out, "restart", kNcuPid, ncu_tid, r.at,
+                           "\"incarnation\":" + std::to_string(r.a));
+            break;
+        case sim::TraceKind::kPhase:
+            append_instant(out, "phase", kNcuPid, 0, r.at,
+                           "\"phase\":" + std::to_string(r.a));
+            break;
+        case sim::TraceKind::kHop:
+            append_instant(out, "hop", kLinkPid, r.a, r.at,
+                           lin_arg(r.lineage) + ",\"hops\":" + std::to_string(r.b));
+            break;
+        case sim::TraceKind::kDup:
+            append_instant(out, "dup", kLinkPid, r.a, r.at,
+                           lin_arg(r.lineage) + ",\"copy_id\":" + std::to_string(r.b));
+            break;
+        case sim::TraceKind::kDrop: {
+            const std::string args =
+                lin_arg(r.lineage) + ",\"reason\":" +
+                json_quote(sim::drop_reason_name(static_cast<sim::DropReason>(r.flag)));
+            if (r.a != kNoEdge)
+                append_instant(out, "drop", kLinkPid, r.a, r.at, args);
+            else
+                append_instant(out, "drop", kNcuPid, ncu_tid, r.at, args);
+            break;
+        }
+        case sim::TraceKind::kViolation: {
+            std::string args = lin_arg(r.lineage) + ",\"monitor\":" + std::to_string(r.a);
+            if (!r.detail.empty()) args += ",\"detail\":" + json_quote(r.detail);
+            append_instant(out, "violation", kNcuPid, ncu_tid, r.at, args);
+            break;
+        }
+        case sim::TraceKind::kCallEvent:
+            append_instant(out, "call", kNcuPid, ncu_tid, r.at,
+                           lin_arg(r.lineage) + ",\"call\":\"" +
+                               std::to_string(r.a >> 32) + "." +
+                               std::to_string(r.a & 0xffffffffULL) +
+                               "\",\"event\":" + std::to_string(r.b) +
+                               ",\"attempt\":" + std::to_string(r.flag));
+            break;
+        case sim::TraceKind::kCustom: {
+            std::string args = lin_arg(r.lineage);
+            if (!r.detail.empty()) args += ",\"detail\":" + json_quote(r.detail);
+            append_instant(out, "custom", kNcuPid, ncu_tid, r.at, args);
+            break;
         }
     }
+}
+
+std::string chrome_trace_footer(const ExportMeta& meta) {
     // A final metadata event avoids trailing-comma bookkeeping above and
     // stamps the trace with its scenario name.
+    std::string out;
     append_event_prefix(out, "trace_name", 'M', kNcuPid);
     out += ",\"args\":{\"name\":";
     out += json_quote(meta.name);
     out += "}}\n]}\n";
+    return out;
+}
+
+std::string chrome_trace_json(const std::vector<sim::TraceRecord>& records,
+                              const ExportMeta& meta) {
+    std::string out = chrome_trace_header(meta);
+    for (const sim::TraceRecord& r : records) append_chrome_record(out, r);
+    out += chrome_trace_footer(meta);
     return out;
 }
 

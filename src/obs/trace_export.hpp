@@ -69,6 +69,30 @@ std::string canonical_trace_json(const std::vector<sim::TraceRecord>& records,
 std::string chrome_trace_json(const std::vector<sim::TraceRecord>& records,
                               const ExportMeta& meta);
 
+// ---- streaming export pieces ---------------------------------------
+// The serializers above are header + per-record append + footer; the
+// pieces are exposed so the spill-file exporters (obs/spill_query.hpp)
+// can emit the same bytes one record at a time without materializing
+// the trace — that sharing is the byte-identity guarantee between the
+// in-memory and spilled paths.
+
+/// Everything before the first record of a canonical export (ends just
+/// after `"records": [\n`).
+std::string canonical_trace_header(const ExportMeta& meta, std::uint64_t total_recorded,
+                                   std::uint64_t dropped, std::uint64_t detail_dropped);
+/// One canonical record object (no separator).
+void append_canonical_record(std::string& out, const sim::TraceRecord& r);
+/// Everything after the last record of a canonical export.
+std::string canonical_trace_footer();
+
+/// Everything before the first record event of a Chrome export (the
+/// traceEvents opener plus process/thread naming metadata).
+std::string chrome_trace_header(const ExportMeta& meta);
+/// The Chrome event(s) for one record, each ending in ",\n".
+void append_chrome_record(std::string& out, const sim::TraceRecord& r);
+/// The closing metadata event + array/object terminators.
+std::string chrome_trace_footer(const ExportMeta& meta);
+
 /// A canonical export read back from disk.
 struct LoadedTrace {
     ExportMeta meta;

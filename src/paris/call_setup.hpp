@@ -188,6 +188,7 @@ struct CallAgentOptions {
 
 class CallAgentProtocol final : public node::Protocol {
 public:
+    const char* name() const override { return "call_agent"; }
     /// `g` must outlive the protocol (route computation source — stands
     /// in for the node's converged topology database).
     CallAgentProtocol(const graph::Graph& g, CallAgentOptions options);

@@ -4,6 +4,7 @@
 #include <ostream>
 
 #include "common/expect.hpp"
+#include "sim/trace_spill.hpp"
 
 namespace fastnet::sim {
 
@@ -56,6 +57,10 @@ Trace::Trace(std::size_t capacity, std::size_t detail_capacity)
     ring_.reserve(std::min<std::size_t>(capacity, 1024));
 }
 
+Trace::~Trace() = default;
+Trace::Trace(Trace&&) noexcept = default;
+Trace& Trace::operator=(Trace&&) noexcept = default;
+
 void Trace::push(Rec rec) {
     if (ring_.size() < capacity_) {
         ring_.push_back(rec);
@@ -68,6 +73,7 @@ void Trace::push(Rec rec) {
 
 void Trace::record(Tick at, NodeId node, TraceKind kind, TraceArgs args) {
     if (!enabled(kind)) return;
+    if (spill_ && ring_.size() >= drain_records_) flush_spill();
     Rec rec;
     rec.at = at;
     rec.node = node;
@@ -82,6 +88,7 @@ void Trace::record(Tick at, NodeId node, TraceKind kind, TraceArgs args) {
 void Trace::record_detail(Tick at, NodeId node, TraceKind kind, std::string_view detail,
                           TraceArgs args) {
     if (!enabled(kind)) return;
+    if (spill_ && ring_.size() >= drain_records_) flush_spill();
     Rec rec;
     rec.at = at;
     rec.node = node;
@@ -91,6 +98,11 @@ void Trace::record_detail(Tick at, NodeId node, TraceKind kind, std::string_view
     rec.a = args.a;
     rec.b = args.b;
     if (!detail.empty()) {
+        // With spill enabled a full arena drains to disk instead of
+        // dropping the detail (only a single over-budget string still
+        // cannot be stored).
+        if (spill_ && arena_.size() + detail.size() > detail_capacity_ && !ring_.empty())
+            flush_spill();
         if (arena_.size() + detail.size() <= detail_capacity_) {
             rec.detail_pos = static_cast<std::uint32_t>(arena_.size() + 1);
             rec.detail_len = static_cast<std::uint32_t>(detail.size());
@@ -155,6 +167,86 @@ void Trace::clear() {
     next_ = 0;
     count_ = 0;
     detail_dropped_ = 0;
+    spill_.reset();
+    spill_path_.clear();
+    drain_records_ = 0;
+    spilled_records_ = 0;
+    spill_segments_ = 0;
+    spilled_bytes_ = 0;
+}
+
+bool Trace::enable_spill(const TraceSpillConfig& config, std::string* error) {
+    // Spill must see every record from the first one: a ring that
+    // already wrapped has lost records no segment can recover.
+    FASTNET_EXPECTS(count_ == 0 && !spill_);
+    auto writer = std::make_unique<SpillWriter>();
+    if (!writer->open(config.path, config.shard, error)) return false;
+    spill_ = std::move(writer);
+    spill_path_ = config.path;
+    drain_records_ = capacity_;
+    if (config.resident_budget_bytes != 0) {
+        const std::size_t budget = config.resident_budget_bytes;
+        const std::size_t for_ring =
+            budget > detail_capacity_ ? budget - detail_capacity_ : 0;
+        const std::size_t budget_records = for_ring / sizeof(Rec);
+        FASTNET_EXPECTS(budget_records >= 1);
+        drain_records_ = std::min(capacity_, budget_records);
+    }
+    // Reserve the exact resident footprint once so resident_bytes() is a
+    // true fixed bound (vector growth would otherwise overshoot; the
+    // constructor's default reserve may already exceed a tight budget,
+    // so release it first — the ring is empty here).
+    if (ring_.capacity() > drain_records_) std::vector<Rec>().swap(ring_);
+    ring_.reserve(drain_records_);
+    arena_.reserve(detail_capacity_);
+    return true;
+}
+
+void Trace::flush_spill() {
+    if (!spill_ || ring_.empty()) return;
+    std::vector<SpillWriter::Item> items;
+    items.reserve(ring_.size());
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+        const Rec& r = ring_[i];
+        SpillWriter::Item it;
+        it.at = r.at;
+        it.seq = spilled_records_ + i;  // per-shard recording index
+        it.lineage = r.lineage;
+        it.a = r.a;
+        it.b = r.b;
+        it.node = r.node;
+        it.kind = r.kind;
+        it.flag = r.flag;
+        if (r.detail_pos != 0)
+            it.detail = std::string_view(arena_.data() + (r.detail_pos - 1), r.detail_len);
+        items.push_back(it);
+    }
+    spill_->write_segment(items);
+    spilled_records_ += ring_.size();
+    spill_segments_ = spill_->segments();
+    spilled_bytes_ = spill_->bytes_written();
+    ring_.clear();
+    arena_.clear();
+    next_ = 0;
+}
+
+bool Trace::finish_spill() {
+    if (!spill_) return true;
+    flush_spill();
+    SpillStats stats;
+    stats.total_recorded = count_;
+    stats.dropped = dropped();
+    stats.detail_dropped = detail_dropped_;
+    stats.spilled_records = spilled_records_;
+    const bool ok = spill_->finish(stats);
+    spilled_bytes_ = spill_->bytes_written();
+    spill_.reset();
+    drain_records_ = 0;
+    return ok;
+}
+
+std::size_t Trace::resident_bytes() const {
+    return ring_.capacity() * sizeof(Rec) + arena_.capacity();
 }
 
 std::string format_record(const TraceRecord& r) {

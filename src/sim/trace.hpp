@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -32,6 +33,8 @@
 #include "common/types.hpp"
 
 namespace fastnet::sim {
+
+class SpillWriter;
 
 enum class TraceKind : std::uint8_t {
     kStart,       ///< Spontaneous protocol start ran.       b = busy ticks
@@ -70,6 +73,19 @@ enum class DropReason : std::uint8_t {
 
 const char* drop_reason_name(DropReason r);
 
+/// Spill-to-disk configuration for one Trace (see sim/trace_spill.hpp
+/// for the file format and the merge contract). With spill enabled the
+/// ring never overwrites: a full ring (or an exceeded resident budget)
+/// drains to the spill file as one sorted segment and restarts empty.
+struct TraceSpillConfig {
+    std::string path;     ///< Spill file to create (truncated on enable).
+    std::uint32_t shard = 0;  ///< Stamped into the file header; merge tie-break.
+    /// Optional cap on resident trace bytes (ring + detail arena). 0
+    /// keeps the default drain point (a full ring). When set, the drain
+    /// threshold shrinks so ring + arena capacity stay within budget.
+    std::size_t resident_budget_bytes = 0;
+};
+
 /// Kind-specific arguments of one record; see the TraceKind table above
 /// for what each kind stores where.
 struct TraceArgs {
@@ -99,6 +115,10 @@ public:
     /// first. `detail_capacity` bounds the detail arena (bytes); once
     /// full, further details are silently omitted (detail_dropped()).
     explicit Trace(std::size_t capacity = 65536, std::size_t detail_capacity = 1 << 16);
+    ~Trace();
+    // Movable, not copyable (the spill writer owns an open file).
+    Trace(Trace&&) noexcept;
+    Trace& operator=(Trace&&) noexcept;
 
     /// Appends one typed record. No allocation beyond amortized ring
     /// growth up to `capacity`.
@@ -124,14 +144,43 @@ public:
     /// Records for one node, chronological.
     std::vector<TraceRecord> snapshot(NodeId node) const;
 
-    std::size_t size() const { return count_ < capacity_ ? count_ : capacity_; }
+    std::size_t size() const { return ring_.size(); }
     std::size_t capacity() const { return capacity_; }
     std::uint64_t total_recorded() const { return count_; }
+    /// Records lost to ring overwrite (never when spill is enabled —
+    /// overflow drains to disk instead of truncating).
     std::uint64_t dropped() const {
-        return count_ > capacity_ ? count_ - capacity_ : 0;
+        const std::uint64_t kept = spilled_records_ + ring_.size();
+        return count_ > kept ? count_ - kept : 0;
     }
     std::uint64_t detail_dropped() const { return detail_dropped_; }
     void clear();
+
+    /// Switches overflow handling from ring overwrite to disk spill.
+    /// Must be called on an empty trace (before any record). Returns
+    /// false (with `error`) when the spill file cannot be created.
+    bool enable_spill(const TraceSpillConfig& config, std::string* error = nullptr);
+    bool spill_enabled() const { return spill_ != nullptr; }
+
+    /// Drains every resident record (and its detail bytes) to the spill
+    /// file as one sorted segment; the ring and arena restart empty.
+    /// No-op without spill or with an empty ring.
+    void flush_spill();
+
+    /// Final flush + stats trailer; closes the spill file. The trace
+    /// reverts to plain ring behaviour afterwards. Returns false when
+    /// the write failed.
+    bool finish_spill();
+
+    std::uint64_t spilled_records() const { return spilled_records_; }
+    std::uint64_t spill_segments() const { return spill_segments_; }
+    std::uint64_t spilled_bytes() const { return spilled_bytes_; }
+    const std::string& spill_path() const { return spill_path_; }
+
+    /// Resident trace footprint right now: ring + detail arena capacity
+    /// (capacity-based, so it is an upper bound that never shrinks —
+    /// the quantity the spill budget constrains).
+    std::size_t resident_bytes() const;
 
     /// Human-readable dump (one line per record).
     void print(std::ostream& os) const;
@@ -161,6 +210,14 @@ private:
     std::vector<Rec> ring_;
     std::vector<char> arena_;  ///< Append-only bounded detail storage.
     std::uint16_t enabled_mask_ = 0xffff;
+
+    // Spill state (null without enable_spill).
+    std::unique_ptr<SpillWriter> spill_;
+    std::string spill_path_;
+    std::size_t drain_records_ = 0;   ///< Ring size that triggers a drain.
+    std::uint64_t spilled_records_ = 0;
+    std::uint64_t spill_segments_ = 0;
+    std::uint64_t spilled_bytes_ = 0;
 };
 
 /// Renders one record the way Trace::print does (shared with the

@@ -1,0 +1,328 @@
+#include "sim/trace_spill.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "common/expect.hpp"
+
+namespace fastnet::sim {
+
+namespace {
+
+/// Fixed-size part of one on-disk record (the detail bytes follow).
+constexpr std::size_t kRecordFixedBytes = 8 * 5 + 4 + 4 + 1 + 1;
+constexpr std::size_t kSegmentHeaderBytes = 4 + 4 + 8;
+constexpr std::size_t kFileHeaderBytes = 8 + 4 + 4;
+constexpr std::size_t kStatsPayloadBytes = 8 * 4;
+
+void put_u32(std::string& buf, std::uint32_t v) {
+    for (unsigned i = 0; i < 4; ++i) buf.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_u64(std::string& buf, std::uint64_t v) {
+    for (unsigned i = 0; i < 8; ++i) buf.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+std::uint32_t get_u32(const unsigned char* p) {
+    std::uint32_t v = 0;
+    for (unsigned i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+std::uint64_t get_u64(const unsigned char* p) {
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+bool fail(std::string* error, const std::string& message) {
+    if (error) *error = message;
+    return false;
+}
+
+}  // namespace
+
+bool SpillWriter::open(const std::string& path, std::uint32_t shard, std::string* error) {
+    FASTNET_EXPECTS(!out_.is_open());
+    out_.open(path, std::ios::binary | std::ios::trunc);
+    if (!out_) return fail(error, "cannot open spill file " + path);
+    path_ = path;
+    buf_.clear();
+    buf_.append(kSpillMagic, sizeof(kSpillMagic));
+    put_u32(buf_, kSpillVersion);
+    put_u32(buf_, shard);
+    out_.write(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+    bytes_ = buf_.size();
+    return static_cast<bool>(out_);
+}
+
+bool SpillWriter::write_segment(std::vector<Item>& items) {
+    FASTNET_EXPECTS(out_.is_open());
+    if (items.empty()) return true;
+    // Each segment is one sorted run: (at, node_sort_key, seq). `seq` is
+    // already unique per shard, so the sort is total.
+    std::sort(items.begin(), items.end(), [](const Item& x, const Item& y) {
+        if (x.at != y.at) return x.at < y.at;
+        const std::uint64_t xk = trace_node_sort_key(x.node);
+        const std::uint64_t yk = trace_node_sort_key(y.node);
+        if (xk != yk) return xk < yk;
+        return x.seq < y.seq;
+    });
+    buf_.clear();
+    put_u32(buf_, kSpillSegmentMagic);
+    put_u32(buf_, static_cast<std::uint32_t>(items.size()));
+    put_u64(buf_, 0);  // payload_bytes backpatched below
+    for (const Item& it : items) {
+        put_u64(buf_, static_cast<std::uint64_t>(it.at));
+        put_u64(buf_, it.seq);
+        put_u64(buf_, it.lineage);
+        put_u64(buf_, it.a);
+        put_u64(buf_, it.b);
+        put_u32(buf_, it.node);
+        put_u32(buf_, static_cast<std::uint32_t>(it.detail.size()));
+        buf_.push_back(static_cast<char>(it.kind));
+        buf_.push_back(static_cast<char>(it.flag));
+        buf_.append(it.detail.data(), it.detail.size());
+    }
+    const std::uint64_t payload = buf_.size() - kSegmentHeaderBytes;
+    for (unsigned i = 0; i < 8; ++i)
+        buf_[8 + i] = static_cast<char>((payload >> (8 * i)) & 0xff);
+    out_.write(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+    out_.flush();
+    ++segments_;
+    records_ += items.size();
+    bytes_ += buf_.size();
+    return static_cast<bool>(out_);
+}
+
+bool SpillWriter::finish(const SpillStats& stats) {
+    FASTNET_EXPECTS(out_.is_open());
+    buf_.clear();
+    put_u32(buf_, kSpillStatsMagic);
+    put_u32(buf_, 0);
+    put_u64(buf_, kStatsPayloadBytes);
+    put_u64(buf_, stats.total_recorded);
+    put_u64(buf_, stats.dropped);
+    put_u64(buf_, stats.detail_dropped);
+    put_u64(buf_, stats.spilled_records);
+    out_.write(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+    bytes_ += buf_.size();
+    out_.close();
+    return static_cast<bool>(out_);
+}
+
+bool SpillFile::open(const std::string& path, std::string* error) {
+    path_ = path;
+    segments_.clear();
+    stats_ = {};
+    truncated_ = false;
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return fail(error, "cannot open spill file " + path);
+    in.seekg(0, std::ios::end);
+    const std::uint64_t file_size = static_cast<std::uint64_t>(in.tellg());
+    in.seekg(0);
+    unsigned char header[kFileHeaderBytes];
+    if (!in.read(reinterpret_cast<char*>(header), sizeof(header)))
+        return fail(error, path + ": not a spill file (short header)");
+    if (std::memcmp(header, kSpillMagic, sizeof(kSpillMagic)) != 0)
+        return fail(error, path + ": not a spill file (bad magic)");
+    const std::uint32_t version = get_u32(header + 8);
+    if (version != kSpillVersion)
+        return fail(error, path + ": unsupported spill version " + std::to_string(version));
+    shard_ = get_u32(header + 12);
+
+    std::uint64_t offset = kFileHeaderBytes;
+    bool saw_stats = false;
+    while (offset + kSegmentHeaderBytes <= file_size) {
+        unsigned char seg[kSegmentHeaderBytes];
+        in.seekg(static_cast<std::streamoff>(offset));
+        if (!in.read(reinterpret_cast<char*>(seg), sizeof(seg))) break;
+        const std::uint32_t magic = get_u32(seg);
+        const std::uint32_t count = get_u32(seg + 4);
+        const std::uint64_t payload = get_u64(seg + 8);
+        if (offset + kSegmentHeaderBytes + payload > file_size) {
+            // Crash mid-segment: drop the partial tail.
+            truncated_ = true;
+            break;
+        }
+        if (magic == kSpillSegmentMagic) {
+            Segment s;
+            s.offset = offset + kSegmentHeaderBytes;
+            s.records = count;
+            s.payload_bytes = payload;
+            segments_.push_back(s);
+        } else if (magic == kSpillStatsMagic) {
+            if (payload != kStatsPayloadBytes)
+                return fail(error, path + ": malformed stats trailer");
+            unsigned char body[kStatsPayloadBytes];
+            if (!in.read(reinterpret_cast<char*>(body), sizeof(body))) break;
+            stats_.total_recorded = get_u64(body);
+            stats_.dropped = get_u64(body + 8);
+            stats_.detail_dropped = get_u64(body + 16);
+            stats_.spilled_records = get_u64(body + 24);
+            saw_stats = true;
+        } else {
+            return fail(error, path + ": corrupt segment header at offset " +
+                                   std::to_string(offset));
+        }
+        offset += kSegmentHeaderBytes + payload;
+    }
+    if (offset < file_size && !truncated_) truncated_ = true;
+    if (!saw_stats) {
+        // Crash before the trailer: rebuild what the segments prove.
+        truncated_ = true;
+        stats_.recovered = true;
+        for (const Segment& s : segments_) stats_.spilled_records += s.records;
+        stats_.total_recorded = stats_.spilled_records;
+    }
+    return true;
+}
+
+bool SpillSegmentCursor::open(const SpillFile& file, std::size_t segment_index,
+                              std::string* error) {
+    FASTNET_EXPECTS(segment_index < file.segments().size());
+    const SpillFile::Segment& seg = file.segments()[segment_index];
+    in_.open(file.path(), std::ios::binary);
+    if (!in_) return fail(error, "cannot open spill file " + file.path());
+    in_.seekg(static_cast<std::streamoff>(seg.offset));
+    remaining_ = seg.records;
+    return true;
+}
+
+bool SpillSegmentCursor::next(TraceRecord& out, std::uint64_t& seq) {
+    if (remaining_ == 0) return false;
+    unsigned char fixed[kRecordFixedBytes];
+    if (!in_.read(reinterpret_cast<char*>(fixed), sizeof(fixed))) {
+        error_ = "short read inside segment";
+        remaining_ = 0;
+        return false;
+    }
+    out.at = static_cast<Tick>(get_u64(fixed));
+    seq = get_u64(fixed + 8);
+    out.lineage = get_u64(fixed + 16);
+    out.a = get_u64(fixed + 24);
+    out.b = get_u64(fixed + 32);
+    out.node = get_u32(fixed + 40);
+    const std::uint32_t detail_len = get_u32(fixed + 44);
+    out.kind = static_cast<TraceKind>(fixed[48]);
+    out.flag = fixed[49];
+    out.detail.clear();
+    if (detail_len != 0) {
+        out.detail.resize(detail_len);
+        if (!in_.read(out.detail.data(), detail_len)) {
+            error_ = "short detail read inside segment";
+            remaining_ = 0;
+            return false;
+        }
+    }
+    --remaining_;
+    return true;
+}
+
+std::string spill_shard_path(const std::string& dir, std::uint32_t shard) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "shard-%04u.fnspill", shard);
+    return (std::filesystem::path(dir) / name).string();
+}
+
+bool is_spill_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return false;
+    char magic[sizeof(kSpillMagic)];
+    if (!in.read(magic, sizeof(magic))) return false;
+    return std::memcmp(magic, kSpillMagic, sizeof(kSpillMagic)) == 0;
+}
+
+std::vector<std::string> spill_files(const std::string& path, std::string* error) {
+    std::vector<std::string> out;
+    std::error_code ec;
+    if (std::filesystem::is_directory(path, ec)) {
+        for (const auto& entry : std::filesystem::directory_iterator(path, ec)) {
+            if (!entry.is_regular_file()) continue;
+            if (entry.path().extension() == ".fnspill")
+                out.push_back(entry.path().string());
+        }
+        std::sort(out.begin(), out.end());
+        if (out.empty()) fail(error, path + ": no *.fnspill files in directory");
+        return out;
+    }
+    if (!std::filesystem::is_regular_file(path, ec)) {
+        fail(error, path + ": no such file or directory");
+        return out;
+    }
+    out.push_back(path);
+    return out;
+}
+
+bool SpillMerge::open(const std::vector<std::string>& paths, std::string* error) {
+    files_.clear();
+    cursors_.clear();
+    heap_.clear();
+    totals_ = {};
+    truncated_ = false;
+    if (paths.empty()) return fail(error, "no spill files to merge");
+    for (const std::string& p : paths) {
+        auto file = std::make_unique<SpillFile>();
+        if (!file->open(p, error)) return false;
+        totals_.total_recorded += file->stats().total_recorded;
+        totals_.dropped += file->stats().dropped;
+        totals_.detail_dropped += file->stats().detail_dropped;
+        totals_.spilled_records += file->stats().spilled_records;
+        totals_.recovered = totals_.recovered || file->stats().recovered;
+        truncated_ = truncated_ || file->truncated();
+        for (std::size_t s = 0; s < file->segments().size(); ++s) {
+            cursors_.emplace_back();
+            Cursor& c = cursors_.back();
+            c.shard = file->shard();
+            if (!c.reader.open(*file, s, error)) return false;
+        }
+        files_.push_back(std::move(file));
+    }
+    for (std::size_t i = 0; i < cursors_.size(); ++i)
+        if (advance(i)) heap_.push_back(i);
+    // Order the heap: a simple make_heap over the merge key.
+    auto greater = [this](std::size_t x, std::size_t y) {
+        const Cursor& a = cursors_[x];
+        const Cursor& b = cursors_[y];
+        if (a.head.at != b.head.at) return a.head.at > b.head.at;
+        const std::uint64_t ak = trace_node_sort_key(a.head.node);
+        const std::uint64_t bk = trace_node_sort_key(b.head.node);
+        if (ak != bk) return ak > bk;
+        if (a.shard != b.shard) return a.shard > b.shard;
+        return a.seq > b.seq;
+    };
+    std::make_heap(heap_.begin(), heap_.end(), greater);
+    return true;
+}
+
+bool SpillMerge::advance(std::size_t idx) {
+    Cursor& c = cursors_[idx];
+    return c.reader.next(c.head, c.seq);
+}
+
+bool SpillMerge::next(TraceRecord& out) {
+    if (heap_.empty()) return false;
+    auto greater = [this](std::size_t x, std::size_t y) {
+        const Cursor& a = cursors_[x];
+        const Cursor& b = cursors_[y];
+        if (a.head.at != b.head.at) return a.head.at > b.head.at;
+        const std::uint64_t ak = trace_node_sort_key(a.head.node);
+        const std::uint64_t bk = trace_node_sort_key(b.head.node);
+        if (ak != bk) return ak > bk;
+        if (a.shard != b.shard) return a.shard > b.shard;
+        return a.seq > b.seq;
+    };
+    std::pop_heap(heap_.begin(), heap_.end(), greater);
+    const std::size_t idx = heap_.back();
+    out = std::move(cursors_[idx].head);
+    if (advance(idx)) {
+        std::push_heap(heap_.begin(), heap_.end(), greater);
+    } else {
+        heap_.pop_back();
+    }
+    return true;
+}
+
+}  // namespace fastnet::sim

@@ -1,0 +1,198 @@
+// Spill-to-disk backing store for sim::Trace — the piece that lets a
+// million-node traced run keep a bounded resident footprint.
+//
+// A Trace with spill enabled never overwrites its ring: whenever the
+// ring (or the configured resident budget) fills, the resident records
+// and their detail-arena slices are drained to an append-only binary
+// *spill file* as one chunked segment, and the ring restarts empty.
+// Each segment is sorted by (at, node_sort_key, seq) at drain time,
+// where `seq` is the per-shard recording index — so every segment is a
+// sorted run, and a k-way merge over all segments of all shards
+// (SpillMerge, ordered by (at, node_sort_key, shard, seq)) reproduces
+// exactly the order `node::ParallelCluster::merged_trace` produces with
+// std::stable_sort over concatenated in-memory snapshots. That identity
+// is what makes spilled exports byte-identical to the in-memory path
+// (see docs/OBSERVABILITY.md, "Tracing at scale").
+//
+// On-disk layout (all integers little-endian):
+//   file   := header segment* stats?
+//   header := "FNSPILL1" u32 version=1 u32 shard
+//   segment:= u32 0x46534547 ("GESF") u32 record_count u64 payload_bytes
+//             record*            — payload_bytes of records
+//   record := i64 at  u64 seq  u64 lineage  u64 a  u64 b
+//             u32 node  u32 detail_len  u8 kind  u8 flag  detail bytes
+//   stats  := u32 0x46535354 ("TSSF") u32 0 u64 32
+//             u64 total_recorded  u64 dropped  u64 detail_dropped
+//             u64 spilled_records
+//
+// A reader tolerates a truncated tail (crash mid-segment): complete
+// segments are kept, the partial one is discarded, and when the stats
+// trailer is missing the totals are rebuilt from the surviving segments
+// and flagged `recovered`.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/trace.hpp"
+
+namespace fastnet::sim {
+
+/// Sort key that places network-scope records (node == kNoNode) after
+/// every real node at the same tick — the merged-trace ordering contract
+/// shared by ParallelCluster::merged_trace and SpillMerge.
+inline std::uint64_t trace_node_sort_key(NodeId node) {
+    return node == kNoNode ? ~0ULL : static_cast<std::uint64_t>(node);
+}
+
+inline constexpr char kSpillMagic[8] = {'F', 'N', 'S', 'P', 'I', 'L', 'L', '1'};
+inline constexpr std::uint32_t kSpillVersion = 1;
+inline constexpr std::uint32_t kSpillSegmentMagic = 0x46534547;  // "GESF"
+inline constexpr std::uint32_t kSpillStatsMagic = 0x46535354;    // "TSSF"
+
+/// Run totals carried in the stats trailer (or rebuilt by the reader
+/// after a crash-truncated file).
+struct SpillStats {
+    std::uint64_t total_recorded = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t detail_dropped = 0;
+    std::uint64_t spilled_records = 0;
+    bool recovered = false;  ///< Reader-side: trailer missing, totals rebuilt.
+};
+
+/// Appends segments to one shard's spill file. Owned by sim::Trace when
+/// spill is enabled; also usable directly by tests.
+class SpillWriter {
+public:
+    /// One record as drained from the ring; `detail` views the trace's
+    /// arena and is copied into the segment payload.
+    struct Item {
+        Tick at = 0;
+        std::uint64_t seq = 0;
+        std::uint64_t lineage = 0;
+        std::uint64_t a = 0;
+        std::uint64_t b = 0;
+        NodeId node = kNoNode;
+        TraceKind kind = TraceKind::kCustom;
+        std::uint8_t flag = 0;
+        std::string_view detail{};
+    };
+
+    SpillWriter() = default;
+
+    bool open(const std::string& path, std::uint32_t shard, std::string* error = nullptr);
+    bool is_open() const { return out_.is_open(); }
+    const std::string& path() const { return path_; }
+
+    /// Sorts `items` by (at, node_sort_key, seq) and appends them as one
+    /// segment. Empty batches write nothing.
+    bool write_segment(std::vector<Item>& items);
+
+    /// Writes the stats trailer and closes the file.
+    bool finish(const SpillStats& stats);
+
+    std::uint64_t segments() const { return segments_; }
+    std::uint64_t records() const { return records_; }
+    std::uint64_t bytes_written() const { return bytes_; }
+
+private:
+    std::ofstream out_;
+    std::string path_;
+    std::string buf_;  ///< Reused segment build buffer.
+    std::uint64_t segments_ = 0;
+    std::uint64_t records_ = 0;
+    std::uint64_t bytes_ = 0;
+};
+
+/// Directory of one spill file: segment table + stats, parsed up front.
+class SpillFile {
+public:
+    struct Segment {
+        std::uint64_t offset = 0;  ///< File offset of the first record.
+        std::uint32_t records = 0;
+        std::uint64_t payload_bytes = 0;
+    };
+
+    bool open(const std::string& path, std::string* error = nullptr);
+    const std::string& path() const { return path_; }
+    std::uint32_t shard() const { return shard_; }
+    const std::vector<Segment>& segments() const { return segments_; }
+    const SpillStats& stats() const { return stats_; }
+    /// True when the file ended mid-segment (crash); the partial segment
+    /// was discarded.
+    bool truncated() const { return truncated_; }
+
+private:
+    std::string path_;
+    std::uint32_t shard_ = 0;
+    std::vector<Segment> segments_;
+    SpillStats stats_;
+    bool truncated_ = false;
+};
+
+/// Streams the records of one segment of one spill file.
+class SpillSegmentCursor {
+public:
+    bool open(const SpillFile& file, std::size_t segment_index,
+              std::string* error = nullptr);
+    /// False at end of segment (or on a decode error — see error()).
+    bool next(TraceRecord& out, std::uint64_t& seq);
+    const std::string& error() const { return error_; }
+
+private:
+    std::ifstream in_;
+    std::uint32_t remaining_ = 0;
+    std::string error_;
+};
+
+/// Canonical per-shard spill file name inside `dir`:
+/// `<dir>/shard-NNNN.fnspill` (zero-padded, so lexicographic directory
+/// order equals shard order).
+std::string spill_shard_path(const std::string& dir, std::uint32_t shard);
+
+/// True when `path` names a file starting with the spill magic.
+bool is_spill_file(const std::string& path);
+
+/// Expands `path` to the spill files it names: the file itself, or every
+/// `*.fnspill` in the directory (sorted by name, which matches shard
+/// order for writer-produced files). Empty result + error on failure.
+std::vector<std::string> spill_files(const std::string& path, std::string* error = nullptr);
+
+/// Deterministic k-way merge over every segment of every given spill
+/// file, ordered by (at, node_sort_key, shard, seq) — the stable-sort
+/// order of the in-memory merged trace. Streams one record at a time;
+/// resident memory is O(total segments), not O(total records).
+class SpillMerge {
+public:
+    bool open(const std::vector<std::string>& paths, std::string* error = nullptr);
+    /// Pops the next record in merged order; false at end of stream.
+    bool next(TraceRecord& out);
+    /// Summed trailer stats of every input file.
+    const SpillStats& totals() const { return totals_; }
+    /// True when any input file was crash-truncated.
+    bool truncated() const { return truncated_; }
+    std::size_t file_count() const { return files_.size(); }
+
+private:
+    struct Cursor {
+        SpillSegmentCursor reader;
+        TraceRecord head;
+        std::uint64_t seq = 0;
+        std::uint32_t shard = 0;
+    };
+
+    bool advance(std::size_t idx);
+
+    std::vector<std::unique_ptr<SpillFile>> files_;
+    std::vector<Cursor> cursors_;
+    std::vector<std::size_t> heap_;  ///< Indices into cursors_, min-heap.
+    SpillStats totals_;
+    bool truncated_ = false;
+};
+
+}  // namespace fastnet::sim

@@ -54,6 +54,7 @@ struct FloodMessage final : hw::TypedPayload<FloodMessage> {
 /// (min-hop, as the paper's T_i(t)) at start time.
 class BroadcastProtocol final : public node::Protocol {
 public:
+    const char* name() const override { return "broadcast"; }
     BroadcastProtocol(const graph::Graph& g, BroadcastScheme scheme);
 
     void on_start(node::Context& ctx) override;

@@ -49,6 +49,7 @@ struct SendRequest {
 
 class RouterProtocol final : public node::Protocol {
 public:
+    const char* name() const override { return "router"; }
     RouterProtocol(NodeId node_count, RouterOptions options,
                    std::vector<SendRequest> sends = {});
 

@@ -72,6 +72,7 @@ struct TopologyMessage final : hw::TypedPayload<TopologyMessage> {
 
 class TopologyMaintenance final : public node::Protocol {
 public:
+    const char* name() const override { return "topology_maintenance"; }
     TopologyMaintenance(NodeId node_count, TopologyOptions options);
 
     void on_start(node::Context& ctx) override;

@@ -106,10 +106,11 @@ bool load_bench(const std::string& path, BenchRun& out, std::string& error) {
 
 /// The same direction rule as scripts/bench_diff.py: throughput and
 /// carried-work units ("per_sec", "calls" — e.g. the call benches'
-/// carried load) regress downwards; cost units (ns, ms, allocs, pct,
-/// ticks, retries...) regress upwards.
+/// carried load — and the profiler's "invocations") regress downwards;
+/// cost units (ns, ms, allocs, pct, ticks, retries...) regress upwards.
 bool higher_is_better(const std::string& unit) {
-    return unit.find("per_sec") != std::string::npos || unit == "calls";
+    return unit.find("per_sec") != std::string::npos || unit == "calls" ||
+           unit == "invocations";
 }
 
 struct Snapshot {

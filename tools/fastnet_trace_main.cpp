@@ -16,9 +16,17 @@
 //   fastnet_trace trace.json --violations         # violations + causal chains
 //   fastnet_trace trace.json --calls              # per-call leg reconstruction
 //   fastnet_trace trace.json --check              # schema validation only
+//
+// FILE may also be a trace spill file or a directory of per-shard spill
+// files (see src/sim/trace_spill.hpp). Every query then streams the
+// deterministic k-way merge instead of loading an export; the causal
+// queries (--chain, --violations) resolve ancestry through the lineage
+// index sidecar (built and cached on first use) rather than scanning
+// the merged records per lineage.
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -28,9 +36,11 @@
 #include <vector>
 
 #include "obs/json.hpp"
+#include "obs/spill_query.hpp"
 #include "obs/trace_export.hpp"
 #include "obs/trace_query.hpp"
 #include "paris/call_setup.hpp"
+#include "sim/trace_spill.hpp"
 
 using namespace fastnet;
 
@@ -42,7 +52,9 @@ int usage(const char* argv0) {
                  "       [--calls] [--node N] [--kind NAME] [--lineage L] [--from T]\n"
                  "       [--to T] [--chain L]\n"
                  "  --calls groups call-event records into per-call leg timelines\n"
-                 "  (combines with --node/--from/--to to narrow the set)\n";
+                 "  (combines with --node/--from/--to to narrow the set)\n"
+                 "  FILE may be a canonical export, a .fnspill file, or a directory\n"
+                 "  of per-shard spill files (queries stream the merged records)\n";
     return 2;
 }
 
@@ -73,6 +85,218 @@ int run_check(const std::string& path, const std::string& text) {
     }
     std::cout << path << ": valid " << (is_chrome ? "chrome" : "canonical")
               << " trace\n";
+    return 0;
+}
+
+/// TraceFilter as a single-record predicate (the streaming paths filter
+/// during the merge instead of materializing first).
+bool matches(const sim::TraceRecord& r, const obs::TraceFilter& f) {
+    if (f.node && r.node != *f.node) return false;
+    if (f.kind && r.kind != *f.kind) return false;
+    if (f.lineage && r.lineage != *f.lineage) return false;
+    if (f.from && r.at < *f.from) return false;
+    if (f.to && r.at > *f.to) return false;
+    return true;
+}
+
+/// Per-call leg reconstruction: every call-event record carries the
+/// packed call id in `a` (source << 32 | seq), the CallEvent code in `b`
+/// and the attempt number in `flag`, so grouping by `a` rebuilds each
+/// call's full life across every node it touched — offered, placed,
+/// per-hop reservations, rejects, retries, activation, release. Record
+/// order is chronological.
+int print_calls(const std::vector<sim::TraceRecord>& found) {
+    if (found.empty()) {
+        std::cout << "no call events recorded\n";
+        return 0;
+    }
+    std::vector<std::uint64_t> order;
+    std::map<std::uint64_t, std::vector<const sim::TraceRecord*>> by_call;
+    for (const auto& r : found) {
+        auto& legs = by_call[r.a];
+        if (legs.empty()) order.push_back(r.a);
+        legs.push_back(&r);
+    }
+    std::cout << order.size() << " call(s), " << found.size() << " call event(s)\n";
+    for (const std::uint64_t key : order) {
+        const auto& legs = by_call[key];
+        const sim::TraceRecord& last = *legs.back();
+        std::cout << "\ncall " << static_cast<NodeId>(key >> 32) << "."
+                  << (key & 0xffffffffULL) << " — " << legs.size() << " leg(s), last "
+                  << paris::call_event_name(static_cast<paris::CallEvent>(last.b))
+                  << " at t=" << last.at << "\n";
+        for (const sim::TraceRecord* r : legs)
+            std::cout << "  t=" << r->at << " node=" << r->node << " "
+                      << paris::call_event_name(static_cast<paris::CallEvent>(r->b))
+                      << " attempt=" << static_cast<unsigned>(r->flag) << "\n";
+    }
+    return 0;
+}
+
+/// Loads the lineage index sidecar if present, else builds it from the
+/// spill data and caches it for the next query (a failed cache write is
+/// not an error — the index is already in memory).
+bool load_lineage_index(const std::string& path, const std::vector<std::string>& files,
+                        obs::LineageIndex& idx, std::string* error) {
+    const std::string sidecar = obs::lineage_index_path(path);
+    std::error_code ec;
+    if (std::filesystem::exists(sidecar, ec) && idx.load(sidecar)) return true;
+    if (!idx.build(files, error)) return false;
+    idx.save(sidecar);
+    return true;
+}
+
+/// All query modes over spill input, streaming the deterministic merge.
+int run_spill(const std::string& path, bool check, bool summary, bool reconvergence,
+              bool violations, bool calls, const obs::TraceFilter& filter,
+              const std::optional<std::uint64_t>& chain) {
+    std::string error;
+    const std::vector<std::string> files = sim::spill_files(path, &error);
+    if (files.empty()) {
+        std::cerr << path << ": " << (error.empty() ? "no spill files" : error) << "\n";
+        return 2;
+    }
+    if (check || summary) {
+        obs::SpillSummary s;
+        if (!obs::spill_summarize(files, s, &error)) {
+            std::cerr << path << ": " << error << "\n";
+            return 1;
+        }
+        if (check) {
+            std::cout << path << ": valid spill data (" << s.files << " file(s), "
+                      << s.records << " record(s), " << s.stats.total_recorded
+                      << " recorded" << (s.truncated ? ", tail recovered" : "") << ")\n";
+            return 0;
+        }
+        std::cout << "spill " << path << ": " << s.files << " file(s), " << s.records
+                  << " records (" << s.stats.total_recorded << " recorded, "
+                  << s.stats.dropped << " dropped, " << s.stats.spilled_records
+                  << " spilled)";
+        if (s.records != 0)
+            std::cout << " t=[" << s.first_at << ", " << s.last_at << "]";
+        if (s.truncated) std::cout << " [tail recovered]";
+        std::cout << "\n";
+        for (unsigned k = 0; k < sim::kTraceKindCount; ++k)
+            if (s.counts[k] != 0)
+                std::cout << "  " << sim::trace_kind_name(static_cast<sim::TraceKind>(k))
+                          << ": " << s.counts[k] << "\n";
+        return 0;
+    }
+    if (chain) {
+        obs::LineageIndex idx;
+        if (!load_lineage_index(path, files, idx, &error)) {
+            std::cerr << path << ": " << error << "\n";
+            return 1;
+        }
+        const auto ancestry = idx.ancestry(*chain);
+        if (ancestry.empty()) {
+            std::cerr << "lineage " << *chain << " does not appear in the trace\n";
+            return 1;
+        }
+        std::cout << "ancestry:";
+        for (std::uint64_t lin : ancestry) std::cout << " " << lin;
+        std::cout << "\n";
+        std::vector<sim::TraceRecord> records;
+        if (!obs::spill_collect(
+                files,
+                [&](const sim::TraceRecord& r) {
+                    return r.lineage != 0 && std::find(ancestry.begin(), ancestry.end(),
+                                                       r.lineage) != ancestry.end();
+                },
+                records, &error)) {
+            std::cerr << path << ": " << error << "\n";
+            return 1;
+        }
+        std::cout << obs::format_records(records);
+        return 0;
+    }
+    if (violations) {
+        std::vector<sim::TraceRecord> found;
+        if (!obs::spill_collect(
+                files,
+                [](const sim::TraceRecord& r) {
+                    return r.kind == sim::TraceKind::kViolation;
+                },
+                found, &error)) {
+            std::cerr << path << ": " << error << "\n";
+            return 1;
+        }
+        if (found.empty()) {
+            std::cout << "no violations recorded\n";
+            return 0;
+        }
+        std::cout << found.size() << " violation record(s):\n"
+                  << obs::format_records(found);
+        obs::LineageIndex idx;
+        if (!load_lineage_index(path, files, idx, &error)) {
+            std::cerr << path << ": " << error << "\n";
+            return 1;
+        }
+        // One extra streaming pass covers every flagged lineage's chain:
+        // collect the union of the ancestry sets, then split per lineage.
+        std::vector<std::uint64_t> seen;
+        std::vector<std::uint64_t> wanted;
+        for (const auto& r : found) {
+            if (r.lineage == 0) continue;
+            if (std::find(seen.begin(), seen.end(), r.lineage) != seen.end()) continue;
+            seen.push_back(r.lineage);
+            for (std::uint64_t lin : idx.ancestry(r.lineage))
+                if (std::find(wanted.begin(), wanted.end(), lin) == wanted.end())
+                    wanted.push_back(lin);
+        }
+        std::vector<sim::TraceRecord> pool;
+        if (!seen.empty() &&
+            !obs::spill_collect(
+                files,
+                [&](const sim::TraceRecord& r) {
+                    return r.lineage != 0 && std::find(wanted.begin(), wanted.end(),
+                                                       r.lineage) != wanted.end();
+                },
+                pool, &error)) {
+            std::cerr << path << ": " << error << "\n";
+            return 1;
+        }
+        for (const std::uint64_t lineage : seen) {
+            const auto ancestry = idx.ancestry(lineage);
+            std::cout << "\nlineage " << lineage << " ancestry:";
+            for (std::uint64_t lin : ancestry) std::cout << " " << lin;
+            std::cout << "\n";
+            std::vector<sim::TraceRecord> chain_records;
+            for (const auto& r : pool)
+                if (std::find(ancestry.begin(), ancestry.end(), r.lineage) !=
+                    ancestry.end())
+                    chain_records.push_back(r);
+            std::cout << obs::format_records(chain_records);
+        }
+        return 1;
+    }
+    if (calls) {
+        obs::TraceFilter cf = filter;
+        cf.kind = sim::TraceKind::kCallEvent;
+        std::vector<sim::TraceRecord> found;
+        if (!obs::spill_collect(
+                files, [&](const sim::TraceRecord& r) { return matches(r, cf); }, found,
+                &error)) {
+            std::cerr << path << ": " << error << "\n";
+            return 1;
+        }
+        return print_calls(found);
+    }
+    std::vector<sim::TraceRecord> records;
+    if (!obs::spill_collect(
+            files,
+            [&](const sim::TraceRecord& r) {
+                return reconvergence || matches(r, filter);
+            },
+            records, &error)) {
+        std::cerr << path << ": " << error << "\n";
+        return 1;
+    }
+    if (reconvergence) {
+        std::cout << obs::format_reconvergence(records);
+        return 0;
+    }
+    std::cout << obs::format_records(records);
     return 0;
 }
 
@@ -125,6 +349,11 @@ int main(int argc, char** argv) {
     }
     if (path.empty()) return usage(argv[0]);
 
+    std::error_code ec;
+    if (std::filesystem::is_directory(path, ec) || sim::is_spill_file(path))
+        return run_spill(path, check, summary, reconvergence, violations, calls, filter,
+                         chain);
+
     std::string text;
     if (!read_file(path, text)) {
         std::cerr << "cannot read " << path << "\n";
@@ -158,45 +387,9 @@ int main(int argc, char** argv) {
         return 0;
     }
     if (calls) {
-        // Per-call leg reconstruction: every call-event record carries
-        // the packed call id in `a` (source << 32 | seq), the CallEvent
-        // code in `b` and the attempt number in `flag`, so grouping by
-        // `a` rebuilds each call's full life across every node it
-        // touched — offered, placed, per-hop reservations, rejects,
-        // retries, activation, release. Ring order is chronological.
         obs::TraceFilter cf = filter;
         cf.kind = sim::TraceKind::kCallEvent;
-        const auto found = obs::filter_records(trace.records, cf);
-        if (found.empty()) {
-            std::cout << "no call events recorded\n";
-            return 0;
-        }
-        std::vector<std::uint64_t> order;
-        std::map<std::uint64_t, std::vector<const sim::TraceRecord*>> by_call;
-        for (const auto& r : found) {
-            auto& legs = by_call[r.a];
-            if (legs.empty()) order.push_back(r.a);
-            legs.push_back(&r);
-        }
-        std::cout << order.size() << " call(s), " << found.size()
-                  << " call event(s)\n";
-        for (const std::uint64_t key : order) {
-            const auto& legs = by_call[key];
-            const sim::TraceRecord& last = *legs.back();
-            std::cout << "\ncall " << static_cast<NodeId>(key >> 32) << "."
-                      << (key & 0xffffffffULL) << " — " << legs.size()
-                      << " leg(s), last "
-                      << paris::call_event_name(
-                             static_cast<paris::CallEvent>(last.b))
-                      << " at t=" << last.at << "\n";
-            for (const sim::TraceRecord* r : legs)
-                std::cout << "  t=" << r->at << " node=" << r->node << " "
-                          << paris::call_event_name(
-                                 static_cast<paris::CallEvent>(r->b))
-                          << " attempt=" << static_cast<unsigned>(r->flag)
-                          << "\n";
-        }
-        return 0;
+        return print_calls(obs::filter_records(trace.records, cf));
     }
     if (violations) {
         // Shorthand for --kind violation, plus the causal history of every
