@@ -6,7 +6,8 @@ relative change. With --fail-on-regression P (or its older spelling
 --threshold P), exits 1 when any shared metric regressed by more than P
 percent — "regressed" respects the unit's direction: throughput and
 carried-work units (*_per_sec, calls) regress downwards, everything
-else (ns, ms, allocs, pct, bytes, ticks, retries) regresses upwards.
+else (ns, ms, allocs, pct, bytes, ticks, retries, and the critical-path
+units path_ticks and segments) regresses upwards.
 
   scripts/bench_diff.py old/BENCH_sim_core.json new/BENCH_sim_core.json
   scripts/bench_diff.py --fail-on-regression 5 old.json new.json
@@ -26,6 +27,9 @@ def load(path):
 
 
 def higher_is_better(unit):
+    # Latency-flavored units — path_ticks (end-to-end critical-path
+    # latency) and segments (path depth) among them — take the default
+    # lower-is-better direction.
     return "per_sec" in unit or unit in ("calls", "invocations")
 
 

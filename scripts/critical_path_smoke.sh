@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Critical-path determinism gate: the streaming latency-attribution
+# report must be a pure function of the run — not of how the run was
+# sharded, threaded, or stored. Runs the traced chaos scenario across a
+# (shards x threads) grid and requires
+#   1. `fastnet_trace --critical-path` over each cell's spill directory
+#      to be byte-identical to the same query over the cell's in-memory
+#      canonical export (streaming engine == in-memory engine), and
+#   2. every cell's report to be byte-identical to the single-shard
+#      single-thread reference (no partition artifacts in attribution),
+#   3. the side surfaces to stay wired: --waterfall renders the winning
+#      path, --flame emits a chrome trace that --check accepts, the
+#      metrics JSON carries the "critical_path" section, and
+#      fastnet_report renders it as the slowest-paths table.
+# Wired in as the CriticalPathSmoke ctest; also runnable by hand:
+#
+#   scripts/critical_path_smoke.sh [trace_spill_smoke] [fastnet_trace] [fastnet_report]
+set -euo pipefail
+
+smoke_bin="${1:-}"
+trace_bin="${2:-}"
+report_bin="${3:-}"
+if [[ -z "$smoke_bin" || -z "$trace_bin" || -z "$report_bin" ]]; then
+    cd "$(dirname "$0")/.."
+    for candidate in build/tests/fastnet_trace_spill_smoke build-*/tests/fastnet_trace_spill_smoke; do
+        [[ -x "$candidate" ]] && { smoke_bin="${smoke_bin:-$candidate}"; break; }
+    done
+    for candidate in build/tools/fastnet_trace build-*/tools/fastnet_trace; do
+        [[ -x "$candidate" ]] && { trace_bin="${trace_bin:-$candidate}"; break; }
+    done
+    for candidate in build/tools/fastnet_report build-*/tools/fastnet_report; do
+        [[ -x "$candidate" ]] && { report_bin="${report_bin:-$candidate}"; break; }
+    done
+fi
+for bin in "$smoke_bin" "$trace_bin" "$report_bin"; do
+    if [[ -z "$bin" || ! -x "$bin" ]]; then
+        echo "critical_path_smoke: binaries not found (build first, or pass their paths)" >&2
+        exit 2
+    fi
+done
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+for shards in 1 2 4 7; do
+    for threads in 1 2 0; do   # 0 = min(shards, hardware_concurrency)
+        cell="$tmp/s${shards}_t${threads}"
+        "$smoke_bin" --shards "$shards" --threads "$threads" --dir "$cell"
+        # Streaming (spill) vs in-memory (canonical export): same bytes.
+        "$trace_bin" "$cell/spill" --critical-path --top 3 > "$cell/cp_spill.txt"
+        "$trace_bin" "$cell/canonical.json" --critical-path --top 3 > "$cell/cp_mem.txt"
+        diff -u "$cell/cp_spill.txt" "$cell/cp_mem.txt"
+    done
+done
+
+# Attribution must not depend on the partition or the worker count.
+for shards in 1 2 4 7; do
+    for threads in 1 2 0; do
+        diff -u "$tmp/s1_t1/cp_spill.txt" "$tmp/s${shards}_t${threads}/cp_spill.txt"
+    done
+done
+
+spill="$tmp/s4_t2/spill"
+
+# Waterfall of the winning path, straight off the spill directory.
+"$trace_bin" "$spill" --critical-path --waterfall > "$tmp/waterfall.txt"
+grep -q "^waterfall " "$tmp/waterfall.txt" \
+    || { echo "critical_path_smoke: --waterfall rendered nothing" >&2; exit 1; }
+
+# Flame export is a valid chrome trace with the overlay track.
+"$trace_bin" "$spill" --critical-path --flame "$tmp/flame.json" > /dev/null
+"$trace_bin" "$tmp/flame.json" --check
+grep -q '"critical path"' "$tmp/flame.json" \
+    || { echo "critical_path_smoke: flame export lacks the path overlay track" >&2; exit 1; }
+
+# The metrics JSON carries the section and fastnet_report renders it.
+grep -q '"critical_path"' "$tmp/s1_t1/metrics.json" \
+    || { echo "critical_path_smoke: metrics JSON lacks the critical_path section" >&2; exit 1; }
+"$report_bin" --metrics "$tmp/s1_t1/metrics.json" > "$tmp/report.md"
+grep -q "## Critical paths" "$tmp/report.md" \
+    || { echo "critical_path_smoke: fastnet_report did not render the section" >&2; exit 1; }
+grep -q "| witness |" "$tmp/report.md" \
+    || { echo "critical_path_smoke: report table is missing the witness row" >&2; exit 1; }
+
+# --summary over a metrics file prints the handler profile histograms.
+"$trace_bin" "$tmp/s1_t1/metrics.json" --summary > "$tmp/summary.txt"
+grep -q "profile" "$tmp/summary.txt" \
+    || { echo "critical_path_smoke: --summary did not print the profile section" >&2; exit 1; }
+
+echo "critical_path_smoke: attribution byte-identical across the (shards x threads) grid, in-memory vs spill; waterfall, flame, metrics section and report table OK."

@@ -73,6 +73,17 @@ void Sampling::merge_from(const Sampling& o) {
     std::sort(phase_calls_.begin(), phase_calls_.end());
 }
 
+const char* path_segment_kind_name(PathSegmentKind k) {
+    switch (k) {
+        case PathSegmentKind::kQueueing: return "queueing";
+        case PathSegmentKind::kTransit: return "transit";
+        case PathSegmentKind::kHandler: return "handler";
+        case PathSegmentKind::kTimerWait: return "timer_wait";
+        case PathSegmentKind::kRetryBackoff: return "retry_backoff";
+    }
+    return "?";
+}
+
 const char* handler_kind_name(HandlerKind k) {
     switch (k) {
         case HandlerKind::kStart: return "start";

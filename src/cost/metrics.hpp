@@ -251,6 +251,60 @@ private:
     std::vector<Entry> entries_;
 };
 
+/// One latency-attribution segment kind on a causal critical path
+/// (mirrors obs::SegmentKind — cost:: stays below obs:: in the layer
+/// order, so the enum lives here and obs reuses it). The five kinds
+/// tile a chain's end-to-end latency exactly: every tick between the
+/// root injection and the terminal handler completion is attributed to
+/// exactly one of them (see src/obs/critical_path.hpp).
+enum class PathSegmentKind : std::uint8_t {
+    kQueueing = 0,   ///< Waiting for an NCU slot (or A1 send serialization).
+    kTransit,        ///< In flight on the fabric (hops, link delays).
+    kHandler,        ///< Inside a handler's busy window.
+    kTimerWait,      ///< Armed timer waiting to fire.
+    kRetryBackoff,   ///< Timer wait reclassified as retry backoff (cookie kind).
+};
+
+inline constexpr unsigned kPathSegmentKindCount = 5;
+
+const char* path_segment_kind_name(PathSegmentKind k);
+
+/// Critical-path attribution of one completed run, folded into the
+/// ledger post-run by whoever computed it (obs::CriticalPathBuilder via
+/// obs::to_path_stats). Serialized as the "critical_path" section of
+/// metrics JSON; null until computed.
+struct CriticalPathStats {
+    /// One root chain: root injection -> terminal handler completion.
+    struct Path {
+        std::uint64_t root = 0;       ///< Root lineage id.
+        Tick root_start = 0;          ///< Root injection tick.
+        Tick end = 0;                 ///< Terminal handler completion tick.
+        std::uint64_t terminal = 0;   ///< Terminal lineage id.
+        NodeId terminal_node = kNoNode;
+        std::uint32_t depth = 0;      ///< Handler completions on the chain.
+        /// Per-kind tick totals, indexed by PathSegmentKind; sums
+        /// exactly to latency().
+        std::array<Tick, kPathSegmentKindCount> segments{};
+
+        Tick latency() const { return end - root_start; }
+        Tick segment_sum() const {
+            Tick s = 0;
+            for (const Tick t : segments) s += t;
+            return s;
+        }
+    };
+
+    bool computed = false;
+    Path witness;               ///< The chain ending at the last delivery.
+    std::vector<Path> top;      ///< Slowest root chains, latency-descending.
+    std::uint64_t deliveries = 0;      ///< Deliveries the pass attributed.
+    std::uint64_t unanchored = 0;      ///< Legs priced without chain context.
+    std::uint64_t clamped = 0;         ///< Anchor/busy clamps applied.
+    std::uint64_t pruned = 0;          ///< Live chain entries aged out.
+
+    bool any() const { return computed; }
+};
+
 /// Trace-ledger totals folded in by the cluster at the end of a run —
 /// the explicit answer to "did the ring silently truncate?" plus the
 /// spill subsystem's footprint (see sim/trace_spill.hpp). Serialized as
@@ -328,6 +382,10 @@ public:
     void set_trace_stats(const TraceStats& s) { trace_stats_ = s; }
     const TraceStats& trace_stats() const { return trace_stats_; }
 
+    // ---- critical-path ledger (fed post-run by the attribution pass) --
+    void set_critical_path(CriticalPathStats s) { critical_path_ = std::move(s); }
+    const CriticalPathStats& critical_path() const { return critical_path_; }
+
     // ---- memory ledger (optional; fed by Cluster::sample_memory) ------
     /// Records one observation: keeps it as the latest, bumps the sample
     /// count, tracks the peak per-node footprint seen, and (when windowed
@@ -346,6 +404,7 @@ private:
     CallStats calls_;
     Profiler profiler_;
     TraceStats trace_stats_;
+    CriticalPathStats critical_path_;
     std::unique_ptr<Sampling> sampling_;
     std::uint64_t phase_ = 0;
     MemorySample memory_latest_;

@@ -312,7 +312,8 @@ void Network::arrive(NodeId at, EdgeId e, std::uint64_t epoch, Packet* pkt) {
     metrics_.net().hops += 1;
     if (trace_ != nullptr && trace_->enabled(sim::TraceKind::kHop))
         trace_->record(sim_.now(), at, sim::TraceKind::kHop,
-                       {.lineage = pkt->lineage, .a = e, .b = pkt->hops, .flag = 0});
+                       {.lineage = pkt->lineage, .a = e, .b = pkt->hops,
+                        .c = static_cast<std::uint64_t>(pkt->hop_sent_at), .flag = 0});
     if (cost::Sampling* s = metrics_.sampling()) {
         s->hops().add(sim_.now(), 1);
         s->hop_latency().add(static_cast<std::uint64_t>(sim_.now() - pkt->hop_sent_at));
@@ -359,6 +360,7 @@ void Network::deliver_to_ncu(NodeId node, const Packet& pkt) {
     d.payload = pkt.payload;
     d.origin = pkt.origin;
     d.lineage = pkt.lineage;
+    d.sent_at = pkt.sent_at;
     d.hops = pkt.hops;
     if (cost::Sampling* s = metrics_.sampling())
         s->delivery_latency().add(static_cast<std::uint64_t>(sim_.now() - pkt.sent_at));
@@ -369,6 +371,7 @@ void Network::deliver_to_ncu(NodeId node, const Packet& pkt) {
         ev.node = node;
         ev.lineage = pkt.lineage;
         ev.a = pkt.hops;
+        ev.b = static_cast<std::uint64_t>(pkt.sent_at);
         monitors_->dispatch(ev);
     }
     if (sink != nullptr)

@@ -202,6 +202,9 @@ struct Delivery {
     /// Causal lineage of the packet that produced this delivery
     /// (observability only; protocols must not branch on it).
     std::uint64_t lineage = 0;
+    /// Injection time of the packet (observability only — the causal
+    /// anchor of the kDeliver trace record and of latency attribution).
+    Tick sent_at = 0;
     unsigned hops = 0;                        ///< Hardware hops travelled.
 };
 

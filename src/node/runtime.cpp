@@ -178,7 +178,8 @@ void NodeRuntime::complete(Work w, Tick busy) {
         if (trace_ && trace_->enabled(sim::TraceKind::kDeliver))
             trace_->record(now(), self_, sim::TraceKind::kDeliver,
                            {.lineage = d->lineage, .a = d->hops,
-                            .b = static_cast<std::uint64_t>(busy)});
+                            .b = static_cast<std::uint64_t>(busy),
+                            .c = static_cast<std::uint64_t>(d->sent_at)});
         if (cost::Sampling* s = net_.metrics().sampling()) {
             s->node(self_).deliveries.add(now(), 1);
             s->phase_call(net_.metrics().phase());
@@ -208,7 +209,8 @@ void NodeRuntime::complete(Work w, Tick busy) {
         if (trace_ && trace_->enabled(sim::TraceKind::kTimer))
             trace_->record(now(), self_, sim::TraceKind::kTimer,
                            {.lineage = t->lineage, .a = t->cookie,
-                            .b = static_cast<std::uint64_t>(busy)});
+                            .b = static_cast<std::uint64_t>(busy),
+                            .c = static_cast<std::uint64_t>(t->armed_at)});
         current_lineage_ = t->lineage;
         protocol_->on_timer(*this, t->cookie);
         current_lineage_ = 0;
@@ -255,10 +257,11 @@ TimerId NodeRuntime::set_timer(Tick delay, std::uint64_t cookie) {
     FASTNET_EXPECTS(delay >= 0);
     const TimerId id = next_timer_++;
     const sim::EventId ev = net_.schedule_after(
-        self_, delay, [this, inc = incarnation_, lin = current_lineage_, id, cookie] {
+        self_, delay,
+        [this, inc = incarnation_, lin = current_lineage_, armed = now(), id, cookie] {
             if (inc != incarnation_) return;  // crash already cancelled it
             std::erase_if(pending_timers_, [id](const auto& p) { return p.first == id; });
-            enqueue(TimerWork{id, cookie, lin});
+            enqueue(TimerWork{id, cookie, lin, armed});
         });
     pending_timers_.emplace_back(id, ev);
     return id;

@@ -113,7 +113,8 @@ public:
     void record(sim::TraceKind kind, std::uint64_t a, std::uint64_t b = 0,
                 std::uint8_t flag = 0) override {
         if (trace_ && trace_->enabled(kind))
-            trace_->record(now(), self_, kind, {current_lineage_, a, b, flag});
+            trace_->record(now(), self_, kind,
+                           {.lineage = current_lineage_, .a = a, .b = b, .flag = flag});
     }
 
 private:
@@ -125,6 +126,9 @@ private:
         /// Causal lineage of the invocation that armed the timer (0 if it
         /// was armed outside a handler) — traces link a fire back to it.
         std::uint64_t lineage;
+        /// When set_timer ran — the completion instant of the arming
+        /// handler; the causal anchor (`c`) of the kTimer record.
+        Tick armed_at;
     };
     struct LinkWork {
         std::size_t link_index;

@@ -180,6 +180,17 @@ void BoundAudit::phase_budget(const cost::Metrics& metrics, std::uint64_t phase,
                     static_cast<double>(calls), static_cast<double>(max_calls));
 }
 
+void BoundAudit::critical_path(const cost::CriticalPathStats& stats, double bound_ticks) {
+    FASTNET_EXPECTS_MSG(stats.computed, "critical_path audit needs computed stats");
+    const cost::CriticalPathStats::Path& w = stats.witness;
+    require_at_most("critical_path/latency", static_cast<double>(w.latency()),
+                    bound_ticks);
+    // The engine's conservation law as an executable check: attribution
+    // that does not tile the interval is a bug, not a rounding artifact.
+    require_exactly("critical_path/segment_sum", static_cast<double>(w.segment_sum()),
+                    static_cast<double>(w.latency()));
+}
+
 std::string audit_json(const BoundAudit& audit) {
     std::string out = "{\n";
     out += "  \"fastnet_audit\": 1,\n";

@@ -82,6 +82,14 @@ public:
     void phase_budget(const cost::Metrics& metrics, std::uint64_t phase,
                       std::uint64_t max_calls);
 
+    /// Prices an observed critical path against a theorem bound:
+    /// witness latency <= `bound_ticks` (e.g. Theorem 2's broadcast time
+    /// in ticks, or the paris retry envelope), plus the engine's own
+    /// conservation law — the per-segment attribution must sum exactly
+    /// to the end-to-end latency (obs/critical_path.hpp maintains this
+    /// by construction; the audit makes it an executable check).
+    void critical_path(const cost::CriticalPathStats& stats, double bound_ticks);
+
     // ---- verdict ------------------------------------------------------
     const std::string& name() const { return name_; }
     const std::vector<BoundCheck>& checks() const { return checks_; }

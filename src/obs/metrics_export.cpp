@@ -124,6 +124,41 @@ std::string metrics_json(const cost::Metrics& metrics, const std::string& name) 
     } else {
         out += ",\n\"trace\": null";
     }
+    if (const cost::CriticalPathStats& cp = metrics.critical_path(); cp.any()) {
+        const auto append_path = [&out](const cost::CriticalPathStats::Path& p) {
+            append_kv(out, "{\"root\": ", p.root);
+            append_kv(out, ",\"root_start\": ", static_cast<std::uint64_t>(p.root_start));
+            append_kv(out, ",\"end\": ", static_cast<std::uint64_t>(p.end));
+            append_kv(out, ",\"latency\": ", static_cast<std::uint64_t>(p.latency()));
+            append_kv(out, ",\"terminal\": ", p.terminal);
+            out += ",\"terminal_node\": ";
+            out += p.terminal_node == kNoNode ? std::string("null")
+                                              : std::to_string(p.terminal_node);
+            append_kv(out, ",\"depth\": ", p.depth);
+            for (unsigned k = 0; k < cost::kPathSegmentKindCount; ++k) {
+                out += ",\"";
+                out += cost::path_segment_kind_name(static_cast<cost::PathSegmentKind>(k));
+                out += "\": ";
+                out += std::to_string(p.segments[k]);
+            }
+            out += "}";
+        };
+        out += ",\n\"critical_path\": {\"witness\": ";
+        append_path(cp.witness);
+        append_kv(out, ",\"deliveries\": ", cp.deliveries);
+        append_kv(out, ",\"unanchored\": ", cp.unanchored);
+        append_kv(out, ",\"clamped\": ", cp.clamped);
+        append_kv(out, ",\"pruned\": ", cp.pruned);
+        out += ",\"top\": [";
+        for (std::size_t i = 0; i < cp.top.size(); ++i) {
+            if (i != 0) out += ",";
+            out += "\n";
+            append_path(cp.top[i]);
+        }
+        out += cp.top.empty() ? "]}" : "\n]}";
+    } else {
+        out += ",\n\"critical_path\": null";
+    }
     if (const cost::Profiler& p = metrics.profiler(); p.any()) {
         // Per-protocol handler profile, sorted by name: per-shard
         // registration order depends on the partition, names do not.

@@ -225,6 +225,26 @@ void TraceOverflowMonitor::on_event(MonitorHub& hub, const MonitorEvent& ev) {
     }
 }
 
+void LatencySloMonitor::on_event(MonitorHub& hub, const MonitorEvent& ev) {
+    if (ev.kind == MonitorEvent::Kind::kSend) {
+        if (ev.lineage == 0) return;
+        Tick root_start = ev.at;
+        if (ev.b != 0)
+            if (const Tick* parent = start_.find(ev.b)) root_start = *parent;
+        start_[ev.lineage] = root_start;
+        return;
+    }
+    if (ev.kind != MonitorEvent::Kind::kDeliver) return;
+    Tick root_start = static_cast<Tick>(ev.b);  // fallback: own injection
+    if (const Tick* s = start_.find(ev.lineage)) root_start = *s;
+    const Tick latency = ev.at - root_start;
+    if (latency <= ceiling_) return;
+    hub.report(*this, ev.at, ev.node, ev.lineage,
+               "path latency " + std::to_string(latency) + " exceeds ceiling " +
+                   std::to_string(ceiling_) + " (root injection at t=" +
+                   std::to_string(root_start) + ")");
+}
+
 void add_standard_monitors(MonitorHub& hub, std::uint64_t queue_ceiling) {
     hub.add(std::make_unique<LineageConservationMonitor>());
     hub.add(std::make_unique<BusyWindowMonitor>());

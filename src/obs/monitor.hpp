@@ -40,7 +40,7 @@ namespace fastnet::obs {
 /// |-----------|------------|---------|--------------------|----------------|
 /// | kSend     | sender     | yes     | header length      | parent lineage |
 /// | kHop      | arrival    | yes     | edge               | hops so far    |
-/// | kDeliver  | receiver   | yes     | hops travelled     | —              |
+/// | kDeliver  | receiver   | yes     | hops travelled     | injection tick |
 /// | kDrop     | where      | yes     | edge (kNoEdge off) | DropReason     |
 /// | kDup      | sender side| yes     | edge               | new packet id  |
 /// | kRetire   | —          | yes     | —                  | —              |
@@ -312,6 +312,26 @@ public:
 private:
     bool reported_records_ = false;
     bool reported_details_ = false;
+};
+
+/// Live path-latency ceiling: fires when a delivery completes more than
+/// `ceiling` ticks after its chain's *root* injection — the causal
+/// path-latency SLO checked at event time instead of post-hoc by the
+/// critical-path pass (obs/critical_path.hpp prices the same chains
+/// exactly; this monitor is the cheap online tripwire). Root starts
+/// propagate through kSend events (b = parent lineage); a delivery whose
+/// chain was never seen falls back to its own injection tick (kDeliver
+/// b), i.e. one-leg latency. Opt-in — not part of the standard set:
+/// the per-lineage start ledger grows with live chains.
+class LatencySloMonitor final : public Monitor {
+public:
+    explicit LatencySloMonitor(Tick ceiling) : ceiling_(ceiling) {}
+    const char* name() const override { return "latency_slo"; }
+    void on_event(MonitorHub& hub, const MonitorEvent& ev) override;
+
+private:
+    Tick ceiling_;
+    util::FlatMap64<Tick> start_;  ///< lineage -> root injection tick.
 };
 
 /// Registers the always-applicable invariants: lineage conservation,

@@ -88,6 +88,36 @@ bool spill_collect(const std::vector<std::string>& paths,
     return true;
 }
 
+bool spill_critical_path(const std::vector<std::string>& paths,
+                         const CriticalPathConfig& config, CriticalPathReport& out,
+                         std::string* error, std::size_t* peak_memory_bytes) {
+    sim::SpillMerge merge;
+    if (!merge.open(paths, error)) return false;
+    CriticalPathBuilder builder(config);
+    std::size_t peak = builder.memory_bytes();
+    sim::TraceRecord r;
+    while (merge.next(r)) {
+        builder.add(r);
+        peak = std::max(peak, builder.memory_bytes());
+    }
+    out = builder.finish();
+    if (peak_memory_bytes != nullptr) *peak_memory_bytes = peak;
+    return true;
+}
+
+bool spill_chain_records(const std::vector<std::string>& paths, const LineageIndex& index,
+                         std::uint64_t terminal, std::vector<sim::TraceRecord>& out,
+                         std::string* error) {
+    std::vector<std::uint64_t> chain = index.ancestry(terminal);
+    std::sort(chain.begin(), chain.end());
+    return spill_collect(
+        paths,
+        [&chain](const sim::TraceRecord& r) {
+            return std::binary_search(chain.begin(), chain.end(), r.lineage);
+        },
+        out, error);
+}
+
 bool spill_summarize(const std::vector<std::string>& paths, SpillSummary& out,
                      std::string* error) {
     sim::SpillMerge merge;
@@ -169,9 +199,11 @@ std::vector<std::uint64_t> LineageIndex::ancestry(std::uint64_t lineage) const {
     std::vector<std::uint64_t> chain;
     std::uint64_t cur = lineage;
     while (cur != 0) {
-        // Same cycle guard as obs::lineage_ancestry: real ids cannot
-        // cycle, a corrupt file must not hang us.
-        if (std::find(chain.begin(), chain.end(), cur) != chain.end()) break;
+        // Cycle guard: real ids cannot cycle, a corrupt file must not
+        // hang us. A chain longer than the index has entries must have
+        // revisited one — O(1) per step, so million-deep chains (the
+        // ring election at scale) stay linear.
+        if (chain.size() > pairs_.size()) break;
         chain.push_back(cur);
         cur = parent_of(cur);
     }

@@ -23,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/critical_path.hpp"
 #include "obs/trace_export.hpp"
 #include "obs/trace_query.hpp"
 #include "sim/trace_spill.hpp"
@@ -46,6 +47,16 @@ bool spill_chrome_json(const std::vector<std::string>& paths, const ExportMeta& 
 bool spill_collect(const std::vector<std::string>& paths,
                    const std::function<bool(const sim::TraceRecord&)>& keep,
                    std::vector<sim::TraceRecord>& out, std::string* error = nullptr);
+
+/// Streams the merged records of `paths` through a CriticalPathBuilder
+/// in one bounded-memory pass — the spill-side twin of
+/// obs::critical_path over in-memory records. `peak_memory_bytes`
+/// (optional) receives the builder's maximum resident footprint, what
+/// bench_critical_path gates against the 4 MiB budget.
+bool spill_critical_path(const std::vector<std::string>& paths,
+                         const CriticalPathConfig& config, CriticalPathReport& out,
+                         std::string* error = nullptr,
+                         std::size_t* peak_memory_bytes = nullptr);
 
 /// One-pass summary of a spill data set.
 struct SpillSummary {
@@ -86,6 +97,14 @@ private:
     /// Sorted by lineage; binary-searched by parent_of.
     std::vector<std::pair<std::uint64_t, std::uint64_t>> pairs_;
 };
+
+/// Collects the full record set of one reported chain (every record of
+/// the terminal lineage's ancestry, merge order) — exactly the
+/// chain_records input obs::path_waterfall wants. Streams the spill
+/// once; resident memory scales with the chain, not the trace.
+bool spill_chain_records(const std::vector<std::string>& paths, const LineageIndex& index,
+                         std::uint64_t terminal, std::vector<sim::TraceRecord>& out,
+                         std::string* error = nullptr);
 
 /// Canonical sidecar location for a spill file or directory:
 /// `<file>.fnlidx` / `<dir>/lineage.fnlidx`.

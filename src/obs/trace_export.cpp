@@ -21,6 +21,9 @@ void append_canonical_record(std::string& out, const sim::TraceRecord& r) {
     out += "\",\"lineage\":" + std::to_string(r.lineage);
     out += ",\"a\":" + std::to_string(r.a);
     out += ",\"b\":" + std::to_string(r.b);
+    // Causal anchor: emitted only when set, so records without one (and
+    // pre-anchor exports) keep their exact historical bytes.
+    if (r.c != 0) out += ",\"c\":" + std::to_string(r.c);
     out += ",\"flag\":" + std::to_string(r.flag);
     if (!r.detail.empty()) {
         out += ",\"detail\":";
@@ -359,6 +362,10 @@ bool load_canonical(std::string_view json_text, LoadedTrace& out, std::string* e
         rec.a = a->uint_value;
         rec.b = b->uint_value;
         rec.flag = static_cast<std::uint8_t>(flag->uint_value);
+        if (const JsonValue* c = rv.find("c")) {  // optional causal anchor
+            if (!c->is_uint()) return check_fail(error, where + ": non-integer c");
+            rec.c = c->uint_value;
+        }
 
         if (const JsonValue* detail = rv.find("detail")) {
             if (!detail->is_string())

@@ -82,6 +82,7 @@ void Trace::record(Tick at, NodeId node, TraceKind kind, TraceArgs args) {
     rec.lineage = args.lineage;
     rec.a = args.a;
     rec.b = args.b;
+    rec.c = args.c;
     push(rec);
 }
 
@@ -97,6 +98,7 @@ void Trace::record_detail(Tick at, NodeId node, TraceKind kind, std::string_view
     rec.lineage = args.lineage;
     rec.a = args.a;
     rec.b = args.b;
+    rec.c = args.c;
     if (!detail.empty()) {
         // With spill enabled a full arena drains to disk instead of
         // dropping the detail (only a single over-budget string still
@@ -135,6 +137,7 @@ TraceRecord Trace::materialize(const Rec& r) const {
     out.lineage = r.lineage;
     out.a = r.a;
     out.b = r.b;
+    out.c = r.c;
     if (r.detail_pos != 0)
         out.detail.assign(arena_.data() + (r.detail_pos - 1), r.detail_len);
     return out;
@@ -214,6 +217,7 @@ void Trace::flush_spill() {
         it.lineage = r.lineage;
         it.a = r.a;
         it.b = r.b;
+        it.c = r.c;
         it.node = r.node;
         it.kind = r.kind;
         it.flag = r.flag;
@@ -262,12 +266,15 @@ std::string format_record(const TraceRecord& r) {
             break;
         case TraceKind::kHop:
             line += " edge=" + std::to_string(r.a) + " hops=" + std::to_string(r.b);
+            if (r.c != 0) line += " tx_at=" + std::to_string(r.c);
             break;
         case TraceKind::kDeliver:
             line += " hops=" + std::to_string(r.a) + " busy=" + std::to_string(r.b);
+            if (r.c != 0) line += " sent_at=" + std::to_string(r.c);
             break;
         case TraceKind::kTimer:
             line += " cookie=" + std::to_string(r.a) + " busy=" + std::to_string(r.b);
+            if (r.c != 0) line += " armed_at=" + std::to_string(r.c);
             break;
         case TraceKind::kLinkChange:
             line += " edge=" + std::to_string(r.a);

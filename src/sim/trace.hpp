@@ -39,9 +39,9 @@ class SpillWriter;
 enum class TraceKind : std::uint8_t {
     kStart,       ///< Spontaneous protocol start ran.       b = busy ticks
     kSend,        ///< NCU injected a packet.                a = header len, b = parent lineage
-    kHop,         ///< Packet traversed a link.              a = edge, b = hops so far
-    kDeliver,     ///< Delivery handler completed.           a = hops, b = busy ticks
-    kTimer,       ///< Timer handler completed.              a = cookie, b = busy ticks
+    kHop,         ///< Packet traversed a link.              a = edge, b = hops so far, c = hop sent at
+    kDeliver,     ///< Delivery handler completed.           a = hops, b = busy ticks, c = packet sent at
+    kTimer,       ///< Timer handler completed.              a = cookie, b = busy ticks, c = armed at
     kLinkChange,  ///< Data-link notification processed.     a = edge, flag = up, b = busy ticks
     kDrop,        ///< Packet died.                          a = edge (kNoEdge off-link), flag = DropReason
     kCrash,       ///< Node hard-crashed.                    a = incarnation being killed
@@ -88,10 +88,18 @@ struct TraceSpillConfig {
 
 /// Kind-specific arguments of one record; see the TraceKind table above
 /// for what each kind stores where.
+///
+/// The third word `c` is the *causal anchor*: the simulated instant the
+/// interval ending at this record began (kDeliver: when the packet was
+/// injected; kTimer: when the timer was armed; kHop: when this hop's
+/// transmit started). It makes every record self-describing for latency
+/// attribution (obs/critical_path.hpp) — no cross-record state is
+/// needed to price a leg. 0 = not applicable.
 struct TraceArgs {
     std::uint64_t lineage = 0;  ///< Causal lineage id (0 = none).
     std::uint64_t a = 0;
     std::uint64_t b = 0;
+    std::uint64_t c = 0;        ///< Causal anchor tick (see above).
     std::uint8_t flag = 0;
 };
 
@@ -106,6 +114,7 @@ struct TraceRecord {
     std::uint64_t lineage = 0;
     std::uint64_t a = 0;
     std::uint64_t b = 0;
+    std::uint64_t c = 0;  ///< Causal anchor tick (see TraceArgs).
     std::string detail{};
 };
 
@@ -192,6 +201,7 @@ private:
         std::uint64_t lineage = 0;
         std::uint64_t a = 0;
         std::uint64_t b = 0;
+        std::uint64_t c = 0;
         NodeId node = kNoNode;
         std::uint32_t detail_pos = 0;  ///< 1-based offset into arena_; 0 = none.
         std::uint32_t detail_len = 0;

@@ -12,7 +12,9 @@ namespace fastnet::sim {
 namespace {
 
 /// Fixed-size part of one on-disk record (the detail bytes follow).
-constexpr std::size_t kRecordFixedBytes = 8 * 5 + 4 + 4 + 1 + 1;
+constexpr std::size_t kRecordFixedBytes = 8 * 6 + 4 + 4 + 1 + 1;
+/// v1 records lacked the `c` word.
+constexpr std::size_t kRecordFixedBytesV1 = 8 * 5 + 4 + 4 + 1 + 1;
 constexpr std::size_t kSegmentHeaderBytes = 4 + 4 + 8;
 constexpr std::size_t kFileHeaderBytes = 8 + 4 + 4;
 constexpr std::size_t kStatsPayloadBytes = 8 * 4;
@@ -80,6 +82,7 @@ bool SpillWriter::write_segment(std::vector<Item>& items) {
         put_u64(buf_, it.lineage);
         put_u64(buf_, it.a);
         put_u64(buf_, it.b);
+        put_u64(buf_, it.c);
         put_u32(buf_, it.node);
         put_u32(buf_, static_cast<std::uint32_t>(it.detail.size()));
         buf_.push_back(static_cast<char>(it.kind));
@@ -128,9 +131,10 @@ bool SpillFile::open(const std::string& path, std::string* error) {
         return fail(error, path + ": not a spill file (short header)");
     if (std::memcmp(header, kSpillMagic, sizeof(kSpillMagic)) != 0)
         return fail(error, path + ": not a spill file (bad magic)");
-    const std::uint32_t version = get_u32(header + 8);
-    if (version != kSpillVersion)
-        return fail(error, path + ": unsupported spill version " + std::to_string(version));
+    version_ = get_u32(header + 8);
+    if (version_ < kSpillMinVersion || version_ > kSpillVersion)
+        return fail(error,
+                    path + ": unsupported spill version " + std::to_string(version_));
     shard_ = get_u32(header + 12);
 
     std::uint64_t offset = kFileHeaderBytes;
@@ -188,13 +192,15 @@ bool SpillSegmentCursor::open(const SpillFile& file, std::size_t segment_index,
     if (!in_) return fail(error, "cannot open spill file " + file.path());
     in_.seekg(static_cast<std::streamoff>(seg.offset));
     remaining_ = seg.records;
+    has_c_ = file.version() >= 2;
     return true;
 }
 
 bool SpillSegmentCursor::next(TraceRecord& out, std::uint64_t& seq) {
     if (remaining_ == 0) return false;
     unsigned char fixed[kRecordFixedBytes];
-    if (!in_.read(reinterpret_cast<char*>(fixed), sizeof(fixed))) {
+    const std::size_t fixed_bytes = has_c_ ? kRecordFixedBytes : kRecordFixedBytesV1;
+    if (!in_.read(reinterpret_cast<char*>(fixed), static_cast<std::streamsize>(fixed_bytes))) {
         error_ = "short read inside segment";
         remaining_ = 0;
         return false;
@@ -204,10 +210,13 @@ bool SpillSegmentCursor::next(TraceRecord& out, std::uint64_t& seq) {
     out.lineage = get_u64(fixed + 16);
     out.a = get_u64(fixed + 24);
     out.b = get_u64(fixed + 32);
-    out.node = get_u32(fixed + 40);
-    const std::uint32_t detail_len = get_u32(fixed + 44);
-    out.kind = static_cast<TraceKind>(fixed[48]);
-    out.flag = fixed[49];
+    // Past `b` the v1 layout simply omits the 8-byte `c` word.
+    const std::size_t tail = has_c_ ? 40 : 32;
+    out.c = has_c_ ? get_u64(fixed + 40) : 0;
+    out.node = get_u32(fixed + tail + 8);
+    const std::uint32_t detail_len = get_u32(fixed + tail + 12);
+    out.kind = static_cast<TraceKind>(fixed[tail + 16]);
+    out.flag = fixed[tail + 17];
     out.detail.clear();
     if (detail_len != 0) {
         out.detail.resize(detail_len);

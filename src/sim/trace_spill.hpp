@@ -16,14 +16,18 @@
 //
 // On-disk layout (all integers little-endian):
 //   file   := header segment* stats?
-//   header := "FNSPILL1" u32 version=1 u32 shard
+//   header := "FNSPILL1" u32 version=2 u32 shard
 //   segment:= u32 0x46534547 ("GESF") u32 record_count u64 payload_bytes
 //             record*            — payload_bytes of records
-//   record := i64 at  u64 seq  u64 lineage  u64 a  u64 b
+//   record := i64 at  u64 seq  u64 lineage  u64 a  u64 b  u64 c
 //             u32 node  u32 detail_len  u8 kind  u8 flag  detail bytes
 //   stats  := u32 0x46535354 ("TSSF") u32 0 u64 32
 //             u64 total_recorded  u64 dropped  u64 detail_dropped
 //             u64 spilled_records
+//
+// Version history: v1 records had no `c` word (50 fixed bytes instead
+// of 58). Readers accept both; v1 records materialize with c = 0.
+// Writers always emit the current version.
 //
 // A reader tolerates a truncated tail (crash mid-segment): complete
 // segments are kept, the partial one is discarded, and when the stats
@@ -51,7 +55,9 @@ inline std::uint64_t trace_node_sort_key(NodeId node) {
 }
 
 inline constexpr char kSpillMagic[8] = {'F', 'N', 'S', 'P', 'I', 'L', 'L', '1'};
-inline constexpr std::uint32_t kSpillVersion = 1;
+inline constexpr std::uint32_t kSpillVersion = 2;
+/// Oldest version the readers still accept (records without `c`).
+inline constexpr std::uint32_t kSpillMinVersion = 1;
 inline constexpr std::uint32_t kSpillSegmentMagic = 0x46534547;  // "GESF"
 inline constexpr std::uint32_t kSpillStatsMagic = 0x46535354;    // "TSSF"
 
@@ -77,6 +83,7 @@ public:
         std::uint64_t lineage = 0;
         std::uint64_t a = 0;
         std::uint64_t b = 0;
+        std::uint64_t c = 0;
         NodeId node = kNoNode;
         TraceKind kind = TraceKind::kCustom;
         std::uint8_t flag = 0;
@@ -121,6 +128,8 @@ public:
     bool open(const std::string& path, std::string* error = nullptr);
     const std::string& path() const { return path_; }
     std::uint32_t shard() const { return shard_; }
+    /// Format version of this file (see kSpillVersion history note).
+    std::uint32_t version() const { return version_; }
     const std::vector<Segment>& segments() const { return segments_; }
     const SpillStats& stats() const { return stats_; }
     /// True when the file ended mid-segment (crash); the partial segment
@@ -130,6 +139,7 @@ public:
 private:
     std::string path_;
     std::uint32_t shard_ = 0;
+    std::uint32_t version_ = kSpillVersion;
     std::vector<Segment> segments_;
     SpillStats stats_;
     bool truncated_ = false;
@@ -147,6 +157,7 @@ public:
 private:
     std::ifstream in_;
     std::uint32_t remaining_ = 0;
+    bool has_c_ = true;  ///< False for v1 files (no `c` word; reads 0).
     std::string error_;
 };
 

@@ -53,6 +53,7 @@ struct RunOutput {
     std::string canonical;
     std::string chrome;
     std::string metrics;
+    std::string critical_path;  ///< format_critical_path of the run.
     std::uint64_t total_recorded = 0;
     std::vector<sim::TraceRecord> records;  ///< In-memory run only.
 };
@@ -130,7 +131,13 @@ RunOutput run_case(unsigned shards, unsigned threads, const std::string& spill_d
         out.canonical = obs::canonical_trace_json(out.records, meta, out.total_recorded,
                                                   0, 0);
         out.chrome = obs::chrome_trace_json(out.records, meta);
-        out.metrics = obs::metrics_json(cluster.merged_metrics(), "spill_smoke");
+        // Price the run's latency: in-memory engine here, streaming
+        // spill engine in the other branch — main() byte-diffs the two.
+        const obs::CriticalPathReport cp = obs::critical_path(out.records);
+        out.critical_path = obs::format_critical_path(cp);
+        cost::Metrics metrics = cluster.merged_metrics();
+        metrics.set_critical_path(obs::to_path_stats(cp));
+        out.metrics = obs::metrics_json(metrics, "spill_smoke");
     } else {
         FASTNET_ENSURES_MSG(cluster.trace_spilled_records() == out.total_recorded,
                             "spill lost records");
@@ -146,7 +153,13 @@ RunOutput run_case(unsigned shards, unsigned threads, const std::string& spill_d
                             "spill chrome export failed");
         out.canonical = canonical.str();
         out.chrome = chrome.str();
-        out.metrics = obs::metrics_json(cluster.merged_metrics(), "spill_smoke");
+        obs::CriticalPathReport cp;
+        FASTNET_ENSURES_MSG(obs::spill_critical_path(files, {}, cp, &error),
+                            "spill critical-path pass failed");
+        out.critical_path = obs::format_critical_path(cp);
+        cost::Metrics metrics = cluster.merged_metrics();
+        metrics.set_critical_path(obs::to_path_stats(cp));
+        out.metrics = obs::metrics_json(metrics, "spill_smoke");
     }
     return out;
 }
@@ -234,6 +247,9 @@ int main(int argc, char** argv) {
                         "canonical export differs between resident and spilled runs");
     FASTNET_ENSURES_MSG(resident.chrome == spilled.chrome,
                         "chrome export differs between resident and spilled runs");
+    FASTNET_ENSURES_MSG(resident.critical_path == spilled.critical_path,
+                        "critical-path report differs between the in-memory engine "
+                        "and the streaming spill engine");
 
     // Lineage index sidecar == the in-memory ancestry relation.
     std::string error;

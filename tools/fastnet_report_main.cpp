@@ -44,11 +44,14 @@ namespace {
 int usage(const char* argv0) {
     std::cerr << "usage: " << argv0
               << " [--history DIR] [--audit FILE]... [--monitors FILE]...\n"
-                 "       [--sweep FILE]... [--out FILE] [--fail-on-regression PCT]\n"
+                 "       [--sweep FILE]... [--metrics FILE]... [--out FILE]\n"
+                 "       [--fail-on-regression PCT]\n"
                  "  --history DIR          bench history tree (DIR/INDEX + DIR/<sha>/)\n"
                  "  --audit FILE           extra bound-audit export (AUDIT_*.json)\n"
                  "  --monitors FILE        monitor-violation export (*.monitors.json)\n"
                  "  --sweep FILE           sweep result export (exec::sweep_json)\n"
+                 "  --metrics FILE         metrics JSON export; renders its\n"
+                 "                         \"critical_path\" section as a slowest-paths table\n"
                  "  --out FILE             write the markdown report here (default stdout)\n"
                  "  --fail-on-regression PCT  exit 1 when the newest snapshot regresses\n"
                  "                         any metric more than PCT percent\n";
@@ -107,7 +110,8 @@ bool load_bench(const std::string& path, BenchRun& out, std::string& error) {
 /// The same direction rule as scripts/bench_diff.py: throughput and
 /// carried-work units ("per_sec", "calls" — e.g. the call benches'
 /// carried load — and the profiler's "invocations") regress downwards;
-/// cost units (ns, ms, allocs, pct, ticks, retries...) regress upwards.
+/// cost units (ns, ms, allocs, pct, ticks, retries, and the critical-path
+/// bench's "path_ticks"/"segments" latency attribution) regress upwards.
 bool higher_is_better(const std::string& unit) {
     return unit.find("per_sec") != std::string::npos || unit == "calls" ||
            unit == "invocations";
@@ -311,11 +315,70 @@ bool report_sweep(std::string& md, const std::string& path, const std::string& t
     return true;
 }
 
+/// Renders a metrics export's "critical_path" section: the witness chain
+/// plus the top-N slowest roots as one table, latency-descending — the
+/// human-readable face of obs::critical_path. Latency columns are
+/// lower-is-better (the bench trajectories above apply that direction to
+/// the path_ticks unit).
+bool report_critical_path(std::string& md, const std::string& path,
+                          const std::string& text, std::string& error) {
+    obs::JsonValue doc;
+    if (!obs::json_parse(text, doc, &error)) return false;
+    if (doc.find("fastnet_metrics") == nullptr) {
+        error = "not a metrics JSON export";
+        return false;
+    }
+    const obs::JsonValue* name = doc.find("name");
+    md += "### " + (name && name->is_string() ? name->string : path) + " (`" + path +
+          "`)\n\n";
+    const obs::JsonValue* cp = doc.find("critical_path");
+    if (cp == nullptr || !cp->is_object()) {
+        md += "_No critical_path section (trace not priced)._\n\n";
+        return true;
+    }
+    const auto count = [cp](const char* key) -> std::uint64_t {
+        const obs::JsonValue* v = cp->find(key);
+        return v != nullptr && v->is_uint() ? v->uint_value : 0;
+    };
+    md += "| path | latency | depth | terminal | queueing | transit | handler "
+          "| timer_wait | retry_backoff |\n";
+    md += "|---|---:|---:|---|---:|---:|---:|---:|---:|\n";
+    const auto row = [&md](const std::string& label, const obs::JsonValue& p) {
+        const auto field = [&p](const char* key) -> std::string {
+            const obs::JsonValue* v = p.find(key);
+            return v != nullptr && v->is_number() ? fmt(v->as_double()) : "-";
+        };
+        const obs::JsonValue* terminal = p.find("terminal");
+        const obs::JsonValue* node = p.find("terminal_node");
+        md += "| " + label + " | " + field("latency") + " | " + field("depth") + " | " +
+              (terminal != nullptr && terminal->is_uint()
+                   ? std::to_string(terminal->uint_value)
+                   : "-") +
+              "@" + (node != nullptr && node->is_uint() ? std::to_string(node->uint_value)
+                                                        : "-") +
+              " | " + field("queueing") + " | " + field("transit") + " | " +
+              field("handler") + " | " + field("timer_wait") + " | " +
+              field("retry_backoff") + " |\n";
+    };
+    if (const obs::JsonValue* w = cp->find("witness"); w != nullptr && w->is_object())
+        row("witness", *w);
+    if (const obs::JsonValue* top = cp->find("top"); top != nullptr && top->is_array()) {
+        std::size_t i = 0;
+        for (const obs::JsonValue& p : top->array)
+            if (p.is_object()) row(std::to_string(++i), p);
+    }
+    md += "\n" + std::to_string(count("deliveries")) + " deliveries priced; " +
+          std::to_string(count("unanchored")) + " unanchored, " +
+          std::to_string(count("clamped")) + " clamped, " + std::to_string(count("pruned")) +
+          " pruned.\n\n";
+    return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     std::string history_dir, out_path;
-    std::vector<std::string> audit_paths, monitor_paths, sweep_paths;
+    std::vector<std::string> audit_paths, monitor_paths, sweep_paths, metrics_paths;
     double fail_pct = 0;
     bool fail_set = false;
 
@@ -330,6 +393,8 @@ int main(int argc, char** argv) {
             monitor_paths.push_back(argv[++i]);
         } else if (std::strcmp(arg, "--sweep") == 0 && has_value) {
             sweep_paths.push_back(argv[++i]);
+        } else if (std::strcmp(arg, "--metrics") == 0 && has_value) {
+            metrics_paths.push_back(argv[++i]);
         } else if (std::strcmp(arg, "--out") == 0 && has_value) {
             out_path = argv[++i];
         } else if (std::strcmp(arg, "--fail-on-regression") == 0 && has_value) {
@@ -340,7 +405,7 @@ int main(int argc, char** argv) {
         }
     }
     if (history_dir.empty() && audit_paths.empty() && monitor_paths.empty() &&
-        sweep_paths.empty())
+        sweep_paths.empty() && metrics_paths.empty())
         return usage(argv[0]);
 
     // --- load history -----------------------------------------------------
@@ -440,6 +505,17 @@ int main(int argc, char** argv) {
         for (const std::string& path : sweep_paths) {
             std::string text, error;
             if (!read_file(path, text) || !report_sweep(md, path, text, error)) {
+                std::cerr << path << ": " << (text.empty() ? "cannot read" : error) << "\n";
+                return 2;
+            }
+        }
+    }
+
+    if (!metrics_paths.empty()) {
+        md += "## Critical paths\n\n";
+        for (const std::string& path : metrics_paths) {
+            std::string text, error;
+            if (!read_file(path, text) || !report_critical_path(md, path, text, error)) {
                 std::cerr << path << ": " << (text.empty() ? "cannot read" : error) << "\n";
                 return 2;
             }

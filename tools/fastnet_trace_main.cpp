@@ -27,6 +27,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <functional>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -51,10 +52,17 @@ int usage(const char* argv0) {
               << " FILE [--check] [--summary] [--reconvergence] [--violations]\n"
                  "       [--calls] [--node N] [--kind NAME] [--lineage L] [--from T]\n"
                  "       [--to T] [--chain L]\n"
+                 "       [--critical-path] [--top N] [--waterfall] [--flame OUT]\n"
+                 "       [--retry-kind K]\n"
                  "  --calls groups call-event records into per-call leg timelines\n"
                  "  (combines with --node/--from/--to to narrow the set)\n"
+                 "  --critical-path prices end-to-end latency: the witness chain to\n"
+                 "  the last delivery, per-segment attribution, top-N slowest roots\n"
+                 "  and per-node/per-link blame; --waterfall prints the winning\n"
+                 "  chain leg by leg, --flame OUT writes it as a Chrome trace flame\n"
                  "  FILE may be a canonical export, a .fnspill file, or a directory\n"
-                 "  of per-shard spill files (queries stream the merged records)\n";
+                 "  of per-shard spill files (queries stream the merged records);\n"
+                 "  --summary also accepts a metrics JSON export (profile + trace)\n";
     return 2;
 }
 
@@ -146,15 +154,144 @@ bool load_lineage_index(const std::string& path, const std::vector<std::string>&
     return true;
 }
 
+/// Options of the --critical-path mode.
+struct CriticalPathQuery {
+    bool enabled = false;
+    bool waterfall = false;
+    std::string flame;  ///< Chrome-trace output path; empty = none.
+    obs::CriticalPathConfig config;
+};
+
+/// Writes the winning chain as a self-contained Chrome trace: the
+/// chain's own records plus the waterfall segments as a "critical path"
+/// process overlaying them.
+bool write_flame(const std::string& out_path, const obs::ExportMeta& meta,
+                 const std::vector<sim::TraceRecord>& chain_records,
+                 const obs::PathWaterfall& wf, std::string* error) {
+    std::string out = obs::chrome_trace_header(meta);
+    for (const sim::TraceRecord& r : chain_records) obs::append_chrome_record(out, r);
+    obs::append_chrome_path_overlay(out, wf);
+    out += obs::chrome_trace_footer(meta);
+    std::ofstream f(out_path, std::ios::binary | std::ios::trunc);
+    if (!f) {
+        if (error) *error = "cannot create " + out_path;
+        return false;
+    }
+    f.write(out.data(), static_cast<std::streamsize>(out.size()));
+    if (!f) {
+        if (error) *error = "write failed for " + out_path;
+        return false;
+    }
+    return true;
+}
+
+/// The report body plus the optional waterfall / flame passes, given a
+/// chain-record loader for the winning lineage (in-memory and spill
+/// inputs differ only there).
+int print_critical_path(
+    const obs::CriticalPathReport& report, const CriticalPathQuery& q,
+    const obs::ExportMeta& meta,
+    const std::function<bool(std::uint64_t, std::vector<sim::TraceRecord>&,
+                             std::string*)>& load_chain) {
+    std::cout << obs::format_critical_path(report);
+    if (!(q.waterfall || !q.flame.empty()) || !report.has_witness) return 0;
+    std::string error;
+    std::vector<sim::TraceRecord> chain_records;
+    if (!load_chain(report.witness.terminal, chain_records, &error)) {
+        std::cerr << error << "\n";
+        return 1;
+    }
+    const obs::PathWaterfall wf =
+        obs::path_waterfall(chain_records, report.witness, q.config);
+    if (q.waterfall) std::cout << obs::format_waterfall(wf);
+    if (!q.flame.empty()) {
+        if (!write_flame(q.flame, meta, chain_records, wf, &error)) {
+            std::cerr << error << "\n";
+            return 1;
+        }
+        std::cout << "flame written to " << q.flame << "\n";
+    }
+    return 0;
+}
+
+/// --summary over a metrics JSON export: the per-protocol handler
+/// profile and the trace-ring counters, which the JSON carries but no
+/// CLI surfaced until now.
+int print_metrics_summary(const std::string& path, const obs::JsonValue& doc) {
+    const obs::JsonValue* name = doc.find("name");
+    std::cout << "metrics \"" << (name != nullptr && name->is_string() ? name->string : "")
+              << "\" (" << path << ")\n";
+    if (const obs::JsonValue* t = doc.find("trace"); t != nullptr && t->is_object()) {
+        const auto count = [&t](const char* key) -> std::uint64_t {
+            const obs::JsonValue* v = t->find(key);
+            return v != nullptr && v->is_uint() ? v->uint_value : 0;
+        };
+        std::cout << "trace ring: recorded=" << count("total_recorded")
+                  << " dropped=" << count("dropped")
+                  << " detail_dropped=" << count("detail_dropped")
+                  << " spilled=" << count("spilled_records") << "\n";
+        if (count("dropped") != 0)
+            std::cout << "  WARNING: ring overflow truncated the trace — size the "
+                         "ring up or enable spill\n";
+    } else {
+        std::cout << "trace ring: not recorded\n";
+    }
+    const obs::JsonValue* profile = doc.find("profile");
+    if (profile == nullptr || !profile->is_array()) {
+        std::cout << "profile: not recorded\n";
+        return 0;
+    }
+    std::cout << "profile (" << profile->array.size() << " protocol(s)):\n";
+    for (const obs::JsonValue& entry : profile->array) {
+        if (!entry.is_object()) continue;
+        const obs::JsonValue* proto = entry.find("protocol");
+        std::cout << "  " << (proto != nullptr && proto->is_string() ? proto->string : "?");
+        for (const auto& [key, value] : entry.object) {
+            if (!value.is_uint()) continue;  // invocations / busy_ticks
+            std::cout << " " << key << "=" << value.uint_value;
+        }
+        std::cout << "\n";
+        for (const auto& [key, value] : entry.object) {
+            if (!value.is_object()) continue;  // per-kind histogram
+            const auto field = [&value](const char* k) -> std::uint64_t {
+                const obs::JsonValue* v = value.find(k);
+                return v != nullptr && v->is_uint() ? v->uint_value : 0;
+            };
+            std::cout << "    " << key << ": count=" << field("count")
+                      << " sum=" << field("sum") << " min=" << field("min")
+                      << " p50<=" << field("p50") << " p99<=" << field("p99")
+                      << " max=" << field("max") << "\n";
+        }
+    }
+    return 0;
+}
+
 /// All query modes over spill input, streaming the deterministic merge.
 int run_spill(const std::string& path, bool check, bool summary, bool reconvergence,
               bool violations, bool calls, const obs::TraceFilter& filter,
-              const std::optional<std::uint64_t>& chain) {
+              const std::optional<std::uint64_t>& chain, const CriticalPathQuery& cp) {
     std::string error;
     const std::vector<std::string> files = sim::spill_files(path, &error);
     if (files.empty()) {
         std::cerr << path << ": " << (error.empty() ? "no spill files" : error) << "\n";
         return 2;
+    }
+    if (cp.enabled) {
+        obs::CriticalPathReport report;
+        if (!obs::spill_critical_path(files, cp.config, report, &error)) {
+            std::cerr << path << ": " << error << "\n";
+            return 1;
+        }
+        obs::ExportMeta meta;
+        meta.name = path;
+        return print_critical_path(
+            report, cp, meta,
+            [&](std::uint64_t terminal, std::vector<sim::TraceRecord>& out,
+                std::string* err) {
+                obs::LineageIndex idx;
+                if (!load_lineage_index(path, files, idx, err)) return false;
+                return obs::spill_chain_records(files, idx, terminal, out, err);
+            });
     }
     if (check || summary) {
         obs::SpillSummary s;
@@ -308,12 +445,24 @@ int main(int argc, char** argv) {
     bool calls = false;
     obs::TraceFilter filter;
     std::optional<std::uint64_t> chain;
+    CriticalPathQuery cp;
 
     for (int i = 1; i < argc; ++i) {
         const char* arg = argv[i];
         const bool has_value = i + 1 < argc;
         if (std::strcmp(arg, "--check") == 0) {
             check = true;
+        } else if (std::strcmp(arg, "--critical-path") == 0) {
+            cp.enabled = true;
+        } else if (std::strcmp(arg, "--top") == 0 && has_value) {
+            cp.config.top = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(arg, "--waterfall") == 0) {
+            cp.waterfall = true;
+        } else if (std::strcmp(arg, "--flame") == 0 && has_value) {
+            cp.flame = argv[++i];
+        } else if (std::strcmp(arg, "--retry-kind") == 0 && has_value) {
+            cp.config.retry_cookie_kind =
+                static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
         } else if (std::strcmp(arg, "--summary") == 0) {
             summary = true;
         } else if (std::strcmp(arg, "--reconvergence") == 0) {
@@ -352,7 +501,7 @@ int main(int argc, char** argv) {
     std::error_code ec;
     if (std::filesystem::is_directory(path, ec) || sim::is_spill_file(path))
         return run_spill(path, check, summary, reconvergence, violations, calls, filter,
-                         chain);
+                         chain, cp);
 
     std::string text;
     if (!read_file(path, text)) {
@@ -361,6 +510,14 @@ int main(int argc, char** argv) {
     }
     if (check) return run_check(path, text);
 
+    if (summary) {
+        // A metrics export is not a trace, but its profile and trace-ring
+        // sections are summary material — accept it here.
+        obs::JsonValue doc;
+        if (obs::json_parse(text, doc) && doc.find("fastnet_metrics") != nullptr)
+            return print_metrics_summary(path, doc);
+    }
+
     obs::LoadedTrace trace;
     std::string error;
     if (!obs::load_canonical(text, trace, &error)) {
@@ -368,6 +525,17 @@ int main(int argc, char** argv) {
                   << "\n(only canonical exports are queryable; --check accepts both "
                      "formats)\n";
         return 1;
+    }
+
+    if (cp.enabled) {
+        const obs::CriticalPathReport report = obs::critical_path(trace.records, cp.config);
+        return print_critical_path(
+            report, cp, trace.meta,
+            [&trace](std::uint64_t terminal, std::vector<sim::TraceRecord>& out,
+                     std::string*) {
+                out = obs::causal_chain(trace.records, terminal);
+                return true;
+            });
     }
 
     if (chain) {
